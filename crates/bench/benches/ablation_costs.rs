@@ -1,0 +1,155 @@
+//! Ablations over the simulator's calibrated design parameters — how the
+//! headline results respond to the cost model, and the double-buffering
+//! mitigation the paper concedes for Lesson 14.
+//!
+//! 1. the shared-context software penalty (the Lesson 3 calibration knob);
+//! 2. the network profile (Omni-Path vs InfiniBand-like vs Slingshot-like):
+//!    the mechanisms' *ordering* is portable even where their magnitudes
+//!    move — the paper's portability argument in reverse;
+//! 3. partitioned pipeline depth: double/triple buffering dampens the
+//!    per-iteration completion synchronization but does not eliminate it.
+
+use rankmpi_bench::{print_table, ratio, takeaway};
+use rankmpi_core::{Info, Universe};
+use rankmpi_fabric::NetworkProfile;
+use rankmpi_partitioned::{BufferedPrecv, BufferedPsend};
+use rankmpi_vtime::Nanos;
+use rankmpi_workloads::stencil::halo::{run_halo, HaloConfig, HaloMechanism};
+use rankmpi_workloads::stencil::maps::Geometry;
+
+fn lesson3_cfg(profile: NetworkProfile) -> HaloConfig {
+    HaloConfig {
+        geo: Geometry { px: 2, py: 2, tx: 6, ty: 6 },
+        iters: 6,
+        elems_per_face: 1024,
+        nine_point: true,
+        compute: Nanos::us(2),
+        compute_jitter: 0.0,
+        profile,
+    }
+}
+
+fn main() {
+    // 1. Shared-context penalty sweep on the Lesson 3 workload.
+    let mut rows = Vec::new();
+    for penalty in [0u64, 500, 1_000, 2_000, 4_000] {
+        let mut profile = NetworkProfile::constrained(24);
+        profile.shared_context_penalty = Nanos(penalty);
+        let cfg = lesson3_cfg(profile);
+        let comm = run_halo(HaloMechanism::CommMapFig4, &cfg);
+        let eps = run_halo(HaloMechanism::Endpoints, &cfg);
+        rows.push(vec![
+            format!("{penalty} ns"),
+            format!("{}", comm.per_iter - cfg.compute),
+            format!("{}", eps.per_iter - cfg.compute),
+            ratio(
+                (comm.per_iter - cfg.compute).as_ns() as f64,
+                (eps.per_iter - cfg.compute).as_ns() as f64,
+            ),
+        ]);
+    }
+    print_table(
+        "Ablation — shared-context software penalty (Lesson 3 workload, 24-context NIC)",
+        &["penalty/msg", "comm-map comm/iter", "endpoints comm/iter", "ratio"],
+        &rows,
+    );
+
+    // 2. Network-profile portability: the mechanism ordering must hold on
+    // every fabric even though magnitudes shift.
+    let mut rows2 = Vec::new();
+    for profile in [
+        NetworkProfile::omni_path(),
+        NetworkProfile::infiniband(),
+        NetworkProfile::slingshot(),
+    ] {
+        let name = profile.name;
+        let cfg = HaloConfig {
+            geo: Geometry { px: 2, py: 2, tx: 4, ty: 4 },
+            iters: 6,
+            elems_per_face: 512,
+            nine_point: false,
+            compute: Nanos::us(3),
+            profile,
+            ..HaloConfig::default()
+        };
+        let orig = run_halo(HaloMechanism::SingleComm, &cfg);
+        let tags = run_halo(HaloMechanism::TagsOneToOne, &cfg);
+        let eps = run_halo(HaloMechanism::Endpoints, &cfg);
+        assert!(eps.per_iter <= orig.per_iter, "{name}: ordering must hold");
+        rows2.push(vec![
+            name.to_string(),
+            format!("{}", orig.per_iter),
+            format!("{}", tags.per_iter),
+            format!("{}", eps.per_iter),
+        ]);
+    }
+    print_table(
+        "Ablation — network profiles (2D 5-pt halo, 16 threads/process)",
+        &["fabric", "Original", "tags one-to-one", "endpoints"],
+        &rows2,
+    );
+
+    // 3. Partitioned pipeline depth (Lesson 14 mitigation): a 2-node
+    // partitioned stream with per-iteration imbalance; deeper pipelines hide
+    // more of the completion synchronization.
+    let mut rows3 = Vec::new();
+    let mut depth1 = Nanos::ZERO;
+    for depth in [1usize, 2, 3] {
+        let iters = 12usize;
+        let parts = 4usize;
+        let uni = Universe::builder().nodes(2).num_vcis(parts).build();
+        let times = uni.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            rankmpi_workloads::measure::begin(&mut th);
+            if env.rank() == 0 {
+                let mut tx = BufferedPsend::new(
+                    &world, &mut th, 1, 500, depth, parts, 512, &Info::new(),
+                )
+                .unwrap();
+                for i in 0..iters {
+                    // Short fill phase: the per-iteration transfer-complete
+                    // wait dominates at depth 1 and pipelines away deeper.
+                    th.compute(Nanos(200 + ((i * 7) % 5) as u64 * 100));
+                    tx.begin(&mut th).unwrap();
+                    for p in 0..parts {
+                        tx.current().pready(&mut th, p, &[i as u8; 512]).unwrap();
+                    }
+                }
+                tx.finish(&mut th).unwrap();
+            } else {
+                let mut rx = BufferedPrecv::new(
+                    &world, &mut th, 0, 500, depth, parts, 512, &Info::new(),
+                )
+                .unwrap();
+                for _ in 0..iters {
+                    rx.begin(&mut th).unwrap();
+                }
+                rx.finish(&mut th).unwrap();
+            }
+            rankmpi_workloads::measure::elapsed(&th)
+        });
+        let total = *times.iter().max().unwrap();
+        if depth == 1 {
+            depth1 = total;
+        }
+        rows3.push(vec![
+            depth.to_string(),
+            format!("{}", total / iters as u64),
+            ratio(depth1.as_ns() as f64, total.as_ns() as f64),
+        ]);
+    }
+    print_table(
+        "Ablation — partitioned pipeline depth (double/triple buffering, Lesson 14)",
+        &["depth", "time/iter", "speedup vs depth 1"],
+        &rows3,
+    );
+
+    takeaway(
+        "double buffering dampens but cannot eliminate the shared-request \
+         synchronization (Lesson 14); the design ordering is portable across \
+         fabrics (Lessons 8 and 12); the Lesson 3 gap scales with the shared-context \
+         software cost that motivated it",
+        "see tables above; the mechanism ordering never inverts in any ablation",
+    );
+}

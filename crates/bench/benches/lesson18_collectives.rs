@@ -1,0 +1,72 @@
+//! Lessons 18–19 / Fig. 7: multithreaded collectives.
+//!
+//! The VASP-style allreduce three ways: funneled (hierarchical), the
+//! multi-communicator segmented approach with the user-written intranode
+//! portion (the paper's ≥2x win), and the one-step endpoint collective —
+//! simplest for the user, but with per-endpoint result-buffer duplication
+//! (Lesson 19).
+
+use rankmpi_bench::{print_table, ratio, takeaway};
+use rankmpi_workloads::vasp::{expected_sum, run_vasp, VaspConfig, VaspMode};
+
+fn main() {
+    let cfg = VaspConfig {
+        procs: 4,
+        threads: 4,
+        elems: 16384,
+        repeats: 3,
+        ..VaspConfig::default()
+    };
+    let want = expected_sum(&cfg);
+
+    let modes = [
+        VaspMode::Funneled,
+        VaspMode::MultiCommSegmented,
+        VaspMode::EndpointsOneStep,
+    ];
+    let mut reports = Vec::new();
+    for mode in modes {
+        let rep = run_vasp(mode, &cfg);
+        assert_eq!(rep.first_elem, want, "wrong reduction result");
+        reports.push(rep);
+    }
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{}", r.total_time),
+                r.result_bytes_per_process.to_string(),
+                r.duplicated_bytes.to_string(),
+                if r.mode.contains("user intranode") {
+                    "yes (Lesson 18)"
+                } else {
+                    "no"
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Lessons 18-19 / Fig. 7 — multithreaded allreduce (4 procs x 4 threads, 16k elements)",
+        &["design", "total time", "result bytes/proc", "duplicated bytes", "user intranode step"],
+        &rows,
+    );
+
+    takeaway(
+        "VASP-style parallel collectives on per-thread communicators run over 2x \
+         faster than the funneled approach but need a user-written intranode step \
+         (Lesson 18); endpoint collectives are one-step but duplicate the result \
+         per endpoint (Lesson 19)",
+        &format!(
+            "segmented speedup over funneled: {}; endpoint duplication: {} bytes \
+             across the job ((threads-1) x result per process)",
+            ratio(
+                reports[0].total_time.as_ns() as f64,
+                reports[1].total_time.as_ns() as f64
+            ),
+            reports[2].duplicated_bytes,
+        ),
+    );
+}

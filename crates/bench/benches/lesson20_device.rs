@@ -1,0 +1,52 @@
+//! Lesson 20: partitioned operations provide lightweight interfaces for
+//! device-initiated communication; the other designs do not.
+//!
+//! Evaluates the closed-form cost model of
+//! [`rankmpi_partitioned::device::DeviceProfile`]: CPU-proxy, fully
+//! device-initiated full-setup MPI, and partitioned device triggers — per
+//! iteration count and messages per iteration.
+
+use rankmpi_bench::{print_table, ratio, takeaway};
+use rankmpi_partitioned::device::DeviceProfile;
+
+fn main() {
+    let p = DeviceProfile::default();
+    let scenarios = [(100u64, 8u64), (100, 64), (1000, 8), (1000, 64)];
+    let rows: Vec<Vec<String>> = scenarios
+        .iter()
+        .map(|&(iters, msgs)| {
+            vec![
+                format!("{iters} iters x {msgs} msgs"),
+                format!("{}", p.cpu_proxy(iters, msgs)),
+                format!("{}", p.device_full(iters, msgs)),
+                format!("{}", p.device_partitioned(iters, msgs)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Lesson 20 — device-initiated communication cost model",
+        &["scenario", "CPU proxy", "device full setup", "device partitioned"],
+        &rows,
+    );
+
+    let (iters, msgs) = (1000, 64);
+    takeaway(
+        "Pready/Parrived let the serial message setup run on the CPU before kernel \
+         launch, leaving only lightweight triggers on the device — but control \
+         still returns to the CPU each iteration for the Wait (Lesson 20)",
+        &format!(
+            "at {iters}x{msgs}: partitioned is {} cheaper than CPU-proxying and {} \
+             cheaper than full on-device setup, yet still pays {} control-return \
+             round trips",
+            ratio(
+                p.cpu_proxy(iters, msgs).as_ns() as f64,
+                p.device_partitioned(iters, msgs).as_ns() as f64
+            ),
+            ratio(
+                p.device_full(iters, msgs).as_ns() as f64,
+                p.device_partitioned(iters, msgs).as_ns() as f64
+            ),
+            iters,
+        ),
+    );
+}

@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks of the library's hot paths (real wall time, not
+//! virtual time): matching-engine scans at varying queue depths, resource
+//! acquisition, contention-lock round trips, and tag encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bytes::Bytes;
+use rankmpi_core::matching::{MatchPattern, MatchingEngine, PostedRecv};
+use rankmpi_core::request::ReqState;
+use rankmpi_core::tag::{default_tag_hash, TagLayout, TagPlacement};
+use rankmpi_fabric::{Header, Packet};
+use rankmpi_vtime::{Clock, ContentionLock, Nanos, Resource};
+
+fn pkt(ctx: u32, src: u32, tag: i64) -> Packet {
+    Packet {
+        header: Header {
+            kind: 1,
+            context_id: ctx,
+            src,
+            dst: 0,
+            tag,
+            seq: 0,
+            aux: 0,
+            aux2: 0,
+        },
+        payload: Bytes::new(),
+        arrive_at: Nanos(1),
+    }
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching_engine");
+    for depth in [0usize, 16, 128, 1024] {
+        g.bench_with_input(
+            BenchmarkId::new("post_recv_scan", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || {
+                        let mut e = MatchingEngine::new();
+                        for i in 0..depth {
+                            e.incoming(pkt(1, 0, i as i64));
+                        }
+                        e
+                    },
+                    |mut e| {
+                        // Miss: scans the whole unexpected queue.
+                        let (m, scanned) = e.post_recv(PostedRecv {
+                            pattern: MatchPattern {
+                                context_id: 1,
+                                src: 0,
+                                tag: depth as i64 + 1,
+                            },
+                            req: ReqState::detached(),
+                            posted_at: Nanos::ZERO,
+                        });
+                        black_box((m.is_some(), scanned))
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_resource(c: &mut Criterion) {
+    c.bench_function("resource_acquire", |b| {
+        let r = Resource::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            black_box(r.acquire(Nanos(t), Nanos(5)))
+        });
+    });
+}
+
+fn bench_lock(c: &mut Criterion) {
+    c.bench_function("contention_lock_roundtrip", |b| {
+        let l = ContentionLock::new(0u64);
+        let mut clock = Clock::new();
+        b.iter(|| {
+            let mut g = l.lock(&mut clock);
+            *g += 1;
+            g.release(&mut clock);
+        });
+    });
+}
+
+fn bench_tags(c: &mut Criterion) {
+    let layout = TagLayout::for_threads(64, TagPlacement::Msb).unwrap();
+    c.bench_function("tag_encode_decode", |b| {
+        b.iter(|| {
+            let t = layout.encode(black_box(13), black_box(57), black_box(1000)).unwrap();
+            black_box(layout.decode(t))
+        });
+    });
+    c.bench_function("default_tag_hash", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 1;
+            black_box(default_tag_hash(7, t, 16))
+        });
+    });
+}
+
+criterion_group!(benches, bench_matching, bench_resource, bench_lock, bench_tags);
+criterion_main!(benches);

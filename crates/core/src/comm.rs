@@ -1,0 +1,429 @@
+//! Communicators: context ids, groups, duplication, splitting, and the
+//! Info-hint-driven VCI policies of MPI 4.0.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::group::Group;
+use crate::info::{keys, Info};
+use crate::proc::{ProcShared, ThreadCtx};
+use crate::tag::{TagLayout, TagPlacement, TAG_BITS};
+use crate::universe::UniverseShared;
+use crate::vci::VciPolicy;
+
+/// High bit of the context id marks library-internal collective traffic so it
+/// can never match user point-to-point operations on the same communicator.
+pub const COLL_CTX_BIT: u32 = 0x8000_0000;
+
+/// Marker for how a collective distributes its intranode portion — used by
+/// the workload crates to label measurement series; the core library itself
+/// always performs both portions (Lesson 18's "one-step" behaviour applies to
+/// endpoints/partitioned designs, built in their own crates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollMode {
+    /// The library handles internode + intranode (endpoints/partitioned).
+    OneStep,
+    /// The user performs the intranode step manually (existing mechanisms).
+    UserIntranode,
+}
+
+/// An MPI communicator.
+///
+/// Cheap to clone (all fields are shared handles); safe to use from many
+/// threads concurrently, with MPI's rules enforced: point-to-point operations
+/// are fully thread-safe, collectives must be issued serially per
+/// communicator (violations return [`Error::ConcurrentCollective`]).
+#[derive(Clone)]
+pub struct Communicator {
+    universe: Arc<UniverseShared>,
+    proc: Arc<ProcShared>,
+    ctx_id: u32,
+    group: Group,
+    my_rank: usize,
+    policy: VciPolicy,
+    block: Arc<Vec<usize>>,
+    info: Info,
+    /// Serial-issuance detector for collectives (per process).
+    coll_active: Arc<AtomicBool>,
+    /// Collective sequence number (isolates successive collectives' traffic).
+    coll_seq: Arc<AtomicU64>,
+}
+
+impl Communicator {
+    /// The world communicator: context id 0, all processes, VCI 0.
+    pub fn world(universe: Arc<UniverseShared>, proc: Arc<ProcShared>) -> Self {
+        let n = universe.n_procs();
+        let my_rank = proc.rank();
+        Communicator {
+            universe,
+            proc,
+            ctx_id: 0,
+            group: Group::world(n),
+            my_rank,
+            policy: VciPolicy::Single,
+            block: Arc::new(vec![0]),
+            info: Info::new(),
+            coll_active: Arc::new(AtomicBool::new(false)),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Construct a communicator from parts (used by `dup`/`split` and by the
+    /// extension crates).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        universe: Arc<UniverseShared>,
+        proc: Arc<ProcShared>,
+        ctx_id: u32,
+        group: Group,
+        my_rank: usize,
+        policy: VciPolicy,
+        block: Arc<Vec<usize>>,
+        info: Info,
+    ) -> Self {
+        Communicator {
+            universe,
+            proc,
+            ctx_id,
+            group,
+            my_rank,
+            policy,
+            block,
+            info,
+            coll_active: Arc::new(AtomicBool::new(false)),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// This process's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of processes in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.size()
+    }
+
+    /// The communicator's group.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// The communicator's context id.
+    pub fn context_id(&self) -> u32 {
+        self.ctx_id
+    }
+
+    /// The Info hints this communicator was created with.
+    pub fn info(&self) -> &Info {
+        &self.info
+    }
+
+    /// The VCI policy in effect.
+    pub fn policy(&self) -> &VciPolicy {
+        &self.policy
+    }
+
+    /// The VCI block (pool indices) assigned to this communicator.
+    pub fn vci_block(&self) -> &Arc<Vec<usize>> {
+        &self.block
+    }
+
+    /// The owning process.
+    pub fn proc(&self) -> &Arc<ProcShared> {
+        &self.proc
+    }
+
+    /// The universe.
+    pub fn universe(&self) -> &Arc<UniverseShared> {
+        &self.universe
+    }
+
+    /// Translate a communicator-local rank to a world rank.
+    pub fn global_rank(&self, local: usize) -> usize {
+        self.group.global(local)
+    }
+
+    /// Duplicate the communicator (collective). The child inherits this
+    /// communicator's Info.
+    pub fn dup(&self, th: &mut ThreadCtx) -> Result<Communicator> {
+        self.dup_with_info(th, self.info.clone())
+    }
+
+    /// Duplicate with new Info hints (collective) — the MPI 4.0 mechanism of
+    /// Listing 2: assertions relax matching semantics and implementation
+    /// hints shape the VCI mapping.
+    pub fn dup_with_info(&self, th: &mut ThreadCtx, info: Info) -> Result<Communicator> {
+        let (policy, want_vcis) = policy_from_info(&info)?;
+        let idx = self.proc.next_dup_index(self.ctx_id);
+        let (ctx_id, block) = self.universe.agree_comm((self.ctx_id, idx, 0), want_vcis);
+        let child = Communicator {
+            universe: Arc::clone(&self.universe),
+            proc: Arc::clone(&self.proc),
+            ctx_id,
+            group: self.group.clone(),
+            my_rank: self.my_rank,
+            policy,
+            block,
+            info,
+            coll_active: Arc::new(AtomicBool::new(false)),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+        };
+        // Communicator creation is collective and synchronizing.
+        self.barrier(th)?;
+        Ok(child)
+    }
+
+    /// Split the communicator by `color` (collective). Processes passing the
+    /// same color land in the same child, ordered by `(key, parent rank)`.
+    /// A negative color (like `MPI_UNDEFINED`) yields `None`.
+    pub fn split(
+        &self,
+        th: &mut ThreadCtx,
+        color: i64,
+        key: i64,
+    ) -> Result<Option<Communicator>> {
+        let idx = self.proc.next_dup_index(self.ctx_id);
+        let all = self.universe.gather_split(
+            (self.ctx_id, idx),
+            self.my_rank,
+            self.size(),
+            color,
+            key,
+        );
+        self.barrier(th)?;
+        if color < 0 {
+            return Ok(None);
+        }
+        let mut members: Vec<(i64, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _))| *c == color)
+            .map(|(r, (_, k))| (*k, r))
+            .collect();
+        members.sort_unstable();
+        let ranks: Vec<usize> = members
+            .iter()
+            .map(|&(_, r)| self.group.global(r))
+            .collect();
+        let my_new = members
+            .iter()
+            .position(|&(_, r)| r == self.my_rank)
+            .expect("caller must be a member of its own color");
+        let (ctx_id, block) = self.universe.agree_comm((self.ctx_id, idx, color), 1);
+        Ok(Some(Communicator {
+            universe: Arc::clone(&self.universe),
+            proc: Arc::clone(&self.proc),
+            ctx_id,
+            group: Group::from_ranks(ranks),
+            my_rank: my_new,
+            policy: VciPolicy::Single,
+            block,
+            info: Info::new(),
+            coll_active: Arc::new(AtomicBool::new(false)),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+        }))
+    }
+
+    /// Enter a collective: enforce MPI's serial-issuance rule.
+    pub(crate) fn coll_enter(&self) -> Result<CollGuard<'_>> {
+        if self
+            .coll_active
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(Error::ConcurrentCollective {
+                context_id: self.ctx_id,
+            });
+        }
+        let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
+        Ok(CollGuard { comm: self, seq })
+    }
+}
+
+/// RAII guard of one collective episode on a communicator.
+pub(crate) struct CollGuard<'a> {
+    comm: &'a Communicator,
+    /// The collective's sequence number (embedded in its internal tags).
+    pub seq: u64,
+}
+
+impl Drop for CollGuard<'_> {
+    fn drop(&mut self) {
+        self.comm.coll_active.store(false, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("ctx_id", &self.ctx_id)
+            .field("rank", &self.my_rank)
+            .field("size", &self.size())
+            .field("policy", &self.policy)
+            .field("block", &*self.block)
+            .finish()
+    }
+}
+
+/// Derive the VCI policy from Info hints, enforcing the assertion
+/// prerequisites the paper's Listing 2 sets:
+///
+/// - no hints → [`VciPolicy::Single`] (default communicator-granularity
+///   mapping);
+/// - `mpich_num_vcis > 1` *with* `allow_overtaking` + `no_any_tag` →
+///   [`VciPolicy::HashedTag`] (without the assertions the non-overtaking
+///   order pins everything to one channel, so extra VCIs are ignored);
+/// - `mpich_num_tag_bits_vci` + `one-to-one` hash → [`VciPolicy::TagBitsOneToOne`],
+///   requiring all three assertions.
+pub fn policy_from_info(info: &Info) -> Result<(VciPolicy, usize)> {
+    let num_vcis = info.get_usize(keys::NUM_VCIS)?.unwrap_or(1);
+    let tid_bits = info.get_usize(keys::NUM_TAG_BITS_VCI)?;
+    let overtaking = info.allow_overtaking()?;
+    let no_any_tag = info.no_any_tag()?;
+    let no_any_source = info.no_any_source()?;
+
+    if let Some(bits) = tid_bits {
+        if !overtaking {
+            return Err(Error::MissingAssertion {
+                hint: keys::ASSERT_ALLOW_OVERTAKING,
+            });
+        }
+        if !no_any_tag {
+            return Err(Error::MissingAssertion {
+                hint: keys::ASSERT_NO_ANY_TAG,
+            });
+        }
+        if !no_any_source {
+            return Err(Error::MissingAssertion {
+                hint: keys::ASSERT_NO_ANY_SOURCE,
+            });
+        }
+        let placement = match info.get(keys::PLACE_TAG_BITS) {
+            Some("LSB") | Some("lsb") => TagPlacement::Lsb,
+            _ => TagPlacement::Msb,
+        };
+        let bits = bits as u32;
+        let app_bits = TAG_BITS
+            .checked_sub(2 * bits)
+            .ok_or(Error::TagBitsOverflow {
+                requested: 2 * bits,
+                available: TAG_BITS,
+            })?;
+        let layout = TagLayout::new(bits, bits, app_bits, placement)?;
+        let one_to_one = matches!(info.get(keys::TAG_VCI_HASH_TYPE), Some("one-to-one"));
+        if one_to_one {
+            return Ok((VciPolicy::TagBitsOneToOne { layout }, num_vcis));
+        }
+        return Ok((VciPolicy::HashedTag, num_vcis));
+    }
+
+    if num_vcis > 1 {
+        if overtaking && no_any_tag {
+            return Ok((VciPolicy::HashedTag, num_vcis));
+        }
+        // Extra VCIs cannot be used without relaxed ordering: stay on one.
+        return Ok((VciPolicy::Single, 1));
+    }
+    Ok((VciPolicy::Single, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_info_gives_single_policy() {
+        let (p, n) = policy_from_info(&Info::new()).unwrap();
+        assert!(matches!(p, VciPolicy::Single));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn num_vcis_without_asserts_is_ignored() {
+        let info = Info::new().set(keys::NUM_VCIS, "8");
+        let (p, n) = policy_from_info(&info).unwrap();
+        assert!(matches!(p, VciPolicy::Single));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn num_vcis_with_asserts_hashes_tags() {
+        let info = Info::new()
+            .set(keys::NUM_VCIS, "8")
+            .set(keys::ASSERT_ALLOW_OVERTAKING, "true")
+            .set(keys::ASSERT_NO_ANY_TAG, "true");
+        let (p, n) = policy_from_info(&info).unwrap();
+        assert!(matches!(p, VciPolicy::HashedTag));
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn one_to_one_requires_all_three_asserts() {
+        let base = Info::new()
+            .set(keys::NUM_VCIS, "4")
+            .set(keys::NUM_TAG_BITS_VCI, "2")
+            .set(keys::TAG_VCI_HASH_TYPE, "one-to-one");
+        assert!(matches!(
+            policy_from_info(&base),
+            Err(Error::MissingAssertion { hint }) if hint == keys::ASSERT_ALLOW_OVERTAKING
+        ));
+        let full = base
+            .set(keys::ASSERT_ALLOW_OVERTAKING, "true")
+            .set(keys::ASSERT_NO_ANY_TAG, "true")
+            .set(keys::ASSERT_NO_ANY_SOURCE, "true");
+        let (p, n) = policy_from_info(&full).unwrap();
+        assert!(matches!(p, VciPolicy::TagBitsOneToOne { .. }));
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn split_with_negative_color_returns_none() {
+        use crate::universe::Universe;
+        let u = Universe::builder().nodes(3).build();
+        let out = u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            // Rank 1 opts out (MPI_UNDEFINED-style); ranks 0 and 2 form a pair.
+            let color = if env.rank() == 1 { -1 } else { 0 };
+            let sub = world.split(&mut th, color, 0).unwrap();
+            sub.map(|c| (c.size(), c.rank()))
+        });
+        assert_eq!(out[1], None);
+        assert_eq!(out[0], Some((2, 0)));
+        assert_eq!(out[2], Some((2, 1)));
+    }
+
+    #[test]
+    fn dup_children_have_distinct_contexts() {
+        use crate::universe::Universe;
+        let u = Universe::builder().nodes(2).build();
+        let ctxs = u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let a = world.dup(&mut th).unwrap();
+            let b = world.dup(&mut th).unwrap();
+            let c = a.dup(&mut th).unwrap(); // grandchild
+            (a.context_id(), b.context_id(), c.context_id())
+        });
+        // All processes agree on all three ids, and they are distinct.
+        assert_eq!(ctxs[0], ctxs[1]);
+        let (a, b, c) = ctxs[0];
+        assert!(a != b && b != c && a != c);
+    }
+
+    #[test]
+    fn oversized_tag_bits_overflow() {
+        let info = Info::new()
+            .set(keys::NUM_TAG_BITS_VCI, "12")
+            .set(keys::ASSERT_ALLOW_OVERTAKING, "true")
+            .set(keys::ASSERT_NO_ANY_TAG, "true")
+            .set(keys::ASSERT_NO_ANY_SOURCE, "true");
+        assert!(matches!(
+            policy_from_info(&info),
+            Err(Error::TagBitsOverflow { .. })
+        ));
+    }
+}

@@ -1,0 +1,145 @@
+//! Library error type.
+
+use std::fmt;
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the library.
+///
+/// Several of these encode *semantic* limitations the paper dwells on: a
+/// wildcard receive cannot be matched when the communicator's mapping policy
+/// spreads matching across multiple VCIs by tag bits (Lessons 7 and 15), and a
+/// tag layout can run out of bits (Lesson 9).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Rank outside the communicator's group.
+    InvalidRank {
+        /// The offending rank.
+        rank: i64,
+        /// The communicator's size.
+        size: usize,
+    },
+    /// Tag outside `[0, TAG_UB]` (negative tags are reserved for wildcards
+    /// and internal use).
+    TagOutOfRange {
+        /// The offending tag.
+        tag: i64,
+    },
+    /// The requested tag layout does not fit in the tag space (Lesson 9).
+    TagBitsOverflow {
+        /// Bits requested by the layout (app + src-tid + dst-tid).
+        requested: u32,
+        /// Bits available in the tag space.
+        available: u32,
+    },
+    /// A wildcard receive was posted on a communicator whose VCI policy needs
+    /// the concrete tag/source to locate the matching engine (Lesson 7/15).
+    WildcardUnsupported {
+        /// What made the wildcard unreachable.
+        reason: &'static str,
+    },
+    /// `dup_with_info` asked for a tag-bits VCI policy without asserting away
+    /// the semantics that policy requires (`mpi_assert_no_any_tag` etc.).
+    MissingAssertion {
+        /// The missing `mpi_assert_*` hint.
+        hint: &'static str,
+    },
+    /// Two threads issued a collective concurrently on one communicator —
+    /// erroneous per MPI's serial-issuance rule (the restriction motivating
+    /// per-thread communicators in Fig. 7).
+    ConcurrentCollective {
+        /// The communicator's context id.
+        context_id: u32,
+    },
+    /// RMA access outside the window's exposed region.
+    WindowOutOfBounds {
+        /// Starting byte offset of the access.
+        offset: usize,
+        /// Length of the access in bytes.
+        len: usize,
+        /// The window's exposed size in bytes.
+        size: usize,
+    },
+    /// Mismatched buffer lengths (e.g. reduce contributions of unequal size).
+    LengthMismatch {
+        /// The length the operation required.
+        expected: usize,
+        /// The length actually supplied.
+        got: usize,
+    },
+    /// An Info value failed to parse.
+    BadInfoValue {
+        /// The hint's key.
+        key: String,
+        /// The unparsable value.
+        value: String,
+    },
+    /// Operation is invalid in the current object state.
+    InvalidState(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            Error::TagOutOfRange { tag } => write!(f, "tag {tag} out of range"),
+            Error::TagBitsOverflow { requested, available } => write!(
+                f,
+                "tag layout needs {requested} bits but only {available} are available"
+            ),
+            Error::WildcardUnsupported { reason } => {
+                write!(f, "wildcard receive unsupported: {reason}")
+            }
+            Error::MissingAssertion { hint } => {
+                write!(f, "VCI policy requires info assertion `{hint}`")
+            }
+            Error::ConcurrentCollective { context_id } => write!(
+                f,
+                "concurrent collectives on communicator with context id {context_id}"
+            ),
+            Error::WindowOutOfBounds { offset, len, size } => write!(
+                f,
+                "RMA access [{offset}, {}) outside window of {size} bytes",
+                offset + len
+            ),
+            Error::LengthMismatch { expected, got } => {
+                write!(f, "buffer length mismatch: expected {expected}, got {got}")
+            }
+            Error::BadInfoValue { key, value } => {
+                write!(f, "bad info value for `{key}`: `{value}`")
+            }
+            Error::InvalidState(s) => write!(f, "invalid state: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = Error::TagBitsOverflow { requested: 30, available: 22 };
+        assert!(e.to_string().contains("30"));
+        assert!(e.to_string().contains("22"));
+        let e = Error::WindowOutOfBounds { offset: 8, len: 8, size: 12 };
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::InvalidState("x"),
+            Error::InvalidState("x")
+        );
+        assert_ne!(
+            Error::TagOutOfRange { tag: 1 },
+            Error::TagOutOfRange { tag: 2 }
+        );
+    }
+}

@@ -1,0 +1,382 @@
+//! The matching engine: posted-receive and unexpected-message queues with
+//! MPI's ⟨communicator, rank, tag⟩ matching, wildcards, and non-overtaking
+//! order.
+//!
+//! Message matching is the costly serial operation at the heart of the paper's
+//! performance story: when *n* threads share one communicator (one engine),
+//! queue depths — and therefore matching costs — grow with *n*, which is the
+//! "MPI+threads (Original)" regime of Fig. 1. Each VCI owns one engine, so
+//! logically parallel communication gets a *distinct matching engine per
+//! channel* and queue depths stay per-thread.
+//!
+//! The engine itself is a pure data structure; time accounting (engine
+//! occupancy, scan costs) is done by the caller in [`crate::vci`] so the same
+//! code serves blocking, nonblocking, and probe paths.
+
+use std::sync::Arc;
+
+use rankmpi_fabric::Packet;
+use rankmpi_vtime::Nanos;
+
+use crate::request::ReqState;
+
+/// Wildcard source: match a message from any rank.
+pub const ANY_SOURCE: i64 = -1;
+/// Wildcard tag: match a message with any tag.
+pub const ANY_TAG: i64 = -1;
+
+/// Completion information of a received message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Communicator-local rank (or endpoint rank) of the sender.
+    pub source: usize,
+    /// Tag of the matched message.
+    pub tag: i64,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// A receive-side match pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchPattern {
+    /// Communicator context id (never wildcarded — MPI scopes matching to a
+    /// communicator).
+    pub context_id: u32,
+    /// Source rank or [`ANY_SOURCE`].
+    pub src: i64,
+    /// Tag or [`ANY_TAG`].
+    pub tag: i64,
+}
+
+impl MatchPattern {
+    /// Does this pattern match a message envelope?
+    #[inline]
+    pub fn matches(&self, context_id: u32, src: u32, tag: i64) -> bool {
+        self.context_id == context_id
+            && (self.src == ANY_SOURCE || self.src == src as i64)
+            && (self.tag == ANY_TAG || self.tag == tag)
+    }
+
+    /// Whether the pattern uses any wildcard.
+    pub fn has_wildcard(&self) -> bool {
+        self.src == ANY_SOURCE || self.tag == ANY_TAG
+    }
+}
+
+/// A receive posted to the engine, waiting for its message.
+#[derive(Debug, Clone)]
+pub struct PostedRecv {
+    /// What to match.
+    pub pattern: MatchPattern,
+    /// The request to complete on match.
+    pub req: Arc<ReqState>,
+    /// Virtual time the receive was posted (matching cannot complete earlier).
+    pub posted_at: Nanos,
+}
+
+/// Result of presenting an incoming packet to the engine.
+#[derive(Debug)]
+pub enum Incoming {
+    /// The packet matched a posted receive; both are handed back for
+    /// completion. `scanned` is the number of posted entries examined.
+    Matched {
+        /// The matched posted receive.
+        recv: PostedRecv,
+        /// The matching packet.
+        packet: Packet,
+        /// Posted-queue entries scanned.
+        scanned: usize,
+    },
+    /// No posted receive matched; the packet was stored on the unexpected
+    /// queue after scanning `scanned` posted entries.
+    Queued {
+        /// Posted-queue entries scanned.
+        scanned: usize,
+    },
+}
+
+/// One matching engine: the posted-receive queue and the unexpected-message
+/// queue of a single VCI.
+#[derive(Debug, Default)]
+pub struct MatchingEngine {
+    posted: Vec<PostedRecv>,
+    /// Unexpected messages ordered by virtual arrival time (stable for ties),
+    /// so matching follows the fabric's arrival order regardless of which real
+    /// thread drained which packet first.
+    unexpected: Vec<Packet>,
+}
+
+impl MatchingEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Post a receive. If an unexpected message already matches, the earliest
+    /// such message is removed and returned (non-overtaking: earliest arrival
+    /// wins). Returns the matched packet (if any) and how many unexpected
+    /// entries were scanned.
+    pub fn post_recv(&mut self, recv: PostedRecv) -> (Option<Packet>, usize) {
+        let mut scanned = 0;
+        for i in 0..self.unexpected.len() {
+            scanned += 1;
+            let h = &self.unexpected[i].header;
+            if recv.pattern.matches(h.context_id, h.src, h.tag) {
+                let pkt = self.unexpected.remove(i);
+                return (Some(pkt), scanned);
+            }
+        }
+        self.posted.push(recv);
+        (None, scanned)
+    }
+
+    /// Present an arriving packet. The *first posted* matching receive wins
+    /// (non-overtaking in posting order).
+    pub fn incoming(&mut self, packet: Packet) -> Incoming {
+        let h = packet.header;
+        let mut scanned = 0;
+        for i in 0..self.posted.len() {
+            scanned += 1;
+            if self.posted[i].pattern.matches(h.context_id, h.src, h.tag) {
+                let recv = self.posted.remove(i);
+                return Incoming::Matched {
+                    recv,
+                    packet,
+                    scanned,
+                };
+            }
+        }
+        // Keep the unexpected queue sorted by virtual arrival. Packets mostly
+        // arrive nearly-sorted, so search from the back.
+        let pos = self
+            .unexpected
+            .iter()
+            .rposition(|p| p.arrive_at <= packet.arrive_at)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        self.unexpected.insert(pos, packet);
+        Incoming::Queued { scanned }
+    }
+
+    /// Non-destructive probe: the earliest unexpected message matching
+    /// `pattern`, if any, plus entries scanned.
+    pub fn probe(&self, pattern: &MatchPattern) -> (Option<Status>, usize) {
+        let mut scanned = 0;
+        for p in &self.unexpected {
+            scanned += 1;
+            let h = &p.header;
+            if pattern.matches(h.context_id, h.src, h.tag) {
+                return (
+                    Some(Status {
+                        source: h.src as usize,
+                        tag: h.tag,
+                        len: p.payload.len(),
+                    }),
+                    scanned,
+                );
+            }
+        }
+        (None, scanned)
+    }
+
+    /// Depth of the posted-receive queue.
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Depth of the unexpected-message queue.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Remove the most recently posted receive (used to retract a probe that
+    /// found nothing). Returns whether something was removed.
+    pub fn cancel_last_posted(&mut self) -> bool {
+        self.posted.pop().is_some()
+    }
+
+    /// Cancel the posted receive completing `req`, if still queued.
+    /// Returns whether something was removed.
+    pub fn cancel(&mut self, req: &Arc<ReqState>) -> bool {
+        if let Some(i) = self.posted.iter().position(|p| Arc::ptr_eq(&p.req, req)) {
+            self.posted.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rankmpi_fabric::Header;
+
+    fn pkt(ctx: u32, src: u32, tag: i64, arrive: u64) -> Packet {
+        Packet {
+            header: Header {
+                kind: 1,
+                context_id: ctx,
+                src,
+                dst: 0,
+                tag,
+                seq: 0,
+                aux: 0,
+                aux2: 0,
+            },
+            payload: Bytes::from_static(b"x"),
+            arrive_at: Nanos(arrive),
+        }
+    }
+
+    fn recv(ctx: u32, src: i64, tag: i64) -> PostedRecv {
+        PostedRecv {
+            pattern: MatchPattern {
+                context_id: ctx,
+                src,
+                tag,
+            },
+            req: ReqState::detached(),
+            posted_at: Nanos::ZERO,
+        }
+    }
+
+    #[test]
+    fn exact_triplet_matching() {
+        let mut e = MatchingEngine::new();
+        assert!(matches!(e.incoming(pkt(1, 0, 5, 10)), Incoming::Queued { .. }));
+        // Wrong context, wrong src, wrong tag: all miss.
+        let (m, _) = e.post_recv(recv(2, 0, 5));
+        assert!(m.is_none());
+        let (m, _) = e.post_recv(recv(1, 1, 5));
+        assert!(m.is_none());
+        let (m, _) = e.post_recv(recv(1, 0, 6));
+        assert!(m.is_none());
+        // Exact match hits.
+        let (m, scanned) = e.post_recv(recv(1, 0, 5));
+        assert!(m.is_some());
+        assert_eq!(scanned, 1);
+        assert_eq!(e.posted_len(), 3);
+        assert_eq!(e.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn wildcards_match_anything_in_context() {
+        let mut e = MatchingEngine::new();
+        e.incoming(pkt(3, 7, 42, 10));
+        let (m, _) = e.post_recv(recv(3, ANY_SOURCE, ANY_TAG));
+        let p = m.unwrap();
+        assert_eq!(p.header.src, 7);
+        assert_eq!(p.header.tag, 42);
+    }
+
+    #[test]
+    fn wildcard_does_not_cross_contexts() {
+        let mut e = MatchingEngine::new();
+        e.incoming(pkt(3, 7, 42, 10));
+        let (m, _) = e.post_recv(recv(4, ANY_SOURCE, ANY_TAG));
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn non_overtaking_earliest_arrival_wins() {
+        let mut e = MatchingEngine::new();
+        // Same envelope, different arrival times, inserted out of real order.
+        e.incoming(pkt(1, 0, 5, 300));
+        e.incoming(pkt(1, 0, 5, 100));
+        e.incoming(pkt(1, 0, 5, 200));
+        let (m, _) = e.post_recv(recv(1, 0, 5));
+        assert_eq!(m.unwrap().arrive_at, Nanos(100));
+        let (m, _) = e.post_recv(recv(1, 0, 5));
+        assert_eq!(m.unwrap().arrive_at, Nanos(200));
+        let (m, _) = e.post_recv(recv(1, 0, 5));
+        assert_eq!(m.unwrap().arrive_at, Nanos(300));
+    }
+
+    #[test]
+    fn non_overtaking_first_posted_wins() {
+        let mut e = MatchingEngine::new();
+        let r1 = recv(1, 0, 5);
+        let r2 = recv(1, 0, 5);
+        let req1 = Arc::clone(&r1.req);
+        e.post_recv(r1);
+        e.post_recv(r2);
+        match e.incoming(pkt(1, 0, 5, 10)) {
+            Incoming::Matched { recv, .. } => assert!(Arc::ptr_eq(&recv.req, &req1)),
+            _ => panic!("expected a match"),
+        }
+        assert_eq!(e.posted_len(), 1);
+    }
+
+    #[test]
+    fn wildcard_posted_receives_steal_in_post_order() {
+        let mut e = MatchingEngine::new();
+        let specific = recv(1, 0, 5);
+        let wild = recv(1, ANY_SOURCE, ANY_TAG);
+        let wild_req = Arc::clone(&wild.req);
+        e.post_recv(wild); // posted first
+        e.post_recv(specific);
+        match e.incoming(pkt(1, 0, 5, 10)) {
+            Incoming::Matched { recv, .. } => {
+                assert!(Arc::ptr_eq(&recv.req, &wild_req), "wildcard posted first wins")
+            }
+            _ => panic!("expected a match"),
+        }
+    }
+
+    #[test]
+    fn probe_is_non_destructive() {
+        let mut e = MatchingEngine::new();
+        e.incoming(pkt(1, 2, 9, 10));
+        let pat = MatchPattern {
+            context_id: 1,
+            src: ANY_SOURCE,
+            tag: 9,
+        };
+        let (st, scanned) = e.probe(&pat);
+        let st = st.unwrap();
+        assert_eq!(st.source, 2);
+        assert_eq!(st.len, 1);
+        assert_eq!(scanned, 1);
+        assert_eq!(e.unexpected_len(), 1, "probe leaves the message queued");
+    }
+
+    #[test]
+    fn scan_counts_grow_with_queue_depth() {
+        let mut e = MatchingEngine::new();
+        for i in 0..10 {
+            e.incoming(pkt(1, 0, i, 10 + i as u64));
+        }
+        // Matching the last-queued tag scans the whole queue.
+        let (m, scanned) = e.post_recv(recv(1, 0, 9));
+        assert!(m.is_some());
+        assert_eq!(scanned, 10);
+    }
+
+    #[test]
+    fn cancel_last_posted_retracts_probes() {
+        let mut e = MatchingEngine::new();
+        assert!(!e.cancel_last_posted(), "nothing to retract on empty queue");
+        e.post_recv(recv(1, 0, 5));
+        e.post_recv(recv(1, 0, 6));
+        assert!(e.cancel_last_posted());
+        assert_eq!(e.posted_len(), 1);
+        // The remaining posted receive is the first one (tag 5).
+        assert!(matches!(e.incoming(pkt(1, 0, 5, 10)), Incoming::Matched { .. }));
+        assert!(matches!(e.incoming(pkt(1, 0, 6, 20)), Incoming::Queued { .. }));
+    }
+
+    #[test]
+    fn cancel_removes_posted() {
+        let mut e = MatchingEngine::new();
+        let r = recv(1, 0, 5);
+        let req = Arc::clone(&r.req);
+        e.post_recv(r);
+        assert!(e.cancel(&req));
+        assert!(!e.cancel(&req));
+        assert_eq!(e.posted_len(), 0);
+        // A now-arriving message queues as unexpected.
+        assert!(matches!(e.incoming(pkt(1, 0, 5, 10)), Incoming::Queued { .. }));
+    }
+}

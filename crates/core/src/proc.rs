@@ -1,0 +1,352 @@
+//! Simulated MPI processes and threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rankmpi_fabric::{Nic, Notify};
+use rankmpi_vtime::Clock;
+
+use crate::comm::Communicator;
+use crate::costs::CoreCosts;
+use crate::universe::UniverseShared;
+use crate::vci::{DirectRegistry, DirectSink, Vci};
+
+/// The shared state of one simulated MPI process: its VCI pool, its arrival
+/// notifier, and its direct-delivery registry.
+///
+/// Threads of the process hold `Arc<ProcShared>`; remote processes reach it
+/// through the [`UniverseShared`] process table when transmitting.
+pub struct ProcShared {
+    rank: usize,
+    node: usize,
+    notify: Arc<Notify>,
+    nic: Arc<Nic>,
+    shm_nic: Arc<Nic>,
+    costs: CoreCosts,
+    direct: Arc<DirectRegistry>,
+    vcis: RwLock<Vec<Arc<Vci>>>,
+    seq: AtomicU64,
+    /// `MPI_THREAD_SERIALIZED` violation detector: set while any thread of
+    /// this process is inside an MPI call.
+    in_mpi: std::sync::atomic::AtomicBool,
+    /// Per-parent-context collective-operation counters (used to key the
+    /// universe's deterministic context-id agreement).
+    dup_counters: parking_lot::Mutex<std::collections::HashMap<u32, u64>>,
+}
+
+impl ProcShared {
+    /// Create the process with `num_vcis` standard VCIs.
+    pub(crate) fn new(
+        rank: usize,
+        node: usize,
+        nic: Arc<Nic>,
+        shm_nic: Arc<Nic>,
+        costs: CoreCosts,
+        num_vcis: usize,
+    ) -> Arc<Self> {
+        let notify = Arc::new(Notify::new());
+        let direct = Arc::new(DirectRegistry::new());
+        let p = ProcShared {
+            rank,
+            node,
+            notify,
+            nic,
+            shm_nic,
+            costs,
+            direct,
+            vcis: RwLock::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            in_mpi: std::sync::atomic::AtomicBool::new(false),
+            dup_counters: parking_lot::Mutex::new(std::collections::HashMap::new()),
+        };
+        let p = Arc::new(p);
+        for _ in 0..num_vcis.max(1) {
+            p.add_vci();
+        }
+        p
+    }
+
+    /// Global (world) rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Node hosting this process.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The process's progress notifier (signaled on arrivals/completions).
+    pub fn notify(&self) -> &Arc<Notify> {
+        &self.notify
+    }
+
+    /// The library cost model.
+    pub fn costs(&self) -> &CoreCosts {
+        &self.costs
+    }
+
+    /// VCI `id` of this process.
+    pub fn vci(&self, id: usize) -> Arc<Vci> {
+        Arc::clone(&self.vcis.read()[id])
+    }
+
+    /// Number of VCIs currently in the pool.
+    pub fn num_vcis(&self) -> usize {
+        self.vcis.read().len()
+    }
+
+    /// Grow the pool by one VCI (endpoints allocate per-endpoint VCIs this
+    /// way). Returns the new VCI's index.
+    pub fn add_vci(&self) -> usize {
+        let mut v = self.vcis.write();
+        let id = v.len();
+        v.push(Vci::new(
+            id,
+            &self.nic,
+            &self.shm_nic,
+            Arc::clone(&self.notify),
+            self.costs.clone(),
+            Arc::clone(&self.direct),
+        ));
+        id
+    }
+
+    /// Register a direct-delivery sink (partitioned communication).
+    pub fn register_direct(&self, key: u64, sink: Arc<dyn DirectSink>) {
+        self.direct.register(key, sink);
+    }
+
+    /// Unregister a direct-delivery sink.
+    pub fn unregister_direct(&self, key: u64) {
+        self.direct.unregister(key);
+    }
+
+    /// The `MPI_THREAD_SERIALIZED` in-call flag.
+    pub fn mpi_call_flag(&self) -> &std::sync::atomic::AtomicBool {
+        &self.in_mpi
+    }
+
+    /// Next per-process message sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Next collective-operation index for `parent_ctx` (keys deterministic
+    /// context-id agreement across processes).
+    pub fn next_dup_index(&self, parent_ctx: u32) -> u64 {
+        let mut m = self.dup_counters.lock();
+        let c = m.entry(parent_ctx).or_insert(0);
+        let v = *c;
+        *c += 1;
+        v
+    }
+
+    /// The node's NIC (resource statistics).
+    pub fn nic(&self) -> &Arc<Nic> {
+        &self.nic
+    }
+}
+
+impl std::fmt::Debug for ProcShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcShared")
+            .field("rank", &self.rank)
+            .field("node", &self.node)
+            .field("vcis", &self.num_vcis())
+            .finish()
+    }
+}
+
+/// Per-thread execution context: the thread's virtual clock plus its identity.
+///
+/// Every MPI call takes `&mut ThreadCtx`; the clock accumulates the cost of
+/// everything the thread does. `tid` is the thread's index within its process
+/// (what the paper's listings call the OpenMP thread id).
+pub struct ThreadCtx {
+    /// The thread's virtual clock.
+    pub clock: Clock,
+    tid: usize,
+    proc: Arc<ProcShared>,
+    universe: Arc<UniverseShared>,
+}
+
+impl ThreadCtx {
+    /// Check this thread may make an MPI call under the universe's thread
+    /// level; panics on erroneous programs (MPI leaves them undefined — the
+    /// simulator fails loudly instead).
+    ///
+    /// For `Serialized`, concurrent calls are detected with a per-process
+    /// in-MPI flag around the returned guard's lifetime.
+    pub fn enter_mpi(&self) -> MpiCallGuard {
+        use crate::universe::ThreadLevel;
+        match self.universe.thread_level() {
+            ThreadLevel::Single | ThreadLevel::Multiple => MpiCallGuard { proc: None },
+            ThreadLevel::Funneled => {
+                assert!(
+                    self.tid == 0,
+                    "MPI_THREAD_FUNNELED: only the main thread may call MPI (tid {})",
+                    self.tid
+                );
+                MpiCallGuard { proc: None }
+            }
+            ThreadLevel::Serialized => {
+                assert!(
+                    !self
+                        .proc
+                        .mpi_call_flag()
+                        .swap(true, std::sync::atomic::Ordering::AcqRel),
+                    "MPI_THREAD_SERIALIZED violated: concurrent MPI calls detected"
+                );
+                MpiCallGuard {
+                    proc: Some(Arc::clone(&self.proc)),
+                }
+            }
+        }
+    }
+
+    /// Build a context for thread `tid` of `proc`.
+    pub fn new(tid: usize, proc: Arc<ProcShared>, universe: Arc<UniverseShared>) -> Self {
+        ThreadCtx {
+            clock: Clock::new(),
+            tid,
+            proc,
+            universe,
+        }
+    }
+
+    /// Thread index within the process.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The owning process.
+    pub fn proc(&self) -> &Arc<ProcShared> {
+        &self.proc
+    }
+
+    /// The universe.
+    pub fn universe(&self) -> &Arc<UniverseShared> {
+        &self.universe
+    }
+
+    /// Model a stretch of local computation taking `d` of virtual time.
+    pub fn compute(&mut self, d: rankmpi_vtime::Nanos) {
+        self.clock.advance(d);
+    }
+}
+
+/// Guard of one MPI call under `MPI_THREAD_SERIALIZED` detection.
+pub struct MpiCallGuard {
+    proc: Option<Arc<ProcShared>>,
+}
+
+impl Drop for MpiCallGuard {
+    fn drop(&mut self) {
+        if let Some(p) = &self.proc {
+            p.mpi_call_flag()
+                .store(false, std::sync::atomic::Ordering::Release);
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("tid", &self.tid)
+            .field("rank", &self.proc.rank())
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+/// The per-process environment handed to the `Universe::run` closure — the
+/// equivalent of "after `MPI_Init_thread(MPI_THREAD_MULTIPLE)` returned".
+pub struct ProcEnv {
+    proc: Arc<ProcShared>,
+    universe: Arc<UniverseShared>,
+    threads_per_proc: usize,
+}
+
+impl ProcEnv {
+    pub(crate) fn new(
+        proc: Arc<ProcShared>,
+        universe: Arc<UniverseShared>,
+        threads_per_proc: usize,
+    ) -> Self {
+        ProcEnv {
+            proc,
+            universe,
+            threads_per_proc,
+        }
+    }
+
+    /// This process's world rank.
+    pub fn rank(&self) -> usize {
+        self.proc.rank()
+    }
+
+    /// Number of processes in the universe.
+    pub fn size(&self) -> usize {
+        self.universe.n_procs()
+    }
+
+    /// The node hosting this process.
+    pub fn node(&self) -> usize {
+        self.proc.node()
+    }
+
+    /// The configured thread count per process.
+    pub fn threads(&self) -> usize {
+        self.threads_per_proc
+    }
+
+    /// The world communicator (context id 0, all processes).
+    pub fn world(&self) -> Communicator {
+        Communicator::world(Arc::clone(&self.universe), Arc::clone(&self.proc))
+    }
+
+    /// The owning process state.
+    pub fn proc(&self) -> &Arc<ProcShared> {
+        &self.proc
+    }
+
+    /// The universe state.
+    pub fn universe(&self) -> &Arc<UniverseShared> {
+        &self.universe
+    }
+
+    /// Run `f` on the configured number of threads (like
+    /// `#pragma omp parallel`), collecting per-thread results in tid order.
+    pub fn parallel<R: Send>(&self, f: impl Fn(&mut ThreadCtx) -> R + Sync) -> Vec<R> {
+        self.parallel_n(self.threads_per_proc, f)
+    }
+
+    /// Run `f` on `n` threads.
+    pub fn parallel_n<R: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(&mut ThreadCtx) -> R + Sync,
+    ) -> Vec<R> {
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|tid| {
+                    let proc = Arc::clone(&self.proc);
+                    let universe = Arc::clone(&self.universe);
+                    s.spawn(move || {
+                        let mut th = ThreadCtx::new(tid, proc, universe);
+                        f(&mut th)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    /// A single-thread context (tid 0) for serial sections.
+    pub fn single_thread(&self) -> ThreadCtx {
+        ThreadCtx::new(0, Arc::clone(&self.proc), Arc::clone(&self.universe))
+    }
+}

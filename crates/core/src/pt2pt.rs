@@ -1,0 +1,516 @@
+//! Point-to-point operations on communicators.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use rankmpi_fabric::Header;
+
+use crate::comm::Communicator;
+use crate::error::{Error, Result};
+use crate::info::keys;
+use crate::matching::{MatchPattern, Status, ANY_SOURCE, ANY_TAG};
+use crate::proc::ThreadCtx;
+use crate::request::{ReqState, Request};
+use crate::tag::TAG_UB;
+use crate::vci::{select_recv_vci, select_vcis, KIND_PT2PT};
+
+impl Communicator {
+    fn check_rank(&self, rank: usize) -> Result<()> {
+        if rank >= self.size() {
+            return Err(Error::InvalidRank {
+                rank: rank as i64,
+                size: self.size(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_tag(&self, tag: i64) -> Result<()> {
+        if !(0..=TAG_UB).contains(&tag) {
+            return Err(Error::TagOutOfRange { tag });
+        }
+        Ok(())
+    }
+
+    /// Nonblocking send (eager protocol: the returned request is already
+    /// locally complete, like a small-message `MPI_Isend`).
+    pub fn isend(&self, th: &mut ThreadCtx, dst: usize, tag: i64, data: &[u8]) -> Result<Request> {
+        self.check_rank(dst)?;
+        self.check_tag(tag)?;
+        let (svci, dvci) = select_vcis(self.policy(), self.vci_block(), self.context_id(), tag);
+        self.isend_on_vcis(th, svci, dvci, self.context_id(), dst, tag, data)
+    }
+
+    /// Blocking send.
+    pub fn send(&self, th: &mut ThreadCtx, dst: usize, tag: i64, data: &[u8]) -> Result<()> {
+        let req = self.isend(th, dst, tag, data)?;
+        req.wait(&mut th.clock);
+        Ok(())
+    }
+
+    /// Nonblocking send with explicit sender-side and receiver-side VCI
+    /// indices — the mechanism layer the endpoints design drives directly.
+    /// `ctx_id` allows internal traffic (collectives) to use a separate
+    /// matching context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn isend_on_vcis(
+        &self,
+        th: &mut ThreadCtx,
+        src_vci: usize,
+        dst_vci: usize,
+        ctx_id: u32,
+        dst: usize,
+        tag: i64,
+        data: &[u8],
+    ) -> Result<Request> {
+        self.check_rank(dst)?;
+        let _mpi = th.enter_mpi();
+        let costs = th.proc().costs().clone();
+        // Eager-protocol copy out of the user buffer.
+        th.clock.advance(costs.copy_cost(data.len()));
+
+        let svci = th.proc().vci(src_vci);
+        let dst_global = self.global_rank(dst);
+        let dst_proc = Arc::clone(th.universe().proc(dst_global));
+        let dvci = dst_proc.vci(dst_vci);
+        let intra = dst_proc.node() == th.proc().node();
+
+        let header = Header {
+            kind: KIND_PT2PT,
+            context_id: ctx_id,
+            src: self.rank() as u32,
+            dst: dst as u32,
+            tag,
+            seq: th.proc().next_seq(),
+            aux: 0,
+            aux2: 0,
+        };
+        svci.send_packet(
+            &mut th.clock,
+            &dvci,
+            intra,
+            header,
+            Bytes::copy_from_slice(data),
+        );
+
+        let req = ReqState::new(Arc::clone(th.proc().notify()));
+        req.complete(
+            th.clock.now(),
+            Status {
+                source: self.rank(),
+                tag,
+                len: data.len(),
+            },
+            Bytes::new(),
+        );
+        Ok(Request::ready(req))
+    }
+
+    /// Nonblocking receive. `src` may be [`ANY_SOURCE`], `tag` may be
+    /// [`ANY_TAG`] — subject to the communicator's assertions and VCI policy.
+    pub fn irecv(&self, th: &mut ThreadCtx, src: i64, tag: i64) -> Result<Request> {
+        self.check_recv_args(src, tag)?;
+        let pattern = MatchPattern {
+            context_id: self.context_id(),
+            src,
+            tag,
+        };
+        let vci_idx = select_recv_vci(self.policy(), self.vci_block(), self.context_id(), &pattern)
+            .ok_or(Error::WildcardUnsupported {
+                reason: "VCI policy selects the matching engine by tag bits; a wildcard cannot locate it",
+            })?;
+        self.irecv_on_vci(th, vci_idx, pattern)
+    }
+
+    /// Blocking receive; returns the matched status and payload.
+    pub fn recv(&self, th: &mut ThreadCtx, src: i64, tag: i64) -> Result<(Status, Bytes)> {
+        let req = self.irecv(th, src, tag)?;
+        Ok(req.wait(&mut th.clock))
+    }
+
+    /// Nonblocking receive posted to an explicit VCI (endpoints/internal).
+    pub fn irecv_on_vci(
+        &self,
+        th: &mut ThreadCtx,
+        vci_idx: usize,
+        pattern: MatchPattern,
+    ) -> Result<Request> {
+        let _mpi = th.enter_mpi();
+        let costs = th.proc().costs().clone();
+        th.clock.advance(costs.request_setup);
+        let vci = th.proc().vci(vci_idx);
+        let req = ReqState::new(Arc::clone(th.proc().notify()));
+        vci.post_recv(&mut th.clock, pattern, Arc::clone(&req));
+        Ok(if req.is_complete() {
+            Request::ready(req)
+        } else {
+            Request::pending(req, vci)
+        })
+    }
+
+    /// Nonblocking probe: is a matching message queued? Does not receive it.
+    pub fn iprobe(&self, th: &mut ThreadCtx, src: i64, tag: i64) -> Result<Option<Status>> {
+        self.check_recv_args(src, tag)?;
+        let pattern = MatchPattern {
+            context_id: self.context_id(),
+            src,
+            tag,
+        };
+        let vci_idx = select_recv_vci(self.policy(), self.vci_block(), self.context_id(), &pattern)
+            .ok_or(Error::WildcardUnsupported {
+                reason: "VCI policy selects the matching engine by tag bits; a wildcard cannot locate it",
+            })?;
+        let _mpi = th.enter_mpi();
+        let vci = th.proc().vci(vci_idx);
+        Ok(vci.iprobe(&mut th.clock, &pattern))
+    }
+
+    /// Probe-and-receive: returns the message if one is already available.
+    pub fn try_recv(&self, th: &mut ThreadCtx, src: i64, tag: i64) -> Result<Option<(Status, Bytes)>> {
+        match self.iprobe(th, src, tag)? {
+            // Receive exactly the probed message (same concrete envelope) so
+            // concurrent consumers cannot steal it out from under us within
+            // this communicator's serial polling pattern.
+            Some(st) => {
+                let (status, data) = self.recv(th, st.source as i64, st.tag)?;
+                Ok(Some((status, data)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// `MPI_Improbe`-style matched probe: atomically *removes* a matching
+    /// unexpected message from the engine so no other thread can steal it
+    /// (the race `iprobe` + `recv` cannot close under wildcards), returning
+    /// its status and payload. `None` if nothing matches yet.
+    pub fn improbe(&self, th: &mut ThreadCtx, src: i64, tag: i64) -> Result<Option<(Status, Bytes)>> {
+        self.check_recv_args(src, tag)?;
+        let pattern = MatchPattern {
+            context_id: self.context_id(),
+            src,
+            tag,
+        };
+        let vci_idx = select_recv_vci(self.policy(), self.vci_block(), self.context_id(), &pattern)
+            .ok_or(Error::WildcardUnsupported {
+                reason: "VCI policy selects the matching engine by tag bits; a wildcard cannot locate it",
+            })?;
+        let _mpi = th.enter_mpi();
+        let vci = th.proc().vci(vci_idx);
+        Ok(vci.mprobe(&mut th.clock, &pattern))
+    }
+
+    /// `MPI_Sendrecv`: post the receive, send, then complete the receive —
+    /// deadlock-free pairwise exchange.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &self,
+        th: &mut ThreadCtx,
+        dst: usize,
+        send_tag: i64,
+        data: &[u8],
+        src: i64,
+        recv_tag: i64,
+    ) -> Result<(Status, Bytes)> {
+        let recv = self.irecv(th, src, recv_tag)?;
+        let send = self.isend(th, dst, send_tag, data)?;
+        let out = recv.wait(&mut th.clock);
+        send.wait(&mut th.clock);
+        Ok(out)
+    }
+
+    fn check_recv_args(&self, src: i64, tag: i64) -> Result<()> {
+        if src != ANY_SOURCE {
+            self.check_rank(src as usize)?;
+        } else if self.info().get_bool(keys::ASSERT_NO_ANY_SOURCE).unwrap_or(false) {
+            return Err(Error::WildcardUnsupported {
+                reason: "communicator asserted mpi_assert_no_any_source",
+            });
+        }
+        if tag != ANY_TAG {
+            self.check_tag(tag)?;
+        } else if self.info().get_bool(keys::ASSERT_NO_ANY_TAG).unwrap_or(false) {
+            return Err(Error::WildcardUnsupported {
+                reason: "communicator asserted mpi_assert_no_any_tag",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::Info;
+    use crate::universe::Universe;
+
+    #[test]
+    fn blocking_roundtrip_across_nodes() {
+        let u = Universe::builder().nodes(2).build();
+        let out = u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                world.send(&mut th, 1, 42, b"ping").unwrap();
+                let (st, data) = world.recv(&mut th, 1, 43).unwrap();
+                assert_eq!(st.source, 1);
+                (st.tag, data.len())
+            } else {
+                let (st, data) = world.recv(&mut th, 0, 42).unwrap();
+                assert_eq!(&data[..], b"ping");
+                world.send(&mut th, 0, 43, b"pong!").unwrap();
+                (st.tag, data.len())
+            }
+        });
+        assert_eq!(out, vec![(43, 5), (42, 4)]);
+    }
+
+    #[test]
+    fn any_source_any_tag_receive() {
+        let u = Universe::builder().nodes(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                world.send(&mut th, 1, 7, b"x").unwrap();
+            } else {
+                let (st, _) = world.recv(&mut th, ANY_SOURCE, ANY_TAG).unwrap();
+                assert_eq!(st.source, 0);
+                assert_eq!(st.tag, 7);
+            }
+        });
+    }
+
+    #[test]
+    fn non_overtaking_same_envelope_pair() {
+        let u = Universe::builder().nodes(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                for i in 0..20u8 {
+                    world.send(&mut th, 1, 5, &[i]).unwrap();
+                }
+            } else {
+                for i in 0..20u8 {
+                    let (_, data) = world.recv(&mut th, 0, 5).unwrap();
+                    assert_eq!(data[0], i, "messages must arrive in order");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn tags_demultiplex_within_a_channel() {
+        let u = Universe::builder().nodes(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                world.send(&mut th, 1, 1, b"one").unwrap();
+                world.send(&mut th, 1, 2, b"two").unwrap();
+            } else {
+                // Receive in reverse tag order: matching is by tag, not FIFO.
+                let (_, two) = world.recv(&mut th, 0, 2).unwrap();
+                let (_, one) = world.recv(&mut th, 0, 1).unwrap();
+                assert_eq!(&two[..], b"two");
+                assert_eq!(&one[..], b"one");
+            }
+        });
+    }
+
+    #[test]
+    fn invalid_rank_and_tag_are_rejected() {
+        let u = Universe::builder().nodes(1).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            assert!(matches!(
+                world.send(&mut th, 5, 0, b""),
+                Err(Error::InvalidRank { .. })
+            ));
+            assert!(matches!(
+                world.send(&mut th, 0, -3, b""),
+                Err(Error::TagOutOfRange { .. })
+            ));
+            assert!(matches!(
+                world.send(&mut th, 0, TAG_UB + 1, b""),
+                Err(Error::TagOutOfRange { .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn asserted_communicator_rejects_wildcards() {
+        let u = Universe::builder().nodes(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let info = Info::new()
+                .set(keys::ASSERT_NO_ANY_TAG, "true")
+                .set(keys::ASSERT_NO_ANY_SOURCE, "true");
+            let c = world.dup_with_info(&mut th, info).unwrap();
+            assert!(matches!(
+                c.irecv(&mut th, ANY_SOURCE, 0),
+                Err(Error::WildcardUnsupported { .. })
+            ));
+            assert!(matches!(
+                c.irecv(&mut th, 0, ANY_TAG),
+                Err(Error::WildcardUnsupported { .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn iprobe_then_recv() {
+        let u = Universe::builder().nodes(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                world.send(&mut th, 1, 9, b"probe-me").unwrap();
+            } else {
+                // Poll until the message shows up.
+                let st = loop {
+                    if let Some(st) = world.iprobe(&mut th, ANY_SOURCE, ANY_TAG).unwrap() {
+                        break st;
+                    }
+                    std::thread::yield_now();
+                };
+                assert_eq!(st.len, 8);
+                let got = world.try_recv(&mut th, st.source as i64, st.tag).unwrap();
+                assert_eq!(&got.unwrap().1[..], b"probe-me");
+            }
+        });
+    }
+
+    #[test]
+    fn isend_irecv_overlap() {
+        let u = Universe::builder().nodes(2).threads_per_proc(1).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                let r1 = world.irecv(&mut th, 1, 1).unwrap();
+                let s1 = world.isend(&mut th, 1, 2, b"from0").unwrap();
+                let (st, data) = r1.wait(&mut th.clock);
+                s1.wait(&mut th.clock);
+                assert_eq!(st.source, 1);
+                assert_eq!(&data[..], b"from1");
+            } else {
+                let r1 = world.irecv(&mut th, 0, 2).unwrap();
+                let s1 = world.isend(&mut th, 0, 1, b"from1").unwrap();
+                let (_, data) = r1.wait(&mut th.clock);
+                s1.wait(&mut th.clock);
+                assert_eq!(&data[..], b"from0");
+            }
+        });
+    }
+
+    #[test]
+    fn multithreaded_send_recv_on_world() {
+        // THREAD_MULTIPLE: every thread sends/receives on one communicator.
+        let u = Universe::builder().nodes(2).threads_per_proc(4).build();
+        let sums = u.run(|env| {
+            let world = env.world();
+            let out = env.parallel(|th| {
+                let tid = th.tid();
+                if env.rank() == 0 {
+                    world.send(th, 1, tid as i64, &[tid as u8; 4]).unwrap();
+                    0u64
+                } else {
+                    let (st, data) = world.recv(th, 0, tid as i64).unwrap();
+                    assert_eq!(data.len(), 4);
+                    assert_eq!(data[0] as usize, tid);
+                    st.len as u64
+                }
+            });
+            out.iter().sum::<u64>()
+        });
+        assert_eq!(sums, vec![0, 16]);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_without_deadlock() {
+        let u = Universe::builder().nodes(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let peer = 1 - env.rank();
+            let mine = [env.rank() as u8; 16];
+            let (st, data) = world
+                .sendrecv(&mut th, peer, 5, &mine, peer as i64, 5)
+                .unwrap();
+            assert_eq!(st.source, peer);
+            assert_eq!(data[0] as usize, peer);
+        });
+    }
+
+    #[test]
+    fn improbe_consumes_atomically() {
+        let u = Universe::builder().nodes(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                world.send(&mut th, 1, 1, b"first").unwrap();
+                world.send(&mut th, 1, 2, b"second").unwrap();
+            } else {
+                // Nothing matching tag 9.
+                loop {
+                    if let Some((st, data)) = world.improbe(&mut th, ANY_SOURCE, ANY_TAG).unwrap() {
+                        assert_eq!(st.tag, 1);
+                        assert_eq!(&data[..], b"first");
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                assert!(world.improbe(&mut th, 0, 9).unwrap().is_none());
+                // The second message is still receivable normally.
+                let (st, data) = world.recv(&mut th, 0, 2).unwrap();
+                assert_eq!(st.len, 6);
+                assert_eq!(&data[..], b"second");
+            }
+        });
+    }
+
+    #[test]
+    fn improbe_leaves_posted_queue_clean_on_miss() {
+        // A miss must not leave a phantom posted receive that would steal a
+        // later message.
+        let u = Universe::builder().nodes(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 1 {
+                assert!(world.improbe(&mut th, 0, 7).unwrap().is_none());
+                let (st, data) = world.recv(&mut th, 0, 7).unwrap();
+                assert_eq!(st.tag, 7);
+                assert_eq!(&data[..], b"x");
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                world.send(&mut th, 1, 7, b"x").unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn virtual_time_advances_across_a_roundtrip() {
+        let u = Universe::builder().nodes(2).build();
+        let times = u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                world.send(&mut th, 1, 0, b"x").unwrap();
+                world.recv(&mut th, 1, 1).unwrap();
+            } else {
+                world.recv(&mut th, 0, 0).unwrap();
+                world.send(&mut th, 0, 1, b"y").unwrap();
+            }
+            th.clock.now()
+        });
+        // Rank 0 saw a full round trip: at least two wire latencies.
+        assert!(times[0].as_ns() >= 2_000);
+        // The receiver's completion embeds one wire latency.
+        assert!(times[1].as_ns() >= 1_000);
+    }
+}

@@ -1,0 +1,267 @@
+//! Nonblocking-operation requests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rankmpi_fabric::Notify;
+use rankmpi_vtime::Nanos;
+
+use crate::matching::Status;
+
+/// Shared completion state of one request.
+///
+/// Completion is two-phase: the *real* completion flag flips once the library
+/// has logically finished the operation, and `finish_at` records the *virtual*
+/// time of completion. A waiting thread blocks (for real) on the flag, then
+/// advances its virtual clock to `finish_at`.
+#[derive(Debug)]
+pub struct ReqState {
+    complete: AtomicBool,
+    finish_at: AtomicU64,
+    result: Mutex<Option<(Status, Bytes)>>,
+    notify: Arc<Notify>,
+}
+
+impl ReqState {
+    /// A pending request that signals `notify` on completion.
+    pub fn new(notify: Arc<Notify>) -> Arc<Self> {
+        Arc::new(ReqState {
+            complete: AtomicBool::new(false),
+            finish_at: AtomicU64::new(0),
+            result: Mutex::new(None),
+            notify,
+        })
+    }
+
+    /// A pending request with a private notifier (tests, internal protocols).
+    pub fn detached() -> Arc<Self> {
+        Self::new(Arc::new(Notify::new()))
+    }
+
+    /// Complete the request at virtual time `finish_at` and wake waiters.
+    pub fn complete(&self, finish_at: Nanos, status: Status, data: Bytes) {
+        {
+            let mut r = self.result.lock();
+            debug_assert!(r.is_none(), "request completed twice");
+            *r = Some((status, data));
+        }
+        self.finish_at.store(finish_at.as_ns(), Ordering::Release);
+        self.complete.store(true, Ordering::Release);
+        self.notify.notify();
+    }
+
+    /// Whether the request has completed.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.complete.load(Ordering::Acquire)
+    }
+
+    /// Virtual completion time (valid once complete).
+    pub fn finish_at(&self) -> Nanos {
+        Nanos(self.finish_at.load(Ordering::Acquire))
+    }
+
+    /// Take the completion payload. Panics if not complete or taken twice.
+    pub fn take_result(&self) -> (Status, Bytes) {
+        self.result
+            .lock()
+            .take()
+            .expect("request result taken before completion (or twice)")
+    }
+
+    /// The notifier signaled on completion.
+    pub fn notify_handle(&self) -> Arc<Notify> {
+        Arc::clone(&self.notify)
+    }
+
+    /// Block the real thread until complete, driving `progress` between
+    /// notifications. `progress` is the caller-supplied progress hook (drain
+    /// mailboxes, match messages); it returns `true` if it did useful work.
+    pub fn block_until_complete(&self, mut progress: impl FnMut()) {
+        while !self.is_complete() {
+            let seen = self.notify.version();
+            progress();
+            if self.is_complete() {
+                break;
+            }
+            self.notify.wait_past(seen, Duration::from_millis(1));
+        }
+    }
+}
+
+/// A handle to a pending or completed nonblocking operation.
+///
+/// Unlike C MPI, `wait` returns the received payload (`Bytes`) rather than
+/// filling a caller-provided buffer — the Rust-idiomatic equivalent that keeps
+/// buffer ownership sound across threads. Send requests complete with an empty
+/// payload.
+#[derive(Debug, Clone)]
+pub struct Request {
+    state: Arc<ReqState>,
+    /// Progress hook: the VCI whose mailbox must be drained for this request
+    /// to complete (None for requests completed at creation, e.g. eager sends).
+    progress_vci: Option<Arc<crate::vci::Vci>>,
+}
+
+impl Request {
+    /// A request that will be completed through `state`, progressed by
+    /// draining `vci`.
+    pub fn pending(state: Arc<ReqState>, vci: Arc<crate::vci::Vci>) -> Self {
+        Request {
+            state,
+            progress_vci: Some(vci),
+        }
+    }
+
+    /// An already-completed request (eager sends, immediate matches).
+    pub fn ready(state: Arc<ReqState>) -> Self {
+        debug_assert!(state.is_complete());
+        Request {
+            state,
+            progress_vci: None,
+        }
+    }
+
+    /// Nonblocking completion test. On completion advances `clock` to the
+    /// completion time and returns the status/payload.
+    pub fn test(&self, clock: &mut rankmpi_vtime::Clock) -> Option<(Status, Bytes)> {
+        if let Some(vci) = &self.progress_vci {
+            vci.progress(clock);
+        }
+        if self.state.is_complete() {
+            clock.wait_until(self.state.finish_at());
+            Some(self.state.take_result())
+        } else {
+            None
+        }
+    }
+
+    /// Block until complete; returns status and payload, advancing `clock` to
+    /// the virtual completion time.
+    pub fn wait(&self, clock: &mut rankmpi_vtime::Clock) -> (Status, Bytes) {
+        if let Some(vci) = &self.progress_vci {
+            let state = Arc::clone(&self.state);
+            // Drive progress with a scratch clock while blocked: the matching
+            // work done on behalf of *other* requests should not advance this
+            // thread past its own completion time. The scratch is re-cloned
+            // from the wait-entry clock on every poll so that repeated idle
+            // polls (whose count depends on real scheduling, not virtual
+            // time) cannot ratchet the engine's virtual schedule forward.
+            let base = clock.clone();
+            state.block_until_complete(|| {
+                let mut scratch = base.clone();
+                vci.progress(&mut scratch);
+            });
+        } else {
+            // Completed at creation.
+            debug_assert!(self.state.is_complete());
+        }
+        clock.wait_until(self.state.finish_at());
+        self.state.take_result()
+    }
+
+    /// Whether the request has completed (no progress attempted).
+    pub fn is_complete(&self) -> bool {
+        self.state.is_complete()
+    }
+
+    /// The underlying shared state (for library-internal protocols).
+    pub fn state(&self) -> &Arc<ReqState> {
+        &self.state
+    }
+}
+
+/// Wait for all requests, like `MPI_Waitall`. Returns statuses/payloads in
+/// request order; `clock` ends at the max completion time.
+pub fn wait_all(
+    clock: &mut rankmpi_vtime::Clock,
+    reqs: &[Request],
+) -> Vec<(Status, Bytes)> {
+    reqs.iter().map(|r| r.wait(clock)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_then_take() {
+        let r = ReqState::detached();
+        assert!(!r.is_complete());
+        r.complete(
+            Nanos(77),
+            Status {
+                source: 3,
+                tag: 9,
+                len: 2,
+            },
+            Bytes::from_static(b"ab"),
+        );
+        assert!(r.is_complete());
+        assert_eq!(r.finish_at(), Nanos(77));
+        let (st, data) = r.take_result();
+        assert_eq!(st.source, 3);
+        assert_eq!(&data[..], b"ab");
+    }
+
+    #[test]
+    fn completion_wakes_blocked_thread() {
+        let r = ReqState::detached();
+        let r2 = Arc::clone(&r);
+        let t = std::thread::spawn(move || {
+            r2.block_until_complete(|| {});
+            r2.finish_at()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        r.complete(
+            Nanos(123),
+            Status {
+                source: 0,
+                tag: 0,
+                len: 0,
+            },
+            Bytes::new(),
+        );
+        assert_eq!(t.join().unwrap(), Nanos(123));
+    }
+
+    #[test]
+    fn ready_request_waits_to_finish_time() {
+        let st = ReqState::detached();
+        st.complete(
+            Nanos(500),
+            Status {
+                source: 0,
+                tag: 0,
+                len: 0,
+            },
+            Bytes::new(),
+        );
+        let req = Request::ready(st);
+        let mut clock = rankmpi_vtime::Clock::new();
+        let (s, _) = req.wait(&mut clock);
+        assert_eq!(s.len, 0);
+        assert_eq!(clock.now(), Nanos(500));
+    }
+
+    #[test]
+    fn clock_already_past_finish_is_unchanged() {
+        let st = ReqState::detached();
+        st.complete(
+            Nanos(10),
+            Status {
+                source: 0,
+                tag: 0,
+                len: 0,
+            },
+            Bytes::new(),
+        );
+        let req = Request::ready(st);
+        let mut clock = rankmpi_vtime::Clock::starting_at(Nanos(900));
+        req.wait(&mut clock);
+        assert_eq!(clock.now(), Nanos(900));
+    }
+}

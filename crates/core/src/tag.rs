@@ -1,0 +1,247 @@
+//! Tag space management: encoding thread ids into tags, overflow detection,
+//! and the tag-bits → VCI mapping of the paper's Listing 2 (Lessons 7–9).
+
+use crate::error::{Error, Result};
+
+/// Largest valid user tag. Modeled after MPICH's ~2^22 effective tag space
+/// (MPI only guarantees 32767; real applications hit the ceiling — the paper
+/// cites tag-overflow reports from SNAP, Smilei and MITgcm in Lesson 9).
+pub const TAG_UB: i64 = (1 << 22) - 1;
+
+/// Number of usable tag bits.
+pub const TAG_BITS: u32 = 22;
+
+/// Where the thread-id bits sit inside the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagPlacement {
+    /// Thread-id bits occupy the most significant usable bits (the layout in
+    /// Listing 2: `mpich_place_tag_bits_local_vci = MSB`).
+    Msb,
+    /// Thread-id bits occupy the least significant bits.
+    Lsb,
+}
+
+/// How the thread-id bits select a VCI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagHash {
+    /// `mpich_tag_vci_hash_type = one-to-one`: sender-tid bits select the
+    /// local VCI, receiver-tid bits select the remote VCI, directly.
+    OneToOne,
+    /// The library hashes the whole tag onto its VCI pool; collisions are
+    /// possible and performance is at the mercy of the hash (Lesson 7).
+    Hashed,
+}
+
+/// A tag layout: `[src_tid | dst_tid | app]` (MSB placement) packed into the
+/// usable tag bits.
+///
+/// Mirrors the encoding hypre and Smilei already use (Lesson 6): thread ids of
+/// the sending and receiving threads plus application payload bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagLayout {
+    /// Bits encoding the source thread id.
+    pub src_tid_bits: u32,
+    /// Bits encoding the destination thread id.
+    pub dst_tid_bits: u32,
+    /// Bits left for the application's own tag.
+    pub app_bits: u32,
+    /// Where the tid bits sit.
+    pub placement: TagPlacement,
+}
+
+impl TagLayout {
+    /// Build a layout, verifying it fits the tag space (Lesson 9: it often
+    /// does not once applications' existing tag usage is accounted for).
+    pub fn new(
+        src_tid_bits: u32,
+        dst_tid_bits: u32,
+        app_bits: u32,
+        placement: TagPlacement,
+    ) -> Result<Self> {
+        let requested = src_tid_bits + dst_tid_bits + app_bits;
+        if requested > TAG_BITS {
+            return Err(Error::TagBitsOverflow {
+                requested,
+                available: TAG_BITS,
+            });
+        }
+        Ok(TagLayout {
+            src_tid_bits,
+            dst_tid_bits,
+            app_bits,
+            placement,
+        })
+    }
+
+    /// A layout sized for `n_threads` per process on both sides, giving the
+    /// rest of the tag space to the application.
+    pub fn for_threads(n_threads: usize, placement: TagPlacement) -> Result<Self> {
+        let tid_bits = bits_for(n_threads);
+        let used = 2 * tid_bits;
+        if used > TAG_BITS {
+            return Err(Error::TagBitsOverflow {
+                requested: used,
+                available: TAG_BITS,
+            });
+        }
+        TagLayout::new(tid_bits, tid_bits, TAG_BITS - used, placement)
+    }
+
+    /// Largest encodable application tag.
+    pub fn max_app_tag(&self) -> i64 {
+        (1i64 << self.app_bits) - 1
+    }
+
+    /// Pack `(src_tid, dst_tid, app_tag)` into a tag.
+    pub fn encode(&self, src_tid: usize, dst_tid: usize, app_tag: i64) -> Result<i64> {
+        if src_tid >= (1usize << self.src_tid_bits) || dst_tid >= (1usize << self.dst_tid_bits) {
+            return Err(Error::TagBitsOverflow {
+                requested: bits_for(src_tid.max(dst_tid) + 1),
+                available: self.src_tid_bits.max(self.dst_tid_bits),
+            });
+        }
+        if app_tag < 0 || app_tag > self.max_app_tag() {
+            return Err(Error::TagOutOfRange { tag: app_tag });
+        }
+        let tag = match self.placement {
+            TagPlacement::Msb => {
+                ((src_tid as i64) << (self.dst_tid_bits + self.app_bits))
+                    | ((dst_tid as i64) << self.app_bits)
+                    | app_tag
+            }
+            TagPlacement::Lsb => {
+                (app_tag << (self.src_tid_bits + self.dst_tid_bits))
+                    | ((src_tid as i64) << self.dst_tid_bits)
+                    | dst_tid as i64
+            }
+        };
+        debug_assert!(tag <= TAG_UB);
+        Ok(tag)
+    }
+
+    /// Unpack a tag into `(src_tid, dst_tid, app_tag)`.
+    pub fn decode(&self, tag: i64) -> (usize, usize, i64) {
+        let mask = |bits: u32| -> i64 { (1i64 << bits) - 1 };
+        match self.placement {
+            TagPlacement::Msb => {
+                let app = tag & mask(self.app_bits);
+                let dst = (tag >> self.app_bits) & mask(self.dst_tid_bits);
+                let src = (tag >> (self.app_bits + self.dst_tid_bits)) & mask(self.src_tid_bits);
+                (src as usize, dst as usize, app)
+            }
+            TagPlacement::Lsb => {
+                let dst = tag & mask(self.dst_tid_bits);
+                let src = (tag >> self.dst_tid_bits) & mask(self.src_tid_bits);
+                let app = tag >> (self.src_tid_bits + self.dst_tid_bits);
+                (src as usize, dst as usize, app)
+            }
+        }
+    }
+
+    /// The sender-side VCI index encoded in `tag` (for [`TagHash::OneToOne`]).
+    pub fn src_vci(&self, tag: i64, nvcis: usize) -> usize {
+        self.decode(tag).0 % nvcis.max(1)
+    }
+
+    /// The receiver-side VCI index encoded in `tag` (for [`TagHash::OneToOne`]).
+    pub fn dst_vci(&self, tag: i64, nvcis: usize) -> usize {
+        self.decode(tag).1 % nvcis.max(1)
+    }
+}
+
+/// Minimum number of bits to represent values `0..n` (0 for n <= 1).
+pub fn bits_for(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// The library's whole-tag hash used when no one-to-one hint is given:
+/// a Fibonacci multiplicative hash over the tag (and context id), matching the
+/// "at the mercy of how the library hashes tags onto VCIs" regime of Lesson 7.
+pub fn default_tag_hash(context_id: u32, tag: i64, nvcis: usize) -> usize {
+    if nvcis <= 1 {
+        return 0;
+    }
+    let x = (tag as u64) ^ ((context_id as u64) << 32);
+    ((x.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 33) as usize % nvcis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_edge_cases() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+    }
+
+    #[test]
+    fn msb_encode_decode_roundtrip() {
+        let l = TagLayout::new(4, 4, 10, TagPlacement::Msb).unwrap();
+        let tag = l.encode(11, 3, 777).unwrap();
+        assert!(tag <= TAG_UB);
+        assert_eq!(l.decode(tag), (11, 3, 777));
+    }
+
+    #[test]
+    fn lsb_encode_decode_roundtrip() {
+        let l = TagLayout::new(3, 3, 12, TagPlacement::Lsb).unwrap();
+        let tag = l.encode(5, 7, 4000).unwrap();
+        assert_eq!(l.decode(tag), (5, 7, 4000));
+    }
+
+    #[test]
+    fn overflowing_layout_is_rejected() {
+        assert!(matches!(
+            TagLayout::new(10, 10, 10, TagPlacement::Msb),
+            Err(Error::TagBitsOverflow { requested: 30, available: 22 })
+        ));
+    }
+
+    #[test]
+    fn for_threads_budgets_the_rest_to_app() {
+        let l = TagLayout::for_threads(16, TagPlacement::Msb).unwrap();
+        assert_eq!(l.src_tid_bits, 4);
+        assert_eq!(l.dst_tid_bits, 4);
+        assert_eq!(l.app_bits, 14);
+        assert_eq!(l.max_app_tag(), (1 << 14) - 1);
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range_pieces() {
+        let l = TagLayout::new(2, 2, 10, TagPlacement::Msb).unwrap();
+        assert!(l.encode(4, 0, 0).is_err()); // src tid needs 3 bits
+        assert!(l.encode(0, 0, 1 << 10).is_err()); // app tag too big
+        assert!(l.encode(0, 0, -1).is_err());
+    }
+
+    #[test]
+    fn one_to_one_vci_selection_uses_tid_bits() {
+        let l = TagLayout::for_threads(8, TagPlacement::Msb).unwrap();
+        let tag = l.encode(5, 2, 99).unwrap();
+        assert_eq!(l.src_vci(tag, 8), 5);
+        assert_eq!(l.dst_vci(tag, 8), 2);
+        // Fewer VCIs than threads: wraps.
+        assert_eq!(l.src_vci(tag, 4), 1);
+    }
+
+    #[test]
+    fn default_hash_spreads_but_collides() {
+        // With 4 VCIs and 64 distinct tags, the default hash must hit every
+        // VCI (spread) but also reuse them (collisions) — Lesson 7's point.
+        let mut hit = [0usize; 4];
+        for t in 0..64 {
+            hit[default_tag_hash(7, t, 4)] += 1;
+        }
+        assert!(hit.iter().all(|&c| c > 0));
+        assert!(hit.iter().any(|&c| c > 1));
+        assert_eq!(default_tag_hash(7, 123, 1), 0);
+    }
+}

@@ -1,0 +1,560 @@
+//! The simulated MPI job: nodes, processes, and collective agreement state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rankmpi_fabric::{NetworkProfile, Nic};
+
+use crate::costs::CoreCosts;
+use crate::proc::{ProcEnv, ProcShared};
+use crate::rma::WindowTarget;
+
+/// MPI's thread-support levels (`MPI_Init_thread`). The paper's subject is
+/// the gap between what applications want (`MPI_THREAD_MULTIPLE`) and what
+/// performs; the lower levels are enforced here so erroneous programs fail
+/// loudly instead of corrupting the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadLevel {
+    /// Only one thread exists per process.
+    Single,
+    /// Only the main thread (tid 0) makes MPI calls.
+    Funneled,
+    /// Any thread may call, but never concurrently (user-serialized).
+    Serialized,
+    /// Threads call MPI freely and concurrently.
+    #[default]
+    Multiple,
+}
+
+/// Key of one collective communicator-creation agreement:
+/// `(parent context id, per-parent op index, split color)`.
+pub type CommKey = (u32, u64, i64);
+
+/// Value of one agreement: the child's context id and VCI block.
+type CommAgreement = (u32, Arc<Vec<usize>>);
+
+/// Universe-wide shared state.
+///
+/// Because all simulated processes live in one address space, operations that
+/// MPI defines as *collective agreements* (context-id allocation for `dup`,
+/// window-id allocation, VCI-block assignment) are implemented through shared
+/// registries keyed by `(parent context, per-parent op index)`: MPI's
+/// collective-call ordering rules guarantee every process computes the same
+/// key sequence, so the first arriver allocates and the rest look up.
+pub struct UniverseShared {
+    profile: NetworkProfile,
+    costs: CoreCosts,
+    n_nodes: usize,
+    procs_per_node: usize,
+    threads_per_proc: usize,
+    num_vcis: usize,
+    thread_level: ThreadLevel,
+    nics: Vec<Arc<Nic>>,
+    shm_nics: Vec<Arc<Nic>>,
+    procs: Vec<Arc<ProcShared>>,
+    /// (parent ctx, op index, color) → (child ctx id, VCI block).
+    comm_registry: Mutex<HashMap<CommKey, CommAgreement>>,
+    next_ctx: AtomicU32,
+    /// Round-robin cursor for VCI-block assignment (matches MPICH's cyclic
+    /// comm→VCI assignment).
+    vci_cursor: AtomicUsize,
+    /// (parent ctx, op index) → window id.
+    win_registry: Mutex<HashMap<(u32, u64), usize>>,
+    next_win: AtomicUsize,
+    /// (window id, global rank) → exposed memory.
+    win_targets: Mutex<HashMap<(usize, usize), Arc<WindowTarget>>>,
+    /// In-flight `split` gathers: (parent ctx, op index) → contributions.
+    split_boards: Mutex<HashMap<(u32, u64), Arc<SplitBoard>>>,
+}
+
+/// Rendezvous board for one collective `split`: every member contributes its
+/// `(color, key)` and blocks until the full vector is present.
+#[derive(Debug)]
+pub struct SplitBoard {
+    entries: Mutex<Vec<Option<(i64, i64)>>>,
+    cv: parking_lot::Condvar,
+}
+
+impl SplitBoard {
+    fn new(size: usize) -> Self {
+        SplitBoard {
+            entries: Mutex::new(vec![None; size]),
+            cv: parking_lot::Condvar::new(),
+        }
+    }
+
+    fn contribute(&self, local_rank: usize, color: i64, key: i64) -> Vec<(i64, i64)> {
+        let mut e = self.entries.lock();
+        e[local_rank] = Some((color, key));
+        if e.iter().all(Option::is_some) {
+            self.cv.notify_all();
+        } else {
+            while !e.iter().all(Option::is_some) {
+                self.cv.wait(&mut e);
+            }
+        }
+        e.iter().map(|x| x.unwrap()).collect()
+    }
+}
+
+impl UniverseShared {
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Processes per node.
+    pub fn procs_per_node(&self) -> usize {
+        self.procs_per_node
+    }
+
+    /// Configured threads per process.
+    pub fn threads_per_proc(&self) -> usize {
+        self.threads_per_proc
+    }
+
+    /// Standard VCI pool size per process.
+    pub fn num_vcis(&self) -> usize {
+        self.num_vcis
+    }
+
+    /// The provided thread-support level.
+    pub fn thread_level(&self) -> ThreadLevel {
+        self.thread_level
+    }
+
+    /// The network profile.
+    pub fn profile(&self) -> &NetworkProfile {
+        &self.profile
+    }
+
+    /// The library cost model.
+    pub fn costs(&self) -> &CoreCosts {
+        &self.costs
+    }
+
+    /// Process with global rank `r`.
+    pub fn proc(&self, r: usize) -> &Arc<ProcShared> {
+        &self.procs[r]
+    }
+
+    /// The NIC of `node` (for resource-usage reports).
+    pub fn nic(&self, node: usize) -> &Arc<Nic> {
+        &self.nics[node]
+    }
+
+    /// The shared-memory "NIC" of `node` (intra-node channel statistics).
+    pub fn shm_nic(&self, node: usize) -> &Arc<Nic> {
+        &self.shm_nics[node]
+    }
+
+    /// Agree on a child communicator's context id and VCI block.
+    ///
+    /// `key` is `(parent ctx, per-parent op index, color)` — color is 0 for
+    /// `dup` and the split color for `split`; `want_vcis` is how many
+    /// VCIs the new communicator spreads over (1 for default communicators).
+    /// The first-arriving process allocates; all processes receive identical
+    /// values, mirroring MPI's collective context-id agreement.
+    pub fn agree_comm(&self, key: CommKey, want_vcis: usize) -> (u32, Arc<Vec<usize>>) {
+        let mut reg = self.comm_registry.lock();
+        if let Some(v) = reg.get(&key) {
+            return (v.0, Arc::clone(&v.1));
+        }
+        let ctx = self.next_ctx.fetch_add(1, Ordering::Relaxed);
+        let n = want_vcis.clamp(1, self.num_vcis);
+        let start = self.vci_cursor.fetch_add(n, Ordering::Relaxed);
+        let block: Vec<usize> = (0..n).map(|i| (start + i) % self.num_vcis).collect();
+        let block = Arc::new(block);
+        reg.insert(key, (ctx, Arc::clone(&block)));
+        (ctx, block)
+    }
+
+    /// Contribute to (and wait for) the `(color, key)` exchange of a `split`
+    /// on `(parent ctx, op index)`. Returns every member's contribution in
+    /// parent-rank order.
+    pub fn gather_split(
+        &self,
+        key: (u32, u64),
+        local_rank: usize,
+        size: usize,
+        color: i64,
+        sort_key: i64,
+    ) -> Vec<(i64, i64)> {
+        let board = {
+            let mut m = self.split_boards.lock();
+            Arc::clone(
+                m.entry(key)
+                    .or_insert_with(|| Arc::new(SplitBoard::new(size))),
+            )
+        };
+        board.contribute(local_rank, color, sort_key)
+    }
+
+    /// Agree on a window id for `(parent ctx, op index)`.
+    pub fn agree_window(&self, key: (u32, u64)) -> usize {
+        let mut reg = self.win_registry.lock();
+        if let Some(&id) = reg.get(&key) {
+            return id;
+        }
+        let id = self.next_win.fetch_add(1, Ordering::Relaxed);
+        reg.insert(key, id);
+        id
+    }
+
+    /// Publish the exposed memory of `rank` for window `win`.
+    pub fn publish_window_target(&self, win: usize, rank: usize, t: Arc<WindowTarget>) {
+        self.win_targets.lock().insert((win, rank), t);
+    }
+
+    /// Look up the exposed memory of `rank` for window `win`.
+    pub fn window_target(&self, win: usize, rank: usize) -> Arc<WindowTarget> {
+        Arc::clone(
+            self.win_targets
+                .lock()
+                .get(&(win, rank))
+                .expect("window target not published (window creation is collective)"),
+        )
+    }
+}
+
+impl std::fmt::Debug for UniverseShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UniverseShared")
+            .field("nodes", &self.n_nodes)
+            .field("procs", &self.procs.len())
+            .field("threads_per_proc", &self.threads_per_proc)
+            .field("num_vcis", &self.num_vcis)
+            .field("profile", &self.profile.name)
+            .finish()
+    }
+}
+
+/// Builder for a [`Universe`].
+#[derive(Debug, Clone)]
+pub struct UniverseBuilder {
+    nodes: usize,
+    procs_per_node: usize,
+    threads_per_proc: usize,
+    num_vcis: usize,
+    thread_level: ThreadLevel,
+    profile: NetworkProfile,
+    costs: CoreCosts,
+}
+
+impl Default for UniverseBuilder {
+    fn default() -> Self {
+        UniverseBuilder {
+            nodes: 2,
+            procs_per_node: 1,
+            threads_per_proc: 1,
+            num_vcis: 1,
+            thread_level: ThreadLevel::Multiple,
+            profile: NetworkProfile::omni_path(),
+            costs: CoreCosts::default(),
+        }
+    }
+}
+
+impl UniverseBuilder {
+    /// Number of nodes (default 2).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Processes per node (default 1 — the MPI+threads deployment; the MPI
+    /// everywhere baseline uses one process per core instead).
+    pub fn procs_per_node(mut self, n: usize) -> Self {
+        self.procs_per_node = n;
+        self
+    }
+
+    /// Threads per process (default 1).
+    pub fn threads_per_proc(mut self, n: usize) -> Self {
+        self.threads_per_proc = n;
+        self
+    }
+
+    /// Per-process VCI pool size (default 1 — the "MPI+threads (Original)"
+    /// regime where all threads share one channel).
+    pub fn num_vcis(mut self, n: usize) -> Self {
+        self.num_vcis = n.max(1);
+        self
+    }
+
+    /// Thread-support level (default `MPI_THREAD_MULTIPLE`).
+    pub fn thread_level(mut self, l: ThreadLevel) -> Self {
+        self.thread_level = l;
+        self
+    }
+
+    /// Network profile (default Omni-Path-like).
+    pub fn profile(mut self, p: NetworkProfile) -> Self {
+        self.profile = p;
+        self
+    }
+
+    /// Library cost model.
+    pub fn costs(mut self, c: CoreCosts) -> Self {
+        self.costs = c;
+        self
+    }
+
+    /// Materialize the universe: nodes, NICs, processes, VCI pools.
+    pub fn build(self) -> Universe {
+        assert!(self.nodes > 0 && self.procs_per_node > 0 && self.threads_per_proc > 0);
+        assert!(
+            self.thread_level != ThreadLevel::Single || self.threads_per_proc == 1,
+            "MPI_THREAD_SINGLE allows exactly one thread per process"
+        );
+        let nics: Vec<_> = (0..self.nodes)
+            .map(|n| Arc::new(Nic::new(n, self.profile.clone())))
+            .collect();
+        // The shared-memory "fabric" has no context limit: it models
+        // per-channel lock-free queues in memory.
+        let shm_profile = NetworkProfile {
+            name: "shm",
+            max_hw_contexts: usize::MAX,
+            ..NetworkProfile::ideal()
+        };
+        let shm_nics: Vec<_> = (0..self.nodes)
+            .map(|n| Arc::new(Nic::new(n, shm_profile.clone())))
+            .collect();
+        let n_procs = self.nodes * self.procs_per_node;
+        let procs: Vec<_> = (0..n_procs)
+            .map(|r| {
+                let node = r / self.procs_per_node;
+                ProcShared::new(
+                    r,
+                    node,
+                    Arc::clone(&nics[node]),
+                    Arc::clone(&shm_nics[node]),
+                    self.costs.clone(),
+                    self.num_vcis,
+                )
+            })
+            .collect();
+        let shared = UniverseShared {
+            profile: self.profile,
+            costs: self.costs,
+            n_nodes: self.nodes,
+            procs_per_node: self.procs_per_node,
+            threads_per_proc: self.threads_per_proc,
+            num_vcis: self.num_vcis,
+            thread_level: self.thread_level,
+            nics,
+            shm_nics,
+            procs,
+            comm_registry: Mutex::new(HashMap::new()),
+            // Context id 0 is the world communicator; collective-internal
+            // traffic sets the high bit, so user contexts stay below 2^31.
+            next_ctx: AtomicU32::new(1),
+            // Start at 1: the world communicator owns VCI 0, so the first
+            // user communicator gets its own channel when the pool allows.
+            vci_cursor: AtomicUsize::new(1),
+            win_registry: Mutex::new(HashMap::new()),
+            next_win: AtomicUsize::new(0),
+            win_targets: Mutex::new(HashMap::new()),
+            split_boards: Mutex::new(HashMap::new()),
+        };
+        Universe {
+            shared: Arc::new(shared),
+        }
+    }
+}
+
+/// A simulated MPI job.
+pub struct Universe {
+    shared: Arc<UniverseShared>,
+}
+
+impl Universe {
+    /// Start building a universe.
+    pub fn builder() -> UniverseBuilder {
+        UniverseBuilder::default()
+    }
+
+    /// The shared state (process table, registries, statistics).
+    pub fn shared(&self) -> &Arc<UniverseShared> {
+        &self.shared
+    }
+
+    /// Run `f` once per process, each on its own OS thread (processes then
+    /// spawn their simulated threads via [`ProcEnv::parallel`]). Returns the
+    /// per-process results in rank order.
+    pub fn run<R: Send>(&self, f: impl Fn(ProcEnv) -> R + Sync) -> Vec<R> {
+        let f = &f;
+        let shared = &self.shared;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..shared.n_procs())
+                .map(|r| {
+                    let proc = Arc::clone(shared.proc(r));
+                    let universe = Arc::clone(shared);
+                    s.spawn(move || {
+                        let tpp = universe.threads_per_proc();
+                        f(ProcEnv::new(proc, universe, tpp))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+}
+
+impl std::fmt::Debug for Universe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.shared.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_lays_out_procs_on_nodes() {
+        let u = Universe::builder().nodes(3).procs_per_node(2).build();
+        let s = u.shared();
+        assert_eq!(s.n_procs(), 6);
+        assert_eq!(s.proc(0).node(), 0);
+        assert_eq!(s.proc(1).node(), 0);
+        assert_eq!(s.proc(4).node(), 2);
+    }
+
+    #[test]
+    fn run_executes_once_per_proc() {
+        let u = Universe::builder().nodes(2).procs_per_node(2).build();
+        let ranks = u.run(|env| env.rank());
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn agree_comm_is_consistent_across_callers() {
+        let u = Universe::builder().nodes(2).num_vcis(4).build();
+        let s = u.shared();
+        let (ctx_a, block_a) = s.agree_comm((0, 0, 0), 1);
+        let (ctx_b, block_b) = s.agree_comm((0, 0, 0), 1);
+        assert_eq!(ctx_a, ctx_b);
+        assert_eq!(block_a, block_b);
+        // A different op index gets a different context and the next block.
+        let (ctx_c, block_c) = s.agree_comm((0, 1, 0), 1);
+        assert_ne!(ctx_a, ctx_c);
+        assert_ne!(block_a, block_c);
+    }
+
+    #[test]
+    fn vci_blocks_round_robin_over_the_pool() {
+        let u = Universe::builder().nodes(1).num_vcis(3).build();
+        let s = u.shared();
+        let blocks: Vec<_> = (0..4).map(|i| s.agree_comm((0, i, 0), 1).1[0]).collect();
+        assert_eq!(blocks, vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn multi_vci_block_is_contiguous_mod_pool() {
+        let u = Universe::builder().nodes(1).num_vcis(4).build();
+        let s = u.shared();
+        let (_ctx, block) = s.agree_comm((0, 0, 0), 3);
+        assert_eq!(&*block, &[1, 2, 3]);
+        // Requests beyond the pool are clamped.
+        let (_ctx, block) = s.agree_comm((0, 1, 0), 99);
+        assert_eq!(block.len(), 4);
+    }
+
+    #[test]
+    fn window_agreement_allocates_once() {
+        let u = Universe::builder().nodes(1).build();
+        let s = u.shared();
+        assert_eq!(s.agree_window((0, 0)), s.agree_window((0, 0)));
+        assert_ne!(s.agree_window((0, 0)), s.agree_window((0, 1)));
+    }
+
+    #[test]
+    fn funneled_allows_main_thread_only() {
+        let u = Universe::builder()
+            .nodes(2)
+            .threads_per_proc(2)
+            .thread_level(ThreadLevel::Funneled)
+            .build();
+        u.run(|env| {
+            let world = env.world();
+            // tid 0 may communicate.
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                world.send(&mut th, 1, 0, b"ok").unwrap();
+            } else {
+                world.recv(&mut th, 0, 0).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn funneled_rejects_other_threads() {
+        let u = Universe::builder()
+            .nodes(1)
+            .threads_per_proc(2)
+            .thread_level(ThreadLevel::Funneled)
+            .build();
+        let caught = u.run(|env| {
+            let world = env.world();
+            let results = env.parallel(|th| {
+                if th.tid() == 1 {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _ = world.iprobe(th, 0, 0);
+                    }))
+                    .is_err()
+                } else {
+                    false
+                }
+            });
+            results[1]
+        });
+        assert!(caught[0], "tid 1's MPI call must be rejected under FUNNELED");
+    }
+
+    #[test]
+    fn serialized_allows_alternating_threads() {
+        let u = Universe::builder()
+            .nodes(2)
+            .threads_per_proc(2)
+            .thread_level(ThreadLevel::Serialized)
+            .build();
+        u.run(|env| {
+            let world = env.world();
+            // Serial sections: one thread at a time (enforced by the closure
+            // structure here — the detector must NOT fire).
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                world.send(&mut th, 1, 0, b"a").unwrap();
+                world.send(&mut th, 1, 1, b"b").unwrap();
+            } else {
+                world.recv(&mut th, 0, 0).unwrap();
+                world.recv(&mut th, 0, 1).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "MPI_THREAD_SINGLE")]
+    fn single_level_rejects_multiple_threads() {
+        let _ = Universe::builder()
+            .nodes(1)
+            .threads_per_proc(2)
+            .thread_level(ThreadLevel::Single)
+            .build();
+    }
+
+    #[test]
+    fn parallel_runs_threads_with_tids() {
+        let u = Universe::builder().nodes(1).threads_per_proc(4).build();
+        let out = u.run(|env| env.parallel(|th| th.tid()));
+        assert_eq!(out, vec![vec![0, 1, 2, 3]]);
+    }
+}

@@ -1,0 +1,658 @@
+//! Virtual communication interfaces (VCIs) and the policies that map
+//! communicators, tags and windows onto them.
+//!
+//! A VCI is the MPICH concept the paper's quantitative results build on: an
+//! independent communication channel inside the MPI library — its own matching
+//! engine, its own mailbox, and its own NIC hardware context — so that traffic
+//! on different VCIs never synchronizes in software and maps to parallel
+//! hardware. The "MPI+threads (Original)" regime is a pool of exactly one VCI:
+//! every thread contends on one engine lock and one hardware context.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use rankmpi_fabric::{transmit, Header, HwContext, Mailbox, NetworkProfile, Nic, Notify, Packet, TxInfo};
+use rankmpi_vtime::{Clock, ContentionLock, Counter, Nanos};
+
+use crate::costs::CoreCosts;
+use crate::matching::{Incoming, MatchPattern, MatchingEngine, PostedRecv, Status};
+use crate::request::ReqState;
+use crate::tag::{default_tag_hash, TagLayout};
+
+/// Packet kind for point-to-point (and collective-internal) messages.
+pub const KIND_PT2PT: u16 = 1;
+/// Packet kind for direct-delivery packets (bypass matching; routed by
+/// `header.aux` through the destination process's direct-sink registry).
+pub const KIND_DIRECT: u16 = 3;
+
+/// How a communicator's operations choose VCIs.
+#[derive(Debug, Clone)]
+pub enum VciPolicy {
+    /// All traffic of the communicator flows through one VCI (the
+    /// communicator-granularity mapping of MPICH: one channel per comm).
+    Single,
+    /// The library hashes the whole tag onto the communicator's VCI block —
+    /// what an application gets with `mpich_num_vcis > 1` but no tag-bit
+    /// hints: spread, but at the mercy of the hash (Lesson 7).
+    HashedTag,
+    /// One-to-one tid→VCI mapping from tag bits (Listing 2 with
+    /// `mpich_tag_vci_hash_type = one-to-one`).
+    TagBitsOneToOne {
+        /// The tag layout carrying thread ids.
+        layout: TagLayout,
+    },
+    /// The caller supplies explicit VCI indices per operation (the endpoints
+    /// design: each endpoint owns an index).
+    Explicit,
+}
+
+/// A sink for [`KIND_DIRECT`] packets: deliveries that bypass the matching
+/// engine entirely and are routed by `header.aux` (partitioned communication
+/// uses this to get its O(1)-matching property).
+pub trait DirectSink: Send + Sync {
+    /// Handle one direct packet.
+    fn deliver(&self, pkt: Packet);
+}
+
+/// Registry of [`DirectSink`]s for one process, keyed by `header.aux`.
+#[derive(Default)]
+pub struct DirectRegistry {
+    sinks: parking_lot::RwLock<std::collections::HashMap<u64, Arc<dyn DirectSink>>>,
+}
+
+impl DirectRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `sink` under `key`; replaces any previous sink.
+    pub fn register(&self, key: u64, sink: Arc<dyn DirectSink>) {
+        self.sinks.write().insert(key, sink);
+    }
+
+    /// Remove the sink under `key`.
+    pub fn unregister(&self, key: u64) {
+        self.sinks.write().remove(&key);
+    }
+
+    /// Dispatch a packet to its sink (drops packets with no sink, which can
+    /// only happen if a protocol tears down a sink with traffic in flight).
+    pub fn dispatch(&self, pkt: Packet) {
+        let sink = self.sinks.read().get(&pkt.header.aux).cloned();
+        if let Some(s) = sink {
+            s.deliver(pkt);
+        } else {
+            debug_assert!(false, "direct packet for unregistered sink {}", pkt.header.aux);
+        }
+    }
+}
+
+impl std::fmt::Debug for DirectRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DirectRegistry({} sinks)", self.sinks.read().len())
+    }
+}
+
+/// One VCI: mailbox + matching engine + hardware context (+ an intra-node
+/// shared-memory channel).
+#[derive(Debug)]
+pub struct Vci {
+    id: usize,
+    profile: NetworkProfile,
+    costs: CoreCosts,
+    /// NIC hardware context backing this VCI for inter-node traffic.
+    ctx: Arc<HwContext>,
+    /// Shared-memory channel for intra-node traffic (unbounded pool).
+    shm_ctx: Arc<HwContext>,
+    mailbox: Arc<Mailbox>,
+    /// The VCI "big lock": serializes software access to the matching engine.
+    engine: ContentionLock<MatchingEngine>,
+    /// The matching engine's virtual occupancy: every message match/enqueue
+    /// consumes engine time here, anchored to the message's arrival — so
+    /// completion stamps are independent of *which* real thread happened to
+    /// drain the mailbox (and when).
+    engine_time: rankmpi_vtime::Resource,
+    /// Direct-packet dispatcher shared by all VCIs of the owning process.
+    direct: Arc<DirectRegistry>,
+    polls: Counter,
+    matched: Counter,
+}
+
+impl Vci {
+    /// Create VCI `id` for a process on the node served by `nic`/`shm_nic`,
+    /// signaling `notify` on arrivals and dispatching direct packets through
+    /// `direct`.
+    pub fn new(
+        id: usize,
+        nic: &Nic,
+        shm_nic: &Nic,
+        notify: Arc<Notify>,
+        costs: CoreCosts,
+        direct: Arc<DirectRegistry>,
+    ) -> Arc<Self> {
+        Arc::new(Vci {
+            id,
+            profile: nic.profile().clone(),
+            costs,
+            ctx: nic.alloc_context(),
+            shm_ctx: shm_nic.alloc_context(),
+            mailbox: Arc::new(Mailbox::new(notify)),
+            engine: ContentionLock::new(MatchingEngine::new()),
+            engine_time: rankmpi_vtime::Resource::new(),
+            direct,
+            polls: Counter::new(),
+            matched: Counter::new(),
+        })
+    }
+
+    /// VCI index within its process's pool.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The NIC hardware context backing this VCI.
+    pub fn hw_context(&self) -> &Arc<HwContext> {
+        &self.ctx
+    }
+
+    /// This VCI's mailbox (destination side).
+    pub fn mailbox(&self) -> &Arc<Mailbox> {
+        &self.mailbox
+    }
+
+    /// Send a packet from this VCI to a destination VCI.
+    ///
+    /// `intra_node` selects the shared-memory channel instead of the NIC.
+    /// Returns fabric timing; the caller decides local-completion semantics.
+    pub fn send_packet(
+        &self,
+        clock: &mut Clock,
+        dst: &Vci,
+        intra_node: bool,
+        header: Header,
+        payload: Bytes,
+    ) -> TxInfo {
+        if intra_node {
+            // Shared-memory path: same structure, cheaper profile-independent
+            // costs; still serializes on the per-VCI shm channel.
+            let shm_profile = NetworkProfile {
+                name: "shm",
+                max_hw_contexts: usize::MAX,
+                send_overhead: self.costs.shm_gap,
+                recv_overhead: Nanos(0),
+                doorbell: Nanos(0),
+                context_gap: self.costs.shm_occupancy(payload.len()),
+                rx_gap: Nanos(0),
+                latency: self.costs.shm_latency,
+                byte_time_ps: 0,
+                context_lock: self.profile.context_lock,
+                shared_context_penalty: Nanos(0),
+            };
+            transmit(
+                &shm_profile,
+                clock,
+                &self.shm_ctx,
+                &dst.shm_ctx,
+                &dst.mailbox,
+                header,
+                payload,
+            )
+        } else {
+            transmit(
+                &self.profile,
+                clock,
+                &self.ctx,
+                &dst.ctx,
+                &dst.mailbox,
+                header,
+                payload,
+            )
+        }
+    }
+
+    /// Post a receive on this VCI's engine.
+    ///
+    /// If a matching unexpected message is already queued the request is
+    /// completed immediately (completion time accounts for arrival, matching
+    /// work and the eager copy); otherwise the receive is queued.
+    pub fn post_recv(
+        &self,
+        clock: &mut Clock,
+        pattern: MatchPattern,
+        req: Arc<ReqState>,
+    ) {
+        let mut eng = self.engine.lock(clock);
+        let posted = PostedRecv {
+            pattern,
+            req,
+            posted_at: clock.now(),
+        };
+        let (matched, scanned) = eng.post_recv(posted.clone());
+        clock.advance(self.costs.match_cost(scanned));
+        if let Some(pkt) = matched {
+            self.matched.incr();
+            let finish = self.completion_time(clock.now(), &pkt);
+            let status = Status {
+                source: pkt.header.src as usize,
+                tag: pkt.header.tag,
+                len: pkt.payload.len(),
+            };
+            posted.req.complete(finish, status, pkt.payload);
+        }
+        eng.release(clock);
+    }
+
+    /// Drain this VCI's mailbox and run the matching engine. Returns the
+    /// number of packets processed. Safe to call from any thread ("anyone can
+    /// progress anything" — MPICH's progress model).
+    ///
+    /// Packets of kind [`KIND_DIRECT`] are not matched; they are dispatched
+    /// through the process's [`DirectRegistry`].
+    pub fn progress(&self, clock: &mut Clock) -> usize {
+        self.polls.incr();
+        if self.mailbox.is_empty() {
+            clock.advance(self.costs.match_base / 4); // cheap empty poll
+            return 0;
+        }
+        // Drain *inside* the engine critical section: if two threads drained
+        // concurrently before locking, a later-arrived packet could enter the
+        // engine (and match a posted receive) before an earlier one still
+        // sitting in the other thread's batch — breaking the non-overtaking
+        // order within a channel. Serializing drain+match preserves mailbox
+        // push order end to end.
+        //
+        // The drain holds the real mutex only: incoming-side matching work is
+        // priced on `engine_time`, anchored to each message's arrival, so the
+        // (real-scheduling-dependent) number and timing of progress polls
+        // cannot perturb virtual completion times.
+        let mut eng = self.engine.lock_unmodeled();
+        let mut batch = Vec::new();
+        self.mailbox.drain_into(&mut batch);
+        let n = batch.len();
+        for pkt in batch {
+            if pkt.header.kind == KIND_DIRECT {
+                self.direct.dispatch(pkt);
+                continue;
+            }
+            self.handle_incoming(&mut eng, pkt);
+        }
+        drop(eng);
+        clock.advance(self.costs.match_base / 4); // the poll's own CPU cost
+        n
+    }
+
+    /// Transmit *timing only*: charge the full injection path (overhead, gate,
+    /// doorbell, context occupancy, latency, remote context serialization)
+    /// without delivering a packet. RMA uses this: data is applied directly at
+    /// the target while virtual time flows through the same resources a real
+    /// NIC op would occupy. Returns the virtual arrival time at the target.
+    pub fn raw_transmit(
+        &self,
+        clock: &mut Clock,
+        dst: &Vci,
+        intra_node: bool,
+        bytes: usize,
+    ) -> Nanos {
+        if intra_node {
+            clock.advance(self.costs.shm_gap);
+            let occ = self.costs.shm_occupancy(bytes);
+            let out = self.shm_ctx.occupy_tx(clock.now(), occ, bytes);
+            return out + self.costs.shm_latency;
+        }
+        clock.advance(self.profile.send_overhead);
+        let gate = self.ctx.lock_gate(clock);
+        clock.advance(self.profile.doorbell);
+        let injected = self.ctx.occupy_tx(
+            clock.now(),
+            self.profile.tx_occupancy_on(bytes, self.ctx.is_shared()),
+            bytes,
+        );
+        gate.release(clock);
+        dst.ctx.note_rx();
+        injected + self.profile.wire_latency() + self.profile.rx_gap
+    }
+
+    fn handle_incoming(&self, eng: &mut MatchingEngine, pkt: Packet) {
+        let arrived = pkt.arrive_at;
+        match eng.incoming(pkt) {
+            Incoming::Matched {
+                recv,
+                packet,
+                scanned,
+            } => {
+                self.matched.incr();
+                // The serial matching engine processes this message no
+                // earlier than its arrival and the receive's posting; the
+                // scan work occupies the engine.
+                let ready = packet.arrive_at.max(recv.posted_at);
+                let acq = self.engine_time.acquire(ready, self.costs.match_cost(scanned));
+                let finish = acq.end
+                    + self.profile.recv_overhead
+                    + self.costs.copy_cost(packet.payload.len());
+                let status = Status {
+                    source: packet.header.src as usize,
+                    tag: packet.header.tag,
+                    len: packet.payload.len(),
+                };
+                recv.req.complete(finish, status, packet.payload);
+            }
+            Incoming::Queued { scanned } => {
+                self.engine_time
+                    .acquire(arrived, self.costs.match_cost(scanned));
+            }
+        }
+    }
+
+    fn completion_time(&self, ready: Nanos, pkt: &Packet) -> Nanos {
+        ready.max(pkt.arrive_at)
+            + self.profile.recv_overhead
+            + self.costs.copy_cost(pkt.payload.len())
+    }
+
+    /// Probe for an unexpected message matching `pattern` without receiving
+    /// it. Drains the mailbox first (progress), like a real `MPI_Iprobe`.
+    pub fn iprobe(&self, clock: &mut Clock, pattern: &MatchPattern) -> Option<Status> {
+        self.progress(clock);
+        let eng = self.engine.lock(clock);
+        let (st, scanned) = eng.probe(pattern);
+        clock.advance(self.costs.match_cost(scanned));
+        eng.release(clock);
+        st
+    }
+
+    /// Matched probe (`MPI_Improbe` + `MPI_Imrecv` fused): atomically remove
+    /// and return the earliest unexpected message matching `pattern`, or
+    /// `None`. Unlike `iprobe` + a subsequent receive, no other thread can
+    /// race for the probed message.
+    pub fn mprobe(&self, clock: &mut Clock, pattern: &MatchPattern) -> Option<(Status, Bytes)> {
+        self.progress(clock);
+        let mut eng = self.engine.lock(clock);
+        // Reuse the posted-receive matching path with a throwaway request.
+        let probe = PostedRecv {
+            pattern: *pattern,
+            req: ReqState::detached(),
+            posted_at: clock.now(),
+        };
+        let (matched, scanned) = eng.post_recv(probe);
+        clock.advance(self.costs.match_cost(scanned));
+        let out = match matched {
+            Some(pkt) => {
+                self.matched.incr();
+                let finish = clock.now()
+                    + self.profile.recv_overhead
+                    + self.costs.copy_cost(pkt.payload.len());
+                clock.wait_until(finish.max(pkt.arrive_at));
+                Some((
+                    Status {
+                        source: pkt.header.src as usize,
+                        tag: pkt.header.tag,
+                        len: pkt.payload.len(),
+                    },
+                    pkt.payload,
+                ))
+            }
+            None => {
+                // Nothing matched: remove the probe we just queued.
+                let removed = eng.cancel_last_posted();
+                debug_assert!(removed);
+                None
+            }
+        };
+        eng.release(clock);
+        out
+    }
+
+    /// Number of progress polls on this VCI.
+    pub fn polls(&self) -> u64 {
+        self.polls.get()
+    }
+
+    /// Number of messages matched on this VCI.
+    pub fn matched(&self) -> u64 {
+        self.matched.get()
+    }
+
+    /// Total contention on the VCI lock (virtual time spent acquiring).
+    pub fn lock_contention(&self) -> Nanos {
+        self.engine.contended_total()
+    }
+
+    /// Access the costs model this VCI uses.
+    pub fn costs(&self) -> &CoreCosts {
+        &self.costs
+    }
+
+    /// Access the network profile this VCI uses.
+    pub fn profile(&self) -> &NetworkProfile {
+        &self.profile
+    }
+}
+
+/// Select the sender-side and receiver-side VCI indices for an operation,
+/// given a communicator's policy and VCI block.
+///
+/// `block` maps policy-relative indices to pool indices; it is identical on
+/// all processes of the communicator (allocated in collective order).
+pub fn select_vcis(
+    policy: &VciPolicy,
+    block: &[usize],
+    context_id: u32,
+    tag: i64,
+) -> (usize, usize) {
+    match policy {
+        VciPolicy::Single => (block[0], block[0]),
+        VciPolicy::HashedTag => {
+            let i = default_tag_hash(context_id, tag, block.len());
+            (block[i], block[i])
+        }
+        VciPolicy::TagBitsOneToOne { layout } => (
+            block[layout.src_vci(tag, block.len())],
+            block[layout.dst_vci(tag, block.len())],
+        ),
+        VciPolicy::Explicit => {
+            panic!("explicit policy requires per-op VCI indices (endpoints API)")
+        }
+    }
+}
+
+/// Receiver-side VCI index for a posted receive, or `None` if the pattern's
+/// wildcards make the VCI undeterminable under this policy (Lesson 7/15: a
+/// wildcard cannot locate a tag-selected engine).
+pub fn select_recv_vci(
+    policy: &VciPolicy,
+    block: &[usize],
+    context_id: u32,
+    pattern: &MatchPattern,
+) -> Option<usize> {
+    match policy {
+        VciPolicy::Single => Some(block[0]),
+        VciPolicy::HashedTag | VciPolicy::TagBitsOneToOne { .. } => {
+            if block.len() == 1 {
+                return Some(block[0]);
+            }
+            if pattern.tag == crate::matching::ANY_TAG {
+                return None;
+            }
+            match policy {
+                VciPolicy::TagBitsOneToOne { layout } => {
+                    Some(block[layout.dst_vci(pattern.tag, block.len())])
+                }
+                _ => Some(block[default_tag_hash(context_id, pattern.tag, block.len())]),
+            }
+        }
+        VciPolicy::Explicit => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{ANY_SOURCE, ANY_TAG};
+    use crate::tag::TagPlacement;
+
+    fn test_vci(id: usize) -> (Arc<Vci>, Arc<Nic>, Arc<Nic>) {
+        let nic = Arc::new(Nic::new(0, NetworkProfile::omni_path()));
+        let shm = Arc::new(Nic::new(0, NetworkProfile::ideal()));
+        let v = Vci::new(
+            id,
+            &nic,
+            &shm,
+            Arc::new(Notify::new()),
+            CoreCosts::default(),
+            Arc::new(DirectRegistry::new()),
+        );
+        (v, nic, shm)
+    }
+
+    fn header(ctx: u32, src: u32, tag: i64) -> Header {
+        Header {
+            kind: KIND_PT2PT,
+            context_id: ctx,
+            src,
+            dst: 0,
+            tag,
+            seq: 0,
+            aux: 0,
+            aux2: 0,
+        }
+    }
+
+    #[test]
+    fn send_then_recv_completes() {
+        let (a, _n1, _s1) = test_vci(0);
+        let (b, _n2, _s2) = test_vci(0);
+        let mut sc = Clock::new();
+        let info = a.send_packet(&mut sc, &b, false, header(9, 0, 5), Bytes::from_static(b"hey"));
+
+        let mut rc = Clock::new();
+        let req = ReqState::detached();
+        b.post_recv(
+            &mut rc,
+            MatchPattern { context_id: 9, src: 0, tag: 5 },
+            Arc::clone(&req),
+        );
+        assert!(!req.is_complete());
+        // Progress drains the mailbox and matches.
+        b.progress(&mut rc);
+        assert!(req.is_complete());
+        assert!(req.finish_at() >= info.arrive_at);
+        let (st, data) = req.take_result();
+        assert_eq!(st.tag, 5);
+        assert_eq!(&data[..], b"hey");
+        assert_eq!(b.matched(), 1);
+    }
+
+    #[test]
+    fn unexpected_message_matches_on_post() {
+        let (a, _n1, _s1) = test_vci(0);
+        let (b, _n2, _s2) = test_vci(0);
+        let mut sc = Clock::new();
+        a.send_packet(&mut sc, &b, false, header(9, 3, 5), Bytes::from_static(b"x"));
+
+        let mut rc = Clock::new();
+        b.progress(&mut rc); // queues as unexpected
+        let req = ReqState::detached();
+        b.post_recv(
+            &mut rc,
+            MatchPattern { context_id: 9, src: ANY_SOURCE, tag: ANY_TAG },
+            Arc::clone(&req),
+        );
+        assert!(req.is_complete());
+        let (st, _) = req.take_result();
+        assert_eq!(st.source, 3);
+    }
+
+    #[test]
+    fn intra_node_path_is_faster_than_nic() {
+        let (a, _n1, _s1) = test_vci(0);
+        let (b, _n2, _s2) = test_vci(0);
+        let mut c1 = Clock::new();
+        let remote = a.send_packet(&mut c1, &b, false, header(1, 0, 0), Bytes::new());
+        let mut c2 = Clock::new();
+        let local = a.send_packet(&mut c2, &b, true, header(1, 0, 1), Bytes::new());
+        assert!(local.arrive_at < remote.arrive_at);
+    }
+
+    #[test]
+    fn empty_poll_is_cheap() {
+        let (a, _n, _s) = test_vci(0);
+        let mut c = Clock::new();
+        let n = a.progress(&mut c);
+        assert_eq!(n, 0);
+        assert!(c.now() < Nanos(50));
+        assert_eq!(a.polls(), 1);
+    }
+
+    #[test]
+    fn single_policy_pins_to_first_block_entry() {
+        let (s, r) = select_vcis(&VciPolicy::Single, &[7], 1, 42);
+        assert_eq!((s, r), (7, 7));
+        assert_eq!(
+            select_recv_vci(
+                &VciPolicy::Single,
+                &[7],
+                1,
+                &MatchPattern { context_id: 1, src: ANY_SOURCE, tag: ANY_TAG }
+            ),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn one_to_one_tag_policy_routes_by_tid_bits() {
+        let layout = TagLayout::for_threads(4, TagPlacement::Msb).unwrap();
+        let policy = VciPolicy::TagBitsOneToOne { layout };
+        let block = [10, 11, 12, 13];
+        let tag = layout.encode(2, 3, 0).unwrap();
+        let (s, r) = select_vcis(&policy, &block, 1, tag);
+        assert_eq!(s, 12); // src tid 2
+        assert_eq!(r, 13); // dst tid 3
+        // Receiver with the concrete tag finds the same VCI.
+        let rv = select_recv_vci(
+            &policy,
+            &block,
+            1,
+            &MatchPattern { context_id: 1, src: 0, tag },
+        );
+        assert_eq!(rv, Some(13));
+    }
+
+    #[test]
+    fn wildcard_on_multi_vci_tag_policy_is_undeterminable() {
+        let layout = TagLayout::for_threads(4, TagPlacement::Msb).unwrap();
+        let policy = VciPolicy::TagBitsOneToOne { layout };
+        let rv = select_recv_vci(
+            &policy,
+            &[0, 1, 2, 3],
+            1,
+            &MatchPattern { context_id: 1, src: 0, tag: ANY_TAG },
+        );
+        assert_eq!(rv, None);
+        // But a single-VCI block accepts wildcards.
+        let rv = select_recv_vci(
+            &policy,
+            &[5],
+            1,
+            &MatchPattern { context_id: 1, src: 0, tag: ANY_TAG },
+        );
+        assert_eq!(rv, Some(5));
+    }
+
+    #[test]
+    fn hashed_policy_is_symmetric_between_sides() {
+        let policy = VciPolicy::HashedTag;
+        let block = [0, 1, 2, 3, 4, 5, 6, 7];
+        for tag in 0..100 {
+            let (s, r) = select_vcis(&policy, &block, 42, tag);
+            assert_eq!(s, r, "hashed policy maps both sides identically");
+            let rv = select_recv_vci(
+                &policy,
+                &block,
+                42,
+                &MatchPattern { context_id: 42, src: 0, tag },
+            );
+            assert_eq!(rv, Some(r));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! One NIC hardware context: a work-queue/doorbell pair.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rankmpi_vtime::{Clock, ContentionLock, Counter, Nanos, Resource};
+
+use crate::NetworkProfile;
+
+/// A hardware send/recv context on a NIC.
+///
+/// Software pushes descriptors into the context under a lock ([`gate`]): on real
+/// NICs this is the library-level lock that serializes access to a shared work
+/// queue. When a context is *dedicated* to one logical channel the lock is
+/// uncontended and nearly free; when the channel pool is oversubscribed
+/// (Lesson 3) multiple channels share the context and the lock cost grows with
+/// waiters. Independently of the lock, the context itself processes messages at
+/// a bounded rate: its [`Resource`] is occupied for `gap + bytes*G` per message.
+///
+/// [`gate`]: HwContext::lock_gate
+#[derive(Debug)]
+pub struct HwContext {
+    id: usize,
+    gate: ContentionLock<()>,
+    time: Resource,
+    /// Number of logical channels mapped onto this context.
+    owners: AtomicUsize,
+    msgs_tx: Counter,
+    msgs_rx: Counter,
+    bytes_tx: Counter,
+}
+
+impl HwContext {
+    /// Create context `id` with the lock costs of `profile`.
+    pub fn new(id: usize, profile: &NetworkProfile) -> Self {
+        HwContext {
+            id,
+            gate: ContentionLock::with_costs((), profile.context_lock),
+            time: Resource::new(),
+            owners: AtomicUsize::new(0),
+            msgs_tx: Counter::new(),
+            msgs_rx: Counter::new(),
+            bytes_tx: Counter::new(),
+        }
+    }
+
+    /// Context id within its NIC.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Register a logical channel on this context. Returns the new owner count.
+    pub fn add_owner(&self) -> usize {
+        self.owners.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Number of logical channels mapped onto this context.
+    pub fn owners(&self) -> usize {
+        self.owners.load(Ordering::Acquire)
+    }
+
+    /// Whether more than one logical channel shares this context.
+    pub fn is_shared(&self) -> bool {
+        self.owners() > 1
+    }
+
+    /// Enter the software gate (descriptor write + doorbell serialization).
+    ///
+    /// Must be held while stamping and pushing a packet so that per-context
+    /// packet order in real time equals virtual-time order.
+    pub fn lock_gate<'a>(
+        &'a self,
+        clock: &mut Clock,
+    ) -> rankmpi_vtime::lock::ContentionGuard<'a, ()> {
+        self.gate.lock(clock)
+    }
+
+    /// Occupy the context's TX pipeline for one message arriving at `now`.
+    /// Returns the virtual time the message leaves the context.
+    pub fn occupy_tx(&self, now: Nanos, occupancy: Nanos, bytes: usize) -> Nanos {
+        self.msgs_tx.incr();
+        self.bytes_tx.add(bytes as u64);
+        self.time.acquire(now, occupancy).end
+    }
+
+    /// Record one arriving message. Arrival costs are additive (see
+    /// `transmit`'s causality note); this only maintains statistics.
+    pub fn note_rx(&self) {
+        self.msgs_rx.incr();
+    }
+
+    /// Messages injected through this context.
+    pub fn msgs_tx(&self) -> u64 {
+        self.msgs_tx.get()
+    }
+
+    /// Messages received through this context.
+    pub fn msgs_rx(&self) -> u64 {
+        self.msgs_rx.get()
+    }
+
+    /// Payload bytes injected through this context.
+    pub fn bytes_tx(&self) -> u64 {
+        self.bytes_tx.get()
+    }
+
+    /// Total virtual time this context's pipeline was occupied.
+    pub fn busy_total(&self) -> Nanos {
+        self.time.busy_total()
+    }
+
+    /// Total virtual time threads spent entering the gate (lock contention).
+    pub fn gate_contention(&self) -> Nanos {
+        self.gate.contended_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> HwContext {
+        HwContext::new(0, &NetworkProfile::omni_path())
+    }
+
+    #[test]
+    fn owners_track_sharing() {
+        let c = ctx();
+        assert!(!c.is_shared());
+        assert_eq!(c.add_owner(), 1);
+        assert!(!c.is_shared());
+        assert_eq!(c.add_owner(), 2);
+        assert!(c.is_shared());
+    }
+
+    #[test]
+    fn tx_occupancy_serializes() {
+        let c = ctx();
+        let e1 = c.occupy_tx(Nanos(0), Nanos(100), 8);
+        let e2 = c.occupy_tx(Nanos(0), Nanos(100), 8);
+        assert_eq!(e1, Nanos(100));
+        assert_eq!(e2, Nanos(200));
+        assert_eq!(c.msgs_tx(), 2);
+        assert_eq!(c.bytes_tx(), 16);
+        assert_eq!(c.busy_total(), Nanos(200));
+    }
+
+    #[test]
+    fn note_rx_counts_arrivals() {
+        let c = ctx();
+        c.note_rx();
+        c.note_rx();
+        assert_eq!(c.msgs_rx(), 2);
+        assert_eq!(c.busy_total(), Nanos::ZERO, "arrivals do not occupy the tx pipeline");
+    }
+
+    #[test]
+    fn gate_charges_clock() {
+        let c = ctx();
+        let mut clk = Clock::new();
+        let g = c.lock_gate(&mut clk);
+        assert!(clk.now() >= NetworkProfile::omni_path().context_lock.acquire_base);
+        g.release(&mut clk);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Simulated interconnect: NICs with bounded hardware-context pools and a
+//! LogGP-style wire model.
+//!
+//! The paper's resource arguments hinge on a concrete hardware fact: a NIC
+//! exposes a *limited* number of independent hardware contexts (work-queue /
+//! doorbell pairs) — e.g. 160 on Intel Omni-Path — and an MPI library maps its
+//! logical communication channels (MPICH VCIs, Open MPI CRIs) onto them. When the
+//! number of logical channels exceeds the physical pool (Lesson 3: 808
+//! communicators for a 3D 27-point stencil on a 64-core node), channels share
+//! contexts and pay lock + queueing contention.
+//!
+//! This crate models exactly that layer:
+//! - [`NetworkProfile`]: named parameter sets (Omni-Path-like with 160 contexts,
+//!   an InfiniBand-like profile, an ideal fabric) with LogGP costs;
+//! - [`HwContext`]: one hardware send/recv context — a real lock (preserving
+//!   per-channel packet order) + a virtual-time [`Resource`](rankmpi_vtime::Resource)
+//!   (per-message gap and per-byte DMA occupancy);
+//! - [`Nic`]: a per-node bounded pool of contexts; allocations beyond the pool
+//!   fall back to sharing, which is where oversubscription penalties come from;
+//! - [`transmit`]: the injection path — overhead, doorbell, context occupancy,
+//!   wire latency, remote context serialization — delivering a [`Packet`] into a
+//!   destination [`Mailbox`] with its virtual arrival stamp.
+
+pub mod context;
+pub mod mailbox;
+pub mod nic;
+pub mod packet;
+pub mod profile;
+pub mod transmit;
+
+pub use context::HwContext;
+pub use mailbox::{Mailbox, Notify};
+pub use nic::Nic;
+pub use packet::{Header, Packet};
+pub use profile::NetworkProfile;
+pub use transmit::{transmit, TxInfo};

@@ -1,0 +1,139 @@
+//! A per-node NIC with a bounded pool of hardware contexts.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{HwContext, NetworkProfile};
+
+/// The network interface of one node.
+///
+/// Logical channels (MPI VCIs, one per communicator/endpoint/window stream)
+/// call [`alloc_context`](Nic::alloc_context). While the pool has capacity each
+/// channel gets a *dedicated* context — fully independent in both lock and
+/// pipeline. Once `max_hw_contexts` is exhausted, further channels share
+/// existing contexts round-robin, exactly the oversubscription regime the paper
+/// describes for communicator-heavy applications on Omni-Path (Lesson 3).
+#[derive(Debug)]
+pub struct Nic {
+    node: usize,
+    profile: NetworkProfile,
+    state: Mutex<NicState>,
+}
+
+#[derive(Debug)]
+struct NicState {
+    contexts: Vec<Arc<HwContext>>,
+    /// Round-robin cursor for oversubscribed allocation.
+    share_cursor: usize,
+    /// Total allocations requested (>= contexts.len() when oversubscribed).
+    allocations: usize,
+}
+
+impl Nic {
+    /// NIC for `node` with the context pool of `profile`.
+    pub fn new(node: usize, profile: NetworkProfile) -> Self {
+        Nic {
+            node,
+            profile,
+            state: Mutex::new(NicState {
+                contexts: Vec::new(),
+                share_cursor: 0,
+                allocations: 0,
+            }),
+        }
+    }
+
+    /// Node id this NIC belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The NIC's network profile.
+    pub fn profile(&self) -> &NetworkProfile {
+        &self.profile
+    }
+
+    /// Allocate a context for one logical channel.
+    ///
+    /// Dedicated while the pool lasts; shared round-robin afterwards. The
+    /// returned context has the channel registered as an owner.
+    pub fn alloc_context(&self) -> Arc<HwContext> {
+        let mut st = self.state.lock();
+        st.allocations += 1;
+        let ctx = if st.contexts.len() < self.profile.max_hw_contexts {
+            let ctx = Arc::new(HwContext::new(st.contexts.len(), &self.profile));
+            st.contexts.push(Arc::clone(&ctx));
+            ctx
+        } else {
+            let i = st.share_cursor % st.contexts.len();
+            st.share_cursor += 1;
+            Arc::clone(&st.contexts[i])
+        };
+        ctx.add_owner();
+        ctx
+    }
+
+    /// Number of distinct hardware contexts currently in use.
+    pub fn contexts_in_use(&self) -> usize {
+        self.state.lock().contexts.len()
+    }
+
+    /// Number of logical channels allocated (owners across all contexts).
+    pub fn channels_allocated(&self) -> usize {
+        self.state.lock().allocations
+    }
+
+    /// Ratio of logical channels to physical contexts (1.0 = fully dedicated).
+    pub fn oversubscription(&self) -> f64 {
+        let st = self.state.lock();
+        if st.contexts.is_empty() {
+            return 0.0;
+        }
+        st.allocations as f64 / st.contexts.len() as f64
+    }
+
+    /// Snapshot of all in-use contexts (for utilization reports).
+    pub fn contexts(&self) -> Vec<Arc<HwContext>> {
+        self.state.lock().contexts.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_until_pool_exhausted() {
+        let nic = Nic::new(0, NetworkProfile::constrained(3));
+        let a = nic.alloc_context();
+        let b = nic.alloc_context();
+        let c = nic.alloc_context();
+        assert_eq!(nic.contexts_in_use(), 3);
+        assert!(!a.is_shared() && !b.is_shared() && !c.is_shared());
+
+        // Fourth allocation shares context 0; fifth shares context 1.
+        let d = nic.alloc_context();
+        let e = nic.alloc_context();
+        assert_eq!(nic.contexts_in_use(), 3);
+        assert_eq!(d.id(), 0);
+        assert_eq!(e.id(), 1);
+        assert!(d.is_shared());
+        assert_eq!(nic.channels_allocated(), 5);
+        assert!((nic.oversubscription() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_profile_never_shares() {
+        let nic = Nic::new(0, NetworkProfile::ideal());
+        let ctxs: Vec<_> = (0..1000).map(|_| nic.alloc_context()).collect();
+        assert!(ctxs.iter().all(|c| !c.is_shared()));
+        assert_eq!(nic.contexts_in_use(), 1000);
+    }
+
+    #[test]
+    fn oversubscription_zero_when_unused() {
+        let nic = Nic::new(0, NetworkProfile::omni_path());
+        assert_eq!(nic.oversubscription(), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Double/triple buffering for partitioned operations — the mitigation the
+//! paper concedes for Lesson 14.
+//!
+//! "Application developers could use multiple partitioned operations (e.g.,
+//! double buffering) to dampen the overhead resulting from the semantic
+//! limitation, but they cannot eliminate them in a manner the other two
+//! designs can." A [`BufferedPsend`]/[`BufferedPrecv`] pair rotates over `K`
+//! independent persistent operations: while iteration `i`'s request drains,
+//! threads already fill iteration `i+1`'s — the completion synchronization
+//! only blocks when the pipeline wraps around.
+
+use rankmpi_core::{Communicator, Info, Result, ThreadCtx};
+
+use crate::recv::{precv_init, PrecvRequest};
+use crate::send::{psend_init, PsendRequest};
+
+/// A depth-`K` pipeline of partitioned sends to one destination.
+pub struct BufferedPsend {
+    slots: Vec<PsendRequest>,
+    /// Next slot to start; slots complete in order.
+    head: usize,
+    /// Slots currently active (started, not yet waited).
+    active: usize,
+}
+
+impl BufferedPsend {
+    /// Create `depth` independent persistent sends (distinct tags derived
+    /// from `base_tag`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        comm: &Communicator,
+        th: &mut ThreadCtx,
+        dst: usize,
+        base_tag: i64,
+        depth: usize,
+        partitions: usize,
+        part_bytes: usize,
+        info: &Info,
+    ) -> Result<Self> {
+        let slots = (0..depth)
+            .map(|k| psend_init(comm, th, dst, base_tag + k as i64, partitions, part_bytes, info))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BufferedPsend {
+            slots,
+            head: 0,
+            active: 0,
+        })
+    }
+
+    /// Pipeline depth.
+    pub fn depth(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Begin the next iteration, returning the slot to `pready` into. Blocks
+    /// (completes the oldest slot) only when the pipeline is full — the
+    /// dampened, but not eliminated, Lesson 14 synchronization.
+    pub fn begin(&mut self, th: &mut ThreadCtx) -> Result<&PsendRequest> {
+        if self.active == self.slots.len() {
+            let oldest = (self.head + self.slots.len() - self.active) % self.slots.len();
+            self.slots[oldest].wait(th)?;
+            self.active -= 1;
+        }
+        let slot = self.head;
+        self.slots[slot].start(th)?;
+        self.head = (self.head + 1) % self.slots.len();
+        self.active += 1;
+        Ok(&self.slots[slot])
+    }
+
+    /// The slot returned by the most recent [`begin`](Self::begin).
+    pub fn current(&self) -> &PsendRequest {
+        let cur = (self.head + self.slots.len() - 1) % self.slots.len();
+        &self.slots[cur]
+    }
+
+    /// Drain every in-flight slot.
+    pub fn finish(&mut self, th: &mut ThreadCtx) -> Result<()> {
+        while self.active > 0 {
+            let oldest = (self.head + self.slots.len() - self.active) % self.slots.len();
+            self.slots[oldest].wait(th)?;
+            self.active -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// A depth-`K` pipeline of partitioned receives from one source.
+pub struct BufferedPrecv {
+    slots: Vec<PrecvRequest>,
+    head: usize,
+    active: usize,
+}
+
+impl BufferedPrecv {
+    /// Create `depth` independent persistent receives matching a
+    /// [`BufferedPsend`] of the same shape.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        comm: &Communicator,
+        th: &mut ThreadCtx,
+        src: usize,
+        base_tag: i64,
+        depth: usize,
+        partitions: usize,
+        part_bytes: usize,
+        info: &Info,
+    ) -> Result<Self> {
+        let slots = (0..depth)
+            .map(|k| precv_init(comm, th, src, base_tag + k as i64, partitions, part_bytes, info))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BufferedPrecv {
+            slots,
+            head: 0,
+            active: 0,
+        })
+    }
+
+    /// Begin the next iteration's receive slot; completes (and returns the
+    /// payload of) the oldest slot when the pipeline is full.
+    pub fn begin(&mut self, th: &mut ThreadCtx) -> Result<(usize, Option<Vec<u8>>)> {
+        let mut completed = None;
+        if self.active == self.slots.len() {
+            let oldest = (self.head + self.slots.len() - self.active) % self.slots.len();
+            completed = Some(self.slots[oldest].wait(th)?);
+            self.active -= 1;
+        }
+        let slot = self.head;
+        self.slots[slot].start(th)?;
+        self.head = (self.head + 1) % self.slots.len();
+        self.active += 1;
+        Ok((slot, completed))
+    }
+
+    /// Access slot `k` (to poll `parrived`).
+    pub fn slot(&self, k: usize) -> &PrecvRequest {
+        &self.slots[k]
+    }
+
+    /// Complete all in-flight slots, returning their payloads oldest-first.
+    pub fn finish(&mut self, th: &mut ThreadCtx) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        while self.active > 0 {
+            let oldest = (self.head + self.slots.len() - self.active) % self.slots.len();
+            out.push(self.slots[oldest].wait(th)?);
+            self.active -= 1;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmpi_core::Universe;
+
+    #[test]
+    fn double_buffered_stream_preserves_iteration_order() {
+        let u = Universe::builder().nodes(2).num_vcis(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let iters = 6u8;
+            if env.rank() == 0 {
+                let mut tx =
+                    BufferedPsend::new(&world, &mut th, 1, 100, 2, 2, 4, &Info::new()).unwrap();
+                assert_eq!(tx.depth(), 2);
+                for i in 0..iters {
+                    let slot = tx.begin(&mut th).unwrap();
+                    slot.pready(&mut th, 0, &[i; 4]).unwrap();
+                    slot.pready(&mut th, 1, &[i + 100; 4]).unwrap();
+                }
+                tx.finish(&mut th).unwrap();
+            } else {
+                let mut rx =
+                    BufferedPrecv::new(&world, &mut th, 0, 100, 2, 2, 4, &Info::new()).unwrap();
+                let mut seen = Vec::new();
+                for _ in 0..iters {
+                    let (_slot, done) = rx.begin(&mut th).unwrap();
+                    if let Some(data) = done {
+                        seen.push(data[0]);
+                    }
+                }
+                for data in rx.finish(&mut th).unwrap() {
+                    seen.push(data[0]);
+                }
+                assert_eq!(seen, (0..iters).collect::<Vec<_>>());
+            }
+        });
+    }
+
+    #[test]
+    fn pipeline_never_blocks_until_full() {
+        // With depth 3, the first three begins must not require any wait.
+        let u = Universe::builder().nodes(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                let mut tx =
+                    BufferedPsend::new(&world, &mut th, 1, 7, 3, 1, 1, &Info::new()).unwrap();
+                for i in 0..3u8 {
+                    let slot = tx.begin(&mut th).unwrap();
+                    slot.pready(&mut th, 0, &[i]).unwrap();
+                }
+                tx.finish(&mut th).unwrap();
+            } else {
+                let mut rx =
+                    BufferedPrecv::new(&world, &mut th, 0, 7, 3, 1, 1, &Info::new()).unwrap();
+                for _ in 0..3 {
+                    rx.begin(&mut th).unwrap();
+                }
+                let all = rx.finish(&mut th).unwrap();
+                assert_eq!(all.len(), 3);
+            }
+        });
+    }
+}

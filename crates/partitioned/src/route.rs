@@ -1,0 +1,277 @@
+//! Receiver-side partition sinks and the route registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rankmpi_core::vci::DirectSink;
+use rankmpi_fabric::{Notify, Packet};
+use rankmpi_vtime::Nanos;
+
+/// The receiver-side state of one partitioned operation: the assembly buffer,
+/// per-partition arrival stamps, and iteration bookkeeping.
+///
+/// Registered as a [`DirectSink`] under its route id: partition packets are
+/// dispatched here straight from VCI progress, without touching the matching
+/// engine — the O(1)-matching property of partitioned communication.
+#[derive(Debug)]
+pub struct PartSink {
+    partitions: usize,
+    part_bytes: usize,
+    buf: Mutex<Vec<u8>>,
+    /// Virtual ready-time + 1 per partition for the active iteration
+    /// (0 = not arrived).
+    arrived: Vec<AtomicU64>,
+    /// The iteration currently being assembled.
+    iteration: AtomicU64,
+    /// Iterations fully completed by the receiver's `wait`.
+    completed_iter: AtomicU64,
+    /// Virtual completion time of the last completed iteration.
+    completed_at: AtomicU64,
+    /// Packets for future iterations (sender ran ahead).
+    early: Mutex<Vec<Packet>>,
+    /// The receiving process's notifier.
+    notify: Arc<Notify>,
+    /// Receiver-side per-partition processing cost (recv overhead + copy).
+    recv_cost: Nanos,
+    /// Cumulative partitions accepted across all iterations (the sender's
+    /// transfer-complete signal: iteration k is fully transferred once this
+    /// reaches `(k+1) * partitions`).
+    total_accepted: AtomicU64,
+    /// Monotone max of partition ready times (never reset).
+    last_ready: AtomicU64,
+}
+
+impl PartSink {
+    /// Build a sink for `partitions × part_bytes`.
+    pub fn new(partitions: usize, part_bytes: usize, notify: Arc<Notify>, recv_cost: Nanos) -> Arc<Self> {
+        Arc::new(PartSink {
+            partitions,
+            part_bytes,
+            buf: Mutex::new(vec![0; partitions * part_bytes]),
+            arrived: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
+            iteration: AtomicU64::new(0),
+            completed_iter: AtomicU64::new(0),
+            completed_at: AtomicU64::new(0),
+            early: Mutex::new(Vec::new()),
+            notify,
+            recv_cost,
+            total_accepted: AtomicU64::new(0),
+            last_ready: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Bytes per partition.
+    pub fn part_bytes(&self) -> usize {
+        self.part_bytes
+    }
+
+    /// The active iteration index.
+    pub fn iteration(&self) -> u64 {
+        self.iteration.load(Ordering::Acquire)
+    }
+
+    /// Iterations completed so far.
+    pub fn completed_iter(&self) -> u64 {
+        self.completed_iter.load(Ordering::Acquire)
+    }
+
+    /// Virtual completion time of the last completed iteration.
+    pub fn completed_at(&self) -> Nanos {
+        Nanos(self.completed_at.load(Ordering::Acquire))
+    }
+
+    fn accept(&self, pkt: &Packet) {
+        let part = (pkt.header.aux2 & 0xFFFF_FFFF) as usize;
+        debug_assert!(part < self.partitions);
+        debug_assert_eq!(pkt.payload.len(), self.part_bytes);
+        {
+            let mut buf = self.buf.lock();
+            let off = part * self.part_bytes;
+            buf[off..off + self.part_bytes].copy_from_slice(&pkt.payload);
+        }
+        let ready = pkt.arrive_at + self.recv_cost;
+        self.arrived[part].store(ready.as_ns() + 1, Ordering::Release);
+        self.last_ready.fetch_max(ready.as_ns(), Ordering::AcqRel);
+        self.total_accepted.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Cumulative partitions accepted across all iterations.
+    pub fn total_accepted(&self) -> u64 {
+        self.total_accepted.load(Ordering::Acquire)
+    }
+
+    /// Monotone max of partition ready times.
+    pub fn last_ready(&self) -> Nanos {
+        Nanos(self.last_ready.load(Ordering::Acquire))
+    }
+
+    /// The receiving process's notifier (the sender's "ack channel").
+    pub fn notify_handle(&self) -> Arc<Notify> {
+        Arc::clone(&self.notify)
+    }
+
+    /// Ready time of `part` in the active iteration, if arrived.
+    pub fn partition_ready(&self, part: usize) -> Option<Nanos> {
+        let v = self.arrived[part].load(Ordering::Acquire);
+        (v > 0).then(|| Nanos(v - 1))
+    }
+
+    /// Whether all partitions of the active iteration have arrived; returns
+    /// the max ready time if so.
+    pub fn all_ready(&self) -> Option<Nanos> {
+        let mut max = Nanos::ZERO;
+        for a in &self.arrived {
+            let v = a.load(Ordering::Acquire);
+            if v == 0 {
+                return None;
+            }
+            max = max.max(Nanos(v - 1));
+        }
+        Some(max)
+    }
+
+    /// Read the assembled partition `part` (valid once it arrived).
+    pub fn read_partition(&self, part: usize) -> Vec<u8> {
+        let buf = self.buf.lock();
+        let off = part * self.part_bytes;
+        buf[off..off + self.part_bytes].to_vec()
+    }
+
+    /// Copy out the whole assembled buffer.
+    pub fn read_all(&self) -> Vec<u8> {
+        self.buf.lock().clone()
+    }
+
+    /// Complete the active iteration at virtual time `finish`: reset arrival
+    /// state, bump counters, and re-deliver any early packets that belong to
+    /// the next iteration.
+    pub fn complete_iteration(&self, finish: Nanos) {
+        for a in &self.arrived {
+            a.store(0, Ordering::Release);
+        }
+        self.completed_at.store(finish.as_ns(), Ordering::Release);
+        self.completed_iter.fetch_add(1, Ordering::AcqRel);
+        let next = self.iteration.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut early = self.early.lock();
+        let (now_due, still_early): (Vec<Packet>, Vec<Packet>) = early
+            .drain(..)
+            .partition(|p| (p.header.aux2 >> 32) == next);
+        *early = still_early;
+        drop(early);
+        for p in now_due {
+            self.accept(&p);
+        }
+        self.notify.notify();
+    }
+}
+
+impl DirectSink for PartSink {
+    fn deliver(&self, pkt: Packet) {
+        let iter = pkt.header.aux2 >> 32;
+        if iter == self.iteration.load(Ordering::Acquire) {
+            self.accept(&pkt);
+        } else {
+            debug_assert!(iter > self.iteration.load(Ordering::Acquire));
+            self.early.lock().push(pkt);
+        }
+        self.notify.notify();
+    }
+}
+
+/// Process-global route table: the sender-side view of receiver sinks.
+///
+/// In a real MPI library the sender learns the route id from the handshake
+/// and addresses packets with it; reading the receiver's completion state
+/// (for `wait`'s restart-safety) would be an acknowledgment message. Here the
+/// shared address space stands in for that ack, as documented in DESIGN.md.
+static ROUTES: Mutex<Option<HashMap<u64, Arc<PartSink>>>> = Mutex::new(None);
+static NEXT_ROUTE: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh route id and register `sink` under it.
+pub fn register_route(sink: Arc<PartSink>) -> u64 {
+    let id = NEXT_ROUTE.fetch_add(1, Ordering::Relaxed);
+    ROUTES
+        .lock()
+        .get_or_insert_with(HashMap::new)
+        .insert(id, sink);
+    id
+}
+
+/// Look up a route's sink.
+pub fn lookup_route(id: u64) -> Option<Arc<PartSink>> {
+    ROUTES.lock().as_ref().and_then(|m| m.get(&id).cloned())
+}
+
+/// Remove a route (operation freed).
+pub fn unregister_route(id: u64) {
+    if let Some(m) = ROUTES.lock().as_mut() {
+        m.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rankmpi_fabric::Header;
+
+    fn pkt(iter: u64, part: u64, data: &'static [u8], arrive: u64) -> Packet {
+        Packet {
+            header: Header {
+                kind: rankmpi_core::vci::KIND_DIRECT,
+                aux2: (iter << 32) | part,
+                ..Header::zeroed()
+            },
+            payload: Bytes::from_static(data),
+            arrive_at: Nanos(arrive),
+        }
+    }
+
+    #[test]
+    fn partitions_assemble_into_the_buffer() {
+        let sink = PartSink::new(3, 2, Arc::new(Notify::new()), Nanos(10));
+        sink.deliver(pkt(0, 1, b"BB", 100));
+        assert_eq!(sink.partition_ready(1), Some(Nanos(110)));
+        assert_eq!(sink.partition_ready(0), None);
+        assert!(sink.all_ready().is_none());
+        sink.deliver(pkt(0, 0, b"AA", 50));
+        sink.deliver(pkt(0, 2, b"CC", 200));
+        assert_eq!(sink.all_ready(), Some(Nanos(210)));
+        assert_eq!(sink.read_all(), b"AABBCC");
+        assert_eq!(sink.read_partition(1), b"BB");
+    }
+
+    #[test]
+    fn early_packets_wait_for_their_iteration() {
+        let sink = PartSink::new(1, 1, Arc::new(Notify::new()), Nanos(0));
+        sink.deliver(pkt(1, 0, b"y", 500)); // sender ran ahead
+        assert!(sink.all_ready().is_none());
+        sink.deliver(pkt(0, 0, b"x", 100));
+        assert_eq!(sink.all_ready(), Some(Nanos(100)));
+        assert_eq!(sink.read_partition(0), b"x");
+
+        sink.complete_iteration(Nanos(150));
+        assert_eq!(sink.completed_iter(), 1);
+        assert_eq!(sink.completed_at(), Nanos(150));
+        // The early packet was re-delivered into iteration 1.
+        assert_eq!(sink.all_ready(), Some(Nanos(500)));
+        assert_eq!(sink.read_partition(0), b"y");
+    }
+
+    #[test]
+    fn route_registry_roundtrip() {
+        let sink = PartSink::new(1, 1, Arc::new(Notify::new()), Nanos(0));
+        let id = register_route(Arc::clone(&sink));
+        let found = lookup_route(id).unwrap();
+        assert!(Arc::ptr_eq(&sink, &found));
+        unregister_route(id);
+        assert!(lookup_route(id).is_none());
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Virtual-time engine for deterministic performance modeling.
+//!
+//! The paper's performance arguments are *resource-mapping* arguments: how many
+//! logically independent communication streams exist, how many physical network
+//! contexts they map onto, and how much serialization/synchronization the mapping
+//! induces. To reproduce those effects on any host (including a single-core CI
+//! container), `rankmpi` does not measure wall-clock time. Instead, every simulated
+//! thread carries a [`Clock`] — a virtual timestamp in nanoseconds — and every
+//! shared physical resource (a NIC hardware context, a lock, a matching engine) is
+//! a [`Resource`] holding the virtual time at which it next becomes free.
+//!
+//! Using a resource serializes in virtual time exactly like queueing at a device:
+//!
+//! ```text
+//! start      = max(thread_now, resource_next_free)
+//! next_free  = start + busy
+//! thread_now = start + busy (+ any overlap-exempt overhead)
+//! ```
+//!
+//! This is the classic LogGP-style accounting (overhead `o`, gap `g`, latency `L`,
+//! per-byte time `G`). Aggregate metrics (total simulated time, message rates) are
+//! independent of host scheduling, so the *shape* of every benchmark — who wins, by
+//! what factor, where crossovers fall — is reproducible.
+//!
+//! The crate also provides:
+//! - [`ContentionLock`]: a mutex whose virtual acquisition cost grows with the
+//!   number of concurrent waiters, modeling cache-line bouncing and futex traffic
+//!   (the thread-synchronization overheads of the paper's Lessons 3 and 14);
+//! - [`VirtualBarrier`]: a barrier that joins the virtual clocks of all
+//!   participants (used by stencil iterations and partitioned-request completion);
+//! - [`stats`]: lightweight atomic counters/accumulators used for byte and
+//!   collision accounting in the experiments.
+
+pub mod barrier;
+pub mod clock;
+pub mod lock;
+pub mod nanos;
+pub mod resource;
+pub mod stats;
+
+pub use barrier::VirtualBarrier;
+pub use clock::Clock;
+pub use lock::{ContentionLock, LockCosts};
+pub use nanos::Nanos;
+pub use resource::{Acquisition, Resource};
+pub use stats::{Accumulator, Counter};

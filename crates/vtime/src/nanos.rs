@@ -1,0 +1,212 @@
+//! The virtual time unit: nanoseconds as a saturating `u64` newtype.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span or instant of virtual time, in nanoseconds.
+///
+/// All arithmetic saturates: a simulation that accumulates time for hours of
+/// virtual execution must never wrap around and silently reorder events.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The zero instant (simulation epoch).
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn ns(v: u64) -> Self {
+        Nanos(v)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn us(v: u64) -> Self {
+        Nanos(v.saturating_mul(1_000))
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn ms(v: u64) -> Self {
+        Nanos(v.saturating_mul(1_000_000))
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn secs(v: u64) -> Self {
+        Nanos(v.saturating_mul(1_000_000_000))
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Value in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Nanos) -> Nanos {
+        Nanos(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Nanos) -> Nanos {
+        Nanos(self.0.min(other.0))
+    }
+
+    /// Saturating difference, `0` if `other` is later.
+    #[inline]
+    pub fn saturating_sub(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale a duration by a dimensionless factor, rounding to nearest.
+    ///
+    /// Used for per-byte costs and contention multipliers.
+    #[inline]
+    pub fn scale_f64(self, factor: f64) -> Nanos {
+        debug_assert!(factor >= 0.0, "negative time scale");
+        Nanos((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Nanos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if v >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if v >= 1_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{v}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Nanos::us(3).as_ns(), 3_000);
+        assert_eq!(Nanos::ms(3).as_ns(), 3_000_000);
+        assert_eq!(Nanos::secs(3).as_ns(), 3_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let big = Nanos(u64::MAX - 1);
+        assert_eq!((big + Nanos(10)).as_ns(), u64::MAX);
+        assert_eq!((Nanos(5) - Nanos(9)).as_ns(), 0);
+        assert_eq!((big * 3).as_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn max_min_pick_correctly() {
+        assert_eq!(Nanos(3).max(Nanos(5)), Nanos(5));
+        assert_eq!(Nanos(3).min(Nanos(5)), Nanos(3));
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        assert_eq!(Nanos(10).scale_f64(0.25), Nanos(3)); // 2.5 rounds up
+        assert_eq!(Nanos(10).scale_f64(1.5), Nanos(15));
+        assert_eq!(Nanos(0).scale_f64(123.0), Nanos(0));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Nanos(950)), "950ns");
+        assert_eq!(format!("{}", Nanos::us(2)), "2.000us");
+        assert_eq!(format!("{}", Nanos::ms(2)), "2.000ms");
+        assert_eq!(format!("{}", Nanos::secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+}

@@ -1,0 +1,134 @@
+//! Lesson 3's resource arithmetic: how many communicators a 3D 27-point
+//! stencil needs to expose all of its logical communication parallelism,
+//! versus the minimum number of parallel channels the pattern itself requires.
+
+/// Communicators required to expose all communication parallelism of a 3D
+/// 27-point stencil with an `[x, y, z]` thread grid per process — the paper's
+/// closed form:
+///
+/// ```text
+/// 2xy + 2yz + 2xz                  faces (6 perpendicular directions)
+/// + 8(xy + yz + xz - 1)            8 corner diagonals
+/// + 4(xz + yz - z)                 edge diagonals
+/// + 4(xy + yz - y)
+/// + 4(xy + xz - x)
+/// ```
+///
+/// For `[4, 4, 4]` (a 64-core node) this is **808**.
+pub fn communicators_required_3d(x: usize, y: usize, z: usize) -> usize {
+    let (x, y, z) = (x as i64, y as i64, z as i64);
+    let faces = 2 * x * y + 2 * y * z + 2 * x * z;
+    let corners = 8 * (x * y + y * z + x * z - 1);
+    let edges = 4 * (x * z + y * z - z) + 4 * (x * y + y * z - y) + 4 * (x * y + x * z - x);
+    (faces + corners + edges) as usize
+}
+
+/// Minimum parallel communication channels the 3D 27-point pattern requires:
+/// the number of threads that communicate inter-node, `xyz − (x−2)(y−2)(z−2)`
+/// (interior threads exchange only in shared memory).
+///
+/// For `[4, 4, 4]` this is **56**.
+pub fn min_channels_3d(x: usize, y: usize, z: usize) -> usize {
+    let interior = x.saturating_sub(2) * y.saturating_sub(2) * z.saturating_sub(2);
+    x * y * z - interior
+}
+
+/// The same boundary-thread count, by brute force: threads with at least one
+/// coordinate on the grid's surface. Used to property-check the closed form.
+pub fn boundary_threads_brute_force(x: usize, y: usize, z: usize) -> usize {
+    let mut n = 0;
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                if i == 0 || i == x - 1 || j == 0 || j == y - 1 || k == 0 || k == z - 1 {
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
+/// The paper's headline ratio: communicators ÷ channels for an `[x, y, z]`
+/// thread grid (≈ 14.4 for `[4, 4, 4]`).
+pub fn overprovision_ratio(x: usize, y: usize, z: usize) -> f64 {
+    communicators_required_3d(x, y, z) as f64 / min_channels_3d(x, y, z) as f64
+}
+
+/// Communicators required for the 2D 9-point stencil of Fig. 4 with a
+/// `tx × ty` thread grid: `2tx + 2ty` for the perpendicular directions plus
+/// four diagonal sets (2 along the NS boundaries sized `tx`, 2 along the EW
+/// boundaries sized `ty`), corner optimization not applied (Listing 1's
+/// simplification).
+pub fn communicators_required_2d_9pt(tx: usize, ty: usize) -> usize {
+    (2 * tx + 2 * ty) + (2 * tx + 2 * ty)
+}
+
+/// Minimum channels for the 2D 9-point pattern: boundary threads of the
+/// `tx × ty` grid.
+pub fn min_channels_2d(tx: usize, ty: usize) -> usize {
+    tx * ty - tx.saturating_sub(2) * ty.saturating_sub(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        assert_eq!(communicators_required_3d(4, 4, 4), 808);
+        assert_eq!(min_channels_3d(4, 4, 4), 56);
+        let r = overprovision_ratio(4, 4, 4);
+        assert!(r > 14.0 && r < 14.5, "paper reports over 14x: got {r}");
+    }
+
+    #[test]
+    fn min_channels_matches_brute_force() {
+        for x in 1..6 {
+            for y in 1..6 {
+                for z in 1..6 {
+                    assert_eq!(
+                        min_channels_3d(x, y, z),
+                        boundary_threads_brute_force(x, y, z),
+                        "[{x},{y},{z}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn communicators_always_exceed_channels_for_multithread_grids() {
+        for x in 2..6 {
+            for y in 2..6 {
+                for z in 2..6 {
+                    assert!(
+                        communicators_required_3d(x, y, z) > min_channels_3d(x, y, z),
+                        "[{x},{y},{z}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overprovision_ratio_stays_order_of_magnitude_for_realistic_nodes() {
+        // Across realistic cubic thread grids the communicator requirement
+        // exceeds the channel requirement by more than an order of magnitude.
+        for n in 2..=6 {
+            let r = overprovision_ratio(n, n, n);
+            assert!(r > 10.0, "[{n},{n},{n}] ratio {r}");
+        }
+        // And the absolute communicator count grows superlinearly in cores.
+        let c2 = communicators_required_3d(2, 2, 2);
+        let c4 = communicators_required_3d(4, 4, 4);
+        assert!(c4 > 4 * c2, "{c4} vs {c2}");
+    }
+
+    #[test]
+    fn two_d_counts() {
+        assert_eq!(min_channels_2d(3, 3), 8);
+        assert_eq!(min_channels_2d(2, 2), 4);
+        assert_eq!(communicators_required_2d_9pt(3, 3), 24);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Application communication kernels from the paper, each runnable under
+//! every design for MPI+threads communication.
+//!
+//! | Module | Paper source | Used by |
+//! |---|---|---|
+//! | [`msgrate`] | Fig. 1(a): message-rate scaling (MPI everywhere vs MPI+threads original vs logically parallel) | `fig1a_msgrate` |
+//! | [`stencil`] | Figs. 1(b), 4; Listings 1–4: 2D 5/9-point halo exchange under all four mechanisms, with the mirrored communicator maps | `fig1b_stencil_scaling`, `fig4_comm_map`, `lesson14_partitioned_sync` |
+//! | [`commcount`] | Lesson 3: communicator-count formula for the 3D 27-point stencil vs minimum channels | `lesson3_resources` |
+//! | [`legion`] | Fig. 5, Lesson 5, Fig. 1(c): event-based runtime with a wildcard polling thread | `fig1c_legion`, `lesson5_polling` |
+//! | [`graph`] | Lesson 5: irregular, dynamically changing communication neighborhoods (Vite-style) | `lesson5_polling` |
+//! | [`nwchem`] | Fig. 6, Lesson 16: get-compute-update block-sparse matrix multiplication over RMA | `lesson16_rma` |
+//! | [`vasp`] | Fig. 7, Lessons 18–19: multithreaded allreduce designs | `lesson18_collectives` |
+//! | [`wombat`] | Section II-A windows / WOMBAT: put-based RMA halo, single window vs window-per-thread vs endpoints | `lesson16_rma` |
+//! | [`smilei`] | Lessons 6 and 9 / Smilei: particle exchange with app tags — the least-change tags upgrade and its tag-budget cliff | `lesson9_tag_overflow` |
+
+pub mod commcount;
+pub mod graph;
+pub mod legion;
+pub mod measure;
+pub mod msgrate;
+pub mod nwchem;
+pub mod smilei;
+pub mod stencil;
+pub mod vasp;
+pub mod wombat;

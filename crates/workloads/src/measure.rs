@@ -1,0 +1,47 @@
+//! Measurement-window helpers.
+//!
+//! Setup (communicator duplication, endpoint creation, partitioned
+//! handshakes) sends real traffic through the same simulated resources the
+//! measurement uses. Real benchmarks warm up and then synchronize before
+//! timing; the virtual-time equivalent is to jump every measuring thread's
+//! clock to a common start instant safely past all setup activity and report
+//! times relative to it.
+
+use rankmpi_core::ThreadCtx;
+use rankmpi_vtime::Nanos;
+
+/// The common measurement start: 1 ms of virtual time, far beyond any
+/// setup-phase resource occupancy.
+pub const START: Nanos = Nanos(1_000_000);
+
+/// Enter the measurement window.
+pub fn begin(th: &mut ThreadCtx) {
+    th.clock.sync_to(START);
+}
+
+/// Time elapsed inside the measurement window.
+pub fn elapsed(th: &ThreadCtx) -> Nanos {
+    th.clock.now() - START
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmpi_core::Universe;
+
+    #[test]
+    fn begin_jumps_forward_only() {
+        let u = Universe::builder().nodes(1).build();
+        u.run(|env| {
+            let mut th = env.single_thread();
+            begin(&mut th);
+            assert_eq!(th.clock.now(), START);
+            assert_eq!(elapsed(&th), Nanos::ZERO);
+            th.compute(Nanos(500));
+            assert_eq!(elapsed(&th), Nanos(500));
+            // A second begin never rewinds.
+            begin(&mut th);
+            assert_eq!(elapsed(&th), Nanos(500));
+        });
+    }
+}

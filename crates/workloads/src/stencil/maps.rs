@@ -1,0 +1,541 @@
+//! Communicator maps for 2D stencils (Fig. 4, Listing 1, Lessons 1–3).
+//!
+//! The process grid is periodic (a torus) with even dimensions, which is what
+//! makes the parity-mirrored assignment of Listing 1 consistent: a process at
+//! `(rx, ry)` and its north neighbor disagree on `ry % 2`, so the sender's
+//! `ns_a`/`ns_b` choice is exactly the receiver's `ns_b`/`ns_a` choice.
+
+use std::collections::HashMap;
+
+/// The eight exchange directions of a 2D 9-point stencil.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir2 {
+    /// North (+y).
+    N,
+    /// South (−y).
+    S,
+    /// East (+x).
+    E,
+    /// West (−x).
+    W,
+    /// North-east diagonal.
+    NE,
+    /// North-west diagonal.
+    NW,
+    /// South-east diagonal.
+    SE,
+    /// South-west diagonal.
+    SW,
+}
+
+impl Dir2 {
+    /// The four perpendicular directions (5-point stencil).
+    pub const CARDINAL: [Dir2; 4] = [Dir2::N, Dir2::S, Dir2::E, Dir2::W];
+    /// All eight directions (9-point stencil).
+    pub const ALL: [Dir2; 8] = [
+        Dir2::N,
+        Dir2::S,
+        Dir2::E,
+        Dir2::W,
+        Dir2::NE,
+        Dir2::NW,
+        Dir2::SE,
+        Dir2::SW,
+    ];
+
+    /// The direction a matching receive comes from.
+    pub fn opposite(&self) -> Dir2 {
+        match self {
+            Dir2::N => Dir2::S,
+            Dir2::S => Dir2::N,
+            Dir2::E => Dir2::W,
+            Dir2::W => Dir2::E,
+            Dir2::NE => Dir2::SW,
+            Dir2::NW => Dir2::SE,
+            Dir2::SE => Dir2::NW,
+            Dir2::SW => Dir2::NE,
+        }
+    }
+
+    /// Unit offset `(dx, dy)` of the direction.
+    pub fn offset(&self) -> (i64, i64) {
+        match self {
+            Dir2::N => (0, 1),
+            Dir2::S => (0, -1),
+            Dir2::E => (1, 0),
+            Dir2::W => (-1, 0),
+            Dir2::NE => (1, 1),
+            Dir2::NW => (-1, 1),
+            Dir2::SE => (1, -1),
+            Dir2::SW => (-1, -1),
+        }
+    }
+
+    /// Whether this is a diagonal exchange.
+    pub fn is_diagonal(&self) -> bool {
+        matches!(self, Dir2::NE | Dir2::NW | Dir2::SE | Dir2::SW)
+    }
+}
+
+/// A thread-grid geometry: `px × py` processes (torus), `tx × ty` threads per
+/// process, one patch per thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Processes along x.
+    pub px: usize,
+    /// Processes along y.
+    pub py: usize,
+    /// Threads along x within a process.
+    pub tx: usize,
+    /// Threads along y within a process.
+    pub ty: usize,
+}
+
+impl Geometry {
+    /// Total processes.
+    pub fn n_procs(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Threads per process.
+    pub fn n_threads(&self) -> usize {
+        self.tx * self.ty
+    }
+
+    /// Linear process rank of torus coordinates.
+    pub fn proc_rank(&self, rx: usize, ry: usize) -> usize {
+        ry * self.px + rx
+    }
+
+    /// Torus coordinates of a process rank.
+    pub fn proc_coords(&self, rank: usize) -> (usize, usize) {
+        (rank % self.px, rank / self.px)
+    }
+
+    /// Linear thread id of thread coordinates.
+    pub fn tid(&self, tid_x: usize, tid_y: usize) -> usize {
+        tid_y * self.tx + tid_x
+    }
+
+    /// Thread coordinates of a linear thread id.
+    pub fn tid_coords(&self, tid: usize) -> (usize, usize) {
+        (tid % self.tx, tid / self.tx)
+    }
+
+    /// The global patch position of `(proc, thread)` along each axis.
+    fn global_patch(&self, rx: usize, ry: usize, tid_x: usize, tid_y: usize) -> (usize, usize) {
+        (rx * self.tx + tid_x, ry * self.ty + tid_y)
+    }
+
+    /// Where `(proc, thread)`'s exchange partner in direction `d` lives:
+    /// `(proc rank, thread id)` on the torus.
+    pub fn neighbor(&self, rx: usize, ry: usize, tid_x: usize, tid_y: usize, d: Dir2) -> (usize, usize) {
+        let (gx, gy) = self.global_patch(rx, ry, tid_x, tid_y);
+        let (dx, dy) = d.offset();
+        let wx = (self.px * self.tx) as i64;
+        let wy = (self.py * self.ty) as i64;
+        let ngx = ((gx as i64 + dx) % wx + wx) % wx;
+        let ngy = ((gy as i64 + dy) % wy + wy) % wy;
+        let nrx = ngx as usize / self.tx;
+        let nry = ngy as usize / self.ty;
+        let ntx = ngx as usize % self.tx;
+        let nty = ngy as usize % self.ty;
+        (self.proc_rank(nrx, nry), self.tid(ntx, nty))
+    }
+
+    /// Whether `(thread, direction)` crosses a process boundary (needs MPI).
+    pub fn crosses_proc(&self, tid_x: usize, tid_y: usize, d: Dir2) -> bool {
+        let (dx, dy) = d.offset();
+        let cross_x = (dx > 0 && tid_x == self.tx - 1) || (dx < 0 && tid_x == 0);
+        let cross_y = (dy > 0 && tid_y == self.ty - 1) || (dy < 0 && tid_y == 0);
+        // A diagonal needs MPI if it crosses either axis boundary.
+        (dx != 0 && cross_x) || (dy != 0 && cross_y)
+    }
+}
+
+/// A communicator map: which communicator each `(proc, thread, direction)`
+/// **send** uses. A receive from direction `d` uses whatever communicator the
+/// partner's send in `d.opposite()` uses — that lookup *is* MPI's matching
+/// requirement, so matching is consistent by construction, and maps like
+/// Lesson 2's naive scheme (where a thread's sends and receives use different
+/// communicators) are representable.
+#[derive(Debug, Clone)]
+pub struct CommMap {
+    geo: Geometry,
+    /// (proc rank, thread id, direction) → send communicator id.
+    assign: HashMap<(usize, usize, Dir2), usize>,
+    n_comms: usize,
+    /// Display label.
+    pub label: &'static str,
+}
+
+impl CommMap {
+    /// The communicator a send in direction `d` uses, if it is an MPI op.
+    pub fn send_comm(&self, proc: usize, tid: usize, d: Dir2) -> Option<usize> {
+        self.assign.get(&(proc, tid, d)).copied()
+    }
+
+    /// The communicator a receive *from* direction `d` must use: the
+    /// partner's send communicator for `d.opposite()`.
+    pub fn recv_comm(&self, proc: usize, tid: usize, d: Dir2) -> Option<usize> {
+        let g = self.geo;
+        let (rx, ry) = g.proc_coords(proc);
+        let (tid_x, tid_y) = g.tid_coords(tid);
+        let (nproc, ntid) = g.neighbor(rx, ry, tid_x, tid_y, d);
+        self.assign.get(&(nproc, ntid, d.opposite())).copied()
+    }
+
+    /// Number of distinct communicators in the map.
+    pub fn n_comms(&self) -> usize {
+        self.n_comms
+    }
+
+    /// The geometry the map was built for.
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// Check coverage: every crossing send has a partner send in the
+    /// opposite direction (so every receive can locate its communicator).
+    /// Returns the number of channels checked.
+    pub fn validate_matching(&self) -> Result<usize, String> {
+        let mut checked = 0;
+        for (proc, tid, d) in self.assign.keys() {
+            self.recv_comm(*proc, *tid, *d)
+                .ok_or_else(|| format!("partner op missing for proc {proc} tid {tid} {d:?}"))?;
+            checked += 1;
+        }
+        Ok(checked)
+    }
+
+    /// All (thread, comm) usages at process `p`: sends and receives.
+    fn usages_at(&self, p: usize) -> Vec<(usize, usize)> {
+        let g = self.geo;
+        let mut out = Vec::new();
+        for tid in 0..g.n_threads() {
+            for d in Dir2::ALL {
+                if let Some(c) = self.send_comm(p, tid, d) {
+                    out.push((tid, c));
+                }
+                if let Some(c) = self.recv_comm(p, tid, d) {
+                    out.push((tid, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// The number of *distinct* communicators a process's MPI operations use
+    /// — the logically parallel channels the map actually exposes. Minimum
+    /// over processes (symmetric on a torus).
+    pub fn exposed_parallelism(&self) -> usize {
+        let g = self.geo;
+        (0..g.n_procs())
+            .map(|p| {
+                let mut comms: Vec<usize> =
+                    self.usages_at(p).into_iter().map(|(_, c)| c).collect();
+                comms.sort_unstable();
+                comms.dedup();
+                comms.len()
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Lesson 2's serialization metric: the largest number of *distinct
+    /// threads* whose operations share one communicator within a process.
+    /// 1 means fully parallel (Fig. 4 / Listing 1); 2 means opposite-edge
+    /// threads serialize pairwise — "only half of the available parallelism".
+    pub fn max_threads_sharing_a_comm(&self) -> usize {
+        let g = self.geo;
+        (0..g.n_procs())
+            .map(|p| {
+                let mut by_comm: HashMap<usize, Vec<usize>> = HashMap::new();
+                for (tid, c) in self.usages_at(p) {
+                    by_comm.entry(c).or_default().push(tid);
+                }
+                by_comm
+                    .values_mut()
+                    .map(|tids| {
+                        tids.sort_unstable();
+                        tids.dedup();
+                        tids.len()
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn insert_all(
+    geo: Geometry,
+    dirs: &[Dir2],
+    mut pick: impl FnMut(usize, usize, usize, usize, Dir2) -> usize,
+) -> HashMap<(usize, usize, Dir2), usize> {
+    let mut assign = HashMap::new();
+    for ry in 0..geo.py {
+        for rx in 0..geo.px {
+            let proc = geo.proc_rank(rx, ry);
+            for tid_y in 0..geo.ty {
+                for tid_x in 0..geo.tx {
+                    let tid = geo.tid(tid_x, tid_y);
+                    for &d in dirs {
+                        if geo.crosses_proc(tid_x, tid_y, d) {
+                            let c = pick(rx, ry, tid_x, tid_y, d);
+                            assign.insert((proc, tid, d), c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assign
+}
+
+/// Listing 1's mirrored communicator map for the 2D 5-point stencil:
+/// `ns_comm_a/b[tx]` and `ew_comm_a/b[ty]`, chosen by process parity.
+/// Requires even `px`, `py` on the torus.
+pub fn listing1_map_5pt(geo: Geometry) -> CommMap {
+    assert!(
+        geo.px.is_multiple_of(2) && geo.py.is_multiple_of(2),
+        "parity mirroring needs an even process torus"
+    );
+    // Communicator ids: ns_a = [0, tx), ns_b = [tx, 2tx),
+    // ew_a = [2tx, 2tx+ty), ew_b = [2tx+ty, 2tx+2ty).
+    let (tx, ty) = (geo.tx, geo.ty);
+    let assign = insert_all(geo, &Dir2::CARDINAL, |rx, ry, tid_x, tid_y, d| {
+        let ns = |set_b: bool, i: usize| if set_b { tx + i } else { i };
+        let ew = |set_b: bool, j: usize| 2 * tx + if set_b { ty + j } else { j };
+        match d {
+            Dir2::N => ns(ry % 2 == 1, tid_x),
+            Dir2::S => ns(ry % 2 == 0, tid_x),
+            Dir2::E => ew(rx % 2 == 1, tid_y),
+            Dir2::W => ew(rx % 2 == 0, tid_y),
+            _ => unreachable!("5-point map has no diagonals"),
+        }
+    });
+    CommMap {
+        geo,
+        assign,
+        n_comms: 2 * tx + 2 * ty,
+        label: "listing1-mirrored-5pt",
+    }
+}
+
+/// Lesson 2's intuitive-but-wrong map: communicator *i* for thread *i*'s
+/// sends, communicator *j* (the remote thread's id) for its receives. The
+/// matching is correct, but opposite edges of a process reuse the same
+/// communicators, exposing only half of the available parallelism.
+pub fn naive_map_5pt(geo: Geometry) -> CommMap {
+    let assign = insert_all(geo, &Dir2::CARDINAL, |_rx, _ry, tid_x, tid_y, _d| {
+        // Every send uses the sender's own thread id; receives implicitly use
+        // the remote sender's id (looked up through `recv_comm`).
+        geo.tid(tid_x, tid_y)
+    });
+    CommMap {
+        geo,
+        assign,
+        n_comms: geo.n_threads(),
+        label: "naive-tid-5pt",
+    }
+}
+
+/// Build every inter-process channel of a stencil and greedily color them
+/// into communicators — the generator behind Fig. 4's "ideal communicator
+/// usage".
+///
+/// Conflict rule: two channels touching the same process must use different
+/// communicators, *unless* `corner_opt` is set and they touch that process at
+/// the same thread (a single thread's serial operations may share — Fig. 4's
+/// corner-thread optimization).
+pub fn colored_map(geo: Geometry, nine_point: bool, corner_opt: bool) -> CommMap {
+    let dirs: &[Dir2] = if nine_point { &Dir2::ALL } else { &Dir2::CARDINAL };
+
+    // Enumerate channels once (each unordered pair).
+    #[derive(Clone)]
+    struct Channel {
+        a: (usize, usize, Dir2), // (proc, tid, dir) of one side's send
+        b: (usize, usize, Dir2),
+    }
+    let mut channels: Vec<Channel> = Vec::new();
+    for ry in 0..geo.py {
+        for rx in 0..geo.px {
+            let proc = geo.proc_rank(rx, ry);
+            for tid_y in 0..geo.ty {
+                for tid_x in 0..geo.tx {
+                    let tid = geo.tid(tid_x, tid_y);
+                    for &d in dirs {
+                        if !geo.crosses_proc(tid_x, tid_y, d) {
+                            continue;
+                        }
+                        let (nproc, ntid) = geo.neighbor(rx, ry, tid_x, tid_y, d);
+                        // Canonical orientation: keep one record per pair.
+                        if (proc, tid, format!("{d:?}")) <= (nproc, ntid, format!("{:?}", d.opposite())) {
+                            channels.push(Channel {
+                                a: (proc, tid, d),
+                                b: (nproc, ntid, d.opposite()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Greedy coloring in deterministic order.
+    let conflict = |c1: &Channel, c2: &Channel| -> bool {
+        for &(p1, t1, _) in [&c1.a, &c1.b] {
+            for &(p2, t2, _) in [&c2.a, &c2.b] {
+                if p1 == p2 && (!corner_opt || t1 != t2) {
+                    return true;
+                }
+            }
+        }
+        false
+    };
+    let mut colors: Vec<usize> = Vec::with_capacity(channels.len());
+    let mut n_colors = 0usize;
+    for i in 0..channels.len() {
+        let mut used = vec![false; n_colors];
+        for j in 0..i {
+            if conflict(&channels[i], &channels[j]) {
+                used[colors[j]] = true;
+            }
+        }
+        let c = used.iter().position(|u| !u).unwrap_or(n_colors);
+        if c == n_colors {
+            n_colors += 1;
+        }
+        colors.push(c);
+    }
+
+    let mut assign = HashMap::new();
+    for (ch, &c) in channels.iter().zip(&colors) {
+        assign.insert(ch.a, c);
+        assign.insert(ch.b, c);
+    }
+    CommMap {
+        geo,
+        assign,
+        n_comms: n_colors,
+        label: if nine_point {
+            if corner_opt {
+                "fig4-ideal-9pt"
+            } else {
+                "colored-9pt"
+            }
+        } else {
+            "colored-5pt"
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(px: usize, py: usize, tx: usize, ty: usize) -> Geometry {
+        Geometry { px, py, tx, ty }
+    }
+
+    #[test]
+    fn neighbor_wraps_on_the_torus() {
+        let g = geo(2, 2, 3, 3);
+        // North from the top row of threads crosses to the proc above.
+        let (np, nt) = g.neighbor(0, 0, 1, 2, Dir2::N);
+        assert_eq!(np, g.proc_rank(0, 1));
+        assert_eq!(nt, g.tid(1, 0));
+        // And wraps around the torus from the top process.
+        let (np, nt) = g.neighbor(0, 1, 1, 2, Dir2::N);
+        assert_eq!(np, g.proc_rank(0, 0));
+        assert_eq!(nt, g.tid(1, 0));
+        // Interior moves stay inside the process.
+        assert!(!g.crosses_proc(1, 1, Dir2::N));
+        assert!(g.crosses_proc(1, 2, Dir2::N));
+    }
+
+    #[test]
+    fn diagonal_crossing_detection() {
+        let g = geo(2, 2, 3, 3);
+        assert!(g.crosses_proc(2, 2, Dir2::NE));
+        assert!(g.crosses_proc(2, 0, Dir2::NE)); // east edge crossing
+        assert!(g.crosses_proc(0, 2, Dir2::NE)); // north edge crossing
+        assert!(!g.crosses_proc(0, 0, Dir2::NE));
+    }
+
+    #[test]
+    fn listing1_map_matches_and_exposes_everything() {
+        let g = geo(2, 2, 3, 3);
+        let map = listing1_map_5pt(g);
+        assert_eq!(map.n_comms(), 2 * 3 + 2 * 3);
+        let checked = map.validate_matching().expect("matching must be consistent");
+        // 2*(tx + ty) boundary ops per proc * 4 procs.
+        assert_eq!(checked, 4 * 2 * (3 + 3));
+        // All parallelism exposed: every op at a proc uses a distinct comm.
+        assert_eq!(map.exposed_parallelism(), 2 * (3 + 3));
+    }
+
+    #[test]
+    fn naive_map_matches_but_halves_parallelism() {
+        let g = geo(2, 2, 3, 3);
+        let map = naive_map_5pt(g);
+        map.validate_matching().expect("naive map still matches correctly");
+        let ideal = listing1_map_5pt(g);
+        // Listing 1: no two threads of a process ever share a communicator.
+        assert_eq!(ideal.max_threads_sharing_a_comm(), 1);
+        // Lesson 2: the naive map puts opposite-edge threads' operations on
+        // one communicator (corner threads make it three-way on small
+        // grids), serializing logically parallel operations.
+        assert!(map.max_threads_sharing_a_comm() >= 2);
+        assert!(map.exposed_parallelism() < ideal.exposed_parallelism());
+    }
+
+    #[test]
+    fn colored_5pt_reproduces_listing1_count() {
+        let g = geo(2, 2, 3, 3);
+        let map = colored_map(g, false, false);
+        map.validate_matching().unwrap();
+        assert_eq!(map.exposed_parallelism(), 2 * (3 + 3));
+        assert_eq!(
+            map.n_comms(),
+            listing1_map_5pt(g).n_comms(),
+            "greedy coloring finds the mirrored map's count"
+        );
+    }
+
+    #[test]
+    fn fig4_corner_optimization_reduces_comm_count() {
+        let g = geo(2, 2, 3, 3);
+        let without = colored_map(g, true, false);
+        let with = colored_map(g, true, true);
+        without.validate_matching().unwrap();
+        with.validate_matching().unwrap();
+        assert!(
+            with.n_comms() < without.n_comms(),
+            "corner sharing must save communicators: {} vs {}",
+            with.n_comms(),
+            without.n_comms()
+        );
+        // Parallelism per non-corner op is preserved: every boundary thread
+        // still has at least one distinct channel.
+        assert!(with.exposed_parallelism() >= 2 * (3 + 3) - 4);
+    }
+
+    #[test]
+    fn nine_point_needs_more_comms_than_five_point() {
+        let g = geo(2, 2, 3, 3);
+        let five = colored_map(g, false, false);
+        let nine = colored_map(g, true, false);
+        assert!(nine.n_comms() > five.n_comms());
+    }
+
+    #[test]
+    fn larger_thread_grids_grow_comm_counts_linearly() {
+        let c3 = colored_map(geo(2, 2, 3, 3), false, false).n_comms();
+        let c5 = colored_map(geo(2, 2, 5, 5), false, false).n_comms();
+        assert_eq!(c3, 12);
+        assert_eq!(c5, 20);
+    }
+}

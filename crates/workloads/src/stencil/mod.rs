@@ -1,0 +1,20 @@
+//! Stencil halo-exchange workloads (hypre, Smilei, Pencil): the paper's
+//! running example for comparing the mechanisms.
+//!
+//! - [`maps`]: communicator-map construction — the mirrored assignment of
+//!   Listing 1, the intuitive-but-half-parallel naive map of Lesson 2, and a
+//!   conflict-graph generator that reproduces Fig. 4's "ideal communicator
+//!   usage" (including the corner optimization) for arbitrary grids;
+//! - [`halo`]: an executable 2D halo exchange running under each of the four
+//!   mechanisms (single communicator, communicator map, tags + MPI 4.0
+//!   hints, endpoints, partitioned), with virtual-time reports;
+//! - [`stencil3d`]: the full 3D 27-point exchange (hypre's real shape,
+//!   Lesson 3's arithmetic), with a generated 3D communicator map.
+
+pub mod halo;
+pub mod maps;
+pub mod stencil3d;
+
+pub use halo::{run_halo, HaloConfig, HaloMechanism, HaloReport};
+pub use maps::{CommMap, Dir2};
+pub use stencil3d::{run_halo3, Halo3Config, Halo3Mechanism, Halo3Report};

@@ -1,0 +1,45 @@
+//! The Legion/Realm pattern of Fig. 5: task threads emit active messages; a
+//! polling thread on the remote node drains them — with communicators (forced
+//! to iterate) and with endpoints (one wildcard endpoint).
+//!
+//! Run with: `cargo run --release --example legion_events`
+
+use rankmpi_workloads::legion::{run_legion, LegionConfig, LegionMode};
+
+fn main() {
+    let cfg = LegionConfig {
+        task_threads: 8,
+        events_per_thread: 50,
+        ..LegionConfig::default()
+    };
+    println!(
+        "{} task threads x {} events each, one polling thread on the remote node\n",
+        cfg.task_threads, cfg.events_per_thread
+    );
+    println!(
+        "{:<36} {:>14} {:>14} {:>12}",
+        "mode", "poller busy", "task time", "Mevents/s"
+    );
+    let mut busy = Vec::new();
+    for mode in [
+        LegionMode::SingleComm,
+        LegionMode::CommPerThread,
+        LegionMode::Endpoints,
+    ] {
+        let rep = run_legion(mode, &cfg);
+        println!(
+            "{:<36} {:>14} {:>14} {:>12.3}",
+            rep.mode,
+            rep.poller_busy.to_string(),
+            rep.task_time.to_string(),
+            rep.mevents_per_sec
+        );
+        busy.push((rep.mode, rep.poller_busy));
+    }
+    let slow = busy[1].1.as_ns() as f64 / busy[2].1.as_ns() as f64;
+    println!(
+        "\nIterating {} communicators makes the poller {slow:.2}x slower than one \
+         wildcard endpoint (the paper reports 1.63x for Legion).",
+        cfg.task_threads
+    );
+}

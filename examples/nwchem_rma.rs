@@ -1,0 +1,44 @@
+//! NWChem's get-compute-update block-sparse matrix multiplication over RMA
+//! (Fig. 6 / Lesson 16): the same atomic-update workload under MPI's default
+//! window semantics, relaxed ordering with hash mapping, and endpoints.
+//!
+//! Run with: `cargo run --release --example nwchem_rma`
+
+use rankmpi_workloads::nwchem::{expected_checksum, run_nwchem, NwchemConfig, RmaMode};
+
+fn main() {
+    let cfg = NwchemConfig {
+        procs: 2,
+        threads: 8,
+        tiles: 32,
+        tile_elems: 64,
+        steps: 10,
+        ..NwchemConfig::default()
+    };
+    println!(
+        "{} procs x {} threads, {} get-compute-update steps per thread\n",
+        cfg.procs, cfg.threads, cfg.steps
+    );
+    println!(
+        "{:<42} {:>12} {:>10} {:>12}",
+        "variant", "total time", "VCIs used", "checksum ok"
+    );
+    for mode in [
+        RmaMode::OrderedSingle,
+        RmaMode::RelaxedHashed,
+        RmaMode::Endpoints,
+    ] {
+        let rep = run_nwchem(mode, &cfg);
+        println!(
+            "{:<42} {:>12} {:>10} {:>12}",
+            rep.mode,
+            rep.total_time.to_string(),
+            rep.distinct_vcis_used,
+            rep.checksum == expected_checksum(&cfg),
+        );
+    }
+    println!(
+        "\nAll variants apply the same atomic updates (identical checksums); they \
+         differ only in how much of the update parallelism reaches the network."
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: a simulated MPI job with multithreaded point-to-point
+//! communication, a collective, and virtual-time reporting.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rankmpi_core::{ReduceOp, Universe, ANY_SOURCE, ANY_TAG};
+
+fn main() {
+    // A 4-node job, one process per node, 2 threads per process, over the
+    // Omni-Path-like network profile (the default).
+    let uni = Universe::builder()
+        .nodes(4)
+        .procs_per_node(1)
+        .threads_per_proc(2)
+        .num_vcis(2)
+        .build();
+
+    let reports = uni.run(|env| {
+        let world = env.world();
+        let rank = env.rank();
+        let size = env.size();
+
+        // THREAD_MULTIPLE point-to-point: every thread communicates, tags
+        // distinguish the threads' traffic (a ring per thread).
+        let thread_times = env.parallel(|th| {
+            let tid = th.tid();
+            let next = (rank + 1) % size;
+            let prev = (rank + size - 1) % size;
+            let msg = format!("hello from rank {rank} thread {tid}");
+
+            let recv = world.irecv(th, prev as i64, tid as i64).unwrap();
+            world.send(th, next, tid as i64, msg.as_bytes()).unwrap();
+            let (status, data) = recv.wait(&mut th.clock);
+            assert_eq!(status.source, prev);
+            assert_eq!(
+                String::from_utf8_lossy(&data),
+                format!("hello from rank {prev} thread {tid}")
+            );
+
+            // Wildcard probes work too; they may observe the sibling
+            // thread's still-unreceived ring message, so just inspect.
+            if let Some(st) = world.iprobe(th, ANY_SOURCE, ANY_TAG).unwrap() {
+                assert_eq!(st.source, prev);
+            }
+
+            th.clock.now()
+        });
+
+        // A collective on the main thread: sum each rank's value.
+        let mut th = env.single_thread();
+        let sum = world
+            .allreduce(&mut th, &[(rank + 1) as f64], ReduceOp::Sum)
+            .unwrap();
+        assert_eq!(sum[0], (1..=size).sum::<usize>() as f64);
+
+        (rank, thread_times, sum[0])
+    });
+
+    println!("rank | thread virtual times        | allreduce");
+    for (rank, times, sum) in reports {
+        let t: Vec<String> = times.iter().map(|x| x.to_string()).collect();
+        println!("{rank:4} | {} | {sum}", t.join(", "));
+    }
+    println!("\nA full ring exchange costs about one wire latency (~1 us) of");
+    println!("virtual time per thread; the allreduce adds a couple of tree hops.");
+}

@@ -1,0 +1,60 @@
+//! The paper's real stencil: a 3D 27-point halo exchange (hypre's shape,
+//! Lesson 3's arithmetic), run under every mechanism.
+//!
+//! Run with: `cargo run --release --example stencil3d`
+
+use rankmpi_workloads::commcount::{communicators_required_3d, min_channels_3d};
+use rankmpi_workloads::stencil::stencil3d::{
+    colored_map3, run_halo3, Dir3, Geometry3, Halo3Config, Halo3Mechanism,
+};
+
+fn main() {
+    let cfg = Halo3Config {
+        geo: Geometry3 {
+            p: [2, 2, 2],
+            t: [2, 2, 2],
+        },
+        iters: 4,
+        msg_bytes: 2048,
+        full_27pt: true,
+        ..Halo3Config::default()
+    };
+
+    let t = cfg.geo.t;
+    println!(
+        "3D 27-pt halo: {:?} process brick, {:?} threads/process\n",
+        cfg.geo.p, t
+    );
+    println!(
+        "Lesson 3 arithmetic for this thread brick: {} communicators required \
+         (paper formula), {} minimum channels,",
+        communicators_required_3d(t[0], t[1], t[2]),
+        min_channels_3d(t[0], t[1], t[2]),
+    );
+    let map = colored_map3(cfg.geo, &Dir3::all(), true);
+    println!(
+        "and our greedy-colored map builds a valid assignment with {} communicators.\n",
+        map.n_comms()
+    );
+
+    println!(
+        "{:<34} {:>12} {:>10} {:>12}",
+        "mechanism", "time/iter", "channels", "hw contexts"
+    );
+    for mech in [
+        Halo3Mechanism::SingleComm,
+        Halo3Mechanism::CommMap,
+        Halo3Mechanism::TagsOneToOne,
+        Halo3Mechanism::Endpoints,
+    ] {
+        let rep = run_halo3(mech, &cfg);
+        println!(
+            "{:<34} {:>12} {:>10} {:>12}",
+            rep.mechanism,
+            rep.per_iter.to_string(),
+            rep.channels_created,
+            rep.hw_contexts_used,
+        );
+    }
+    println!("\nEvery halo message was verified against its expected sender and iteration.");
+}

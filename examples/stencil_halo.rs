@@ -1,0 +1,60 @@
+//! The paper's running example: a 2D halo exchange executed under every
+//! design for MPI+threads communication, with resource and timing reports.
+//!
+//! Run with: `cargo run --release --example stencil_halo`
+
+use rankmpi_vtime::Nanos;
+use rankmpi_workloads::stencil::halo::{run_halo, HaloConfig, HaloMechanism};
+use rankmpi_workloads::stencil::maps::Geometry;
+
+fn main() {
+    let cfg = HaloConfig {
+        geo: Geometry {
+            px: 2,
+            py: 2,
+            tx: 4,
+            ty: 4,
+        },
+        iters: 10,
+        elems_per_face: 128,
+        nine_point: false,
+        compute: Nanos::us(10),
+        compute_jitter: 0.5,
+        ..HaloConfig::default()
+    };
+
+    println!(
+        "2D 5-pt halo exchange: {}x{} process torus, {}x{} threads/process, {} iters\n",
+        cfg.geo.px, cfg.geo.py, cfg.geo.tx, cfg.geo.ty, cfg.iters
+    );
+    println!(
+        "{:<38} {:>12} {:>10} {:>12} {:>16}",
+        "mechanism", "time/iter", "channels", "hw contexts", "gate contention"
+    );
+
+    for mech in [
+        HaloMechanism::SingleComm,
+        HaloMechanism::CommMapListing1,
+        HaloMechanism::CommMapNaive,
+        HaloMechanism::CommMapFig4,
+        HaloMechanism::TagsHashed,
+        HaloMechanism::TagsOneToOne,
+        HaloMechanism::Endpoints,
+        HaloMechanism::Partitioned,
+    ] {
+        let rep = run_halo(mech, &cfg);
+        println!(
+            "{:<38} {:>12} {:>10} {:>12} {:>16}",
+            rep.mechanism,
+            rep.per_iter.to_string(),
+            rep.channels_created,
+            rep.hw_contexts_used,
+            rep.gate_contention.to_string(),
+        );
+    }
+
+    println!(
+        "\nEvery halo cell was verified against its expected sender and iteration; \
+         see crates/workloads/src/stencil for the Listing 1-4 implementations."
+    );
+}

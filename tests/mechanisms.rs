@@ -1,0 +1,163 @@
+//! Integration tests across the three designs: the same workloads must be
+//! correct under every mechanism, and the paper's qualitative orderings must
+//! hold in simulated time.
+
+use rankmpi_vtime::Nanos;
+use rankmpi_workloads::graph::{run_graph, GraphConfig, GraphMode};
+use rankmpi_workloads::legion::{run_legion, LegionConfig, LegionMode};
+use rankmpi_workloads::msgrate::{run_rate, RateConfig, RateMode};
+use rankmpi_workloads::nwchem::{expected_checksum, run_nwchem, NwchemConfig, RmaMode};
+use rankmpi_workloads::stencil::halo::{run_halo, HaloConfig, HaloMechanism};
+use rankmpi_workloads::stencil::maps::Geometry;
+use rankmpi_workloads::vasp::{expected_sum, run_vasp, VaspConfig, VaspMode};
+
+fn halo_cfg() -> HaloConfig {
+    HaloConfig {
+        geo: Geometry { px: 2, py: 2, tx: 3, ty: 3 },
+        iters: 4,
+        elems_per_face: 32,
+        nine_point: false,
+        compute: Nanos::us(3),
+        ..HaloConfig::default()
+    }
+}
+
+#[test]
+fn halo_is_correct_under_every_mechanism() {
+    for mech in [
+        HaloMechanism::SingleComm,
+        HaloMechanism::CommMapListing1,
+        HaloMechanism::CommMapNaive,
+        HaloMechanism::CommMapFig4,
+        HaloMechanism::TagsHashed,
+        HaloMechanism::TagsOneToOne,
+        HaloMechanism::Endpoints,
+        HaloMechanism::Partitioned,
+    ] {
+        let rep = run_halo(mech, &halo_cfg());
+        assert!(rep.verified, "{mech:?}");
+    }
+}
+
+#[test]
+fn parallel_mechanisms_outperform_the_original_halo() {
+    let orig = run_halo(HaloMechanism::SingleComm, &halo_cfg());
+    for mech in [
+        HaloMechanism::CommMapListing1,
+        HaloMechanism::TagsOneToOne,
+        HaloMechanism::Endpoints,
+    ] {
+        let rep = run_halo(mech, &halo_cfg());
+        assert!(
+            rep.total_time < orig.total_time,
+            "{mech:?}: {} !< {}",
+            rep.total_time,
+            orig.total_time
+        );
+    }
+}
+
+#[test]
+fn endpoints_match_everywhere_rate_at_scale() {
+    let cfg = RateConfig {
+        msgs_per_sender: 60,
+        ..RateConfig::default()
+    };
+    let everywhere = run_rate(RateMode::Everywhere, 8, &cfg);
+    let endpoints = run_rate(RateMode::ThreadsEndpoints, 8, &cfg);
+    let original = run_rate(RateMode::ThreadsOriginal, 8, &cfg);
+    assert!(endpoints.mmsgs_per_sec > 0.8 * everywhere.mmsgs_per_sec);
+    assert!(endpoints.mmsgs_per_sec > 3.0 * original.mmsgs_per_sec);
+}
+
+#[test]
+fn legion_poller_orderings_hold() {
+    let cfg = LegionConfig {
+        task_threads: 8,
+        events_per_thread: 30,
+        ..LegionConfig::default()
+    };
+    let single = run_legion(LegionMode::SingleComm, &cfg);
+    let comms = run_legion(LegionMode::CommPerThread, &cfg);
+    let eps = run_legion(LegionMode::Endpoints, &cfg);
+    assert_eq!(single.events, comms.events);
+    assert_eq!(comms.events, eps.events);
+    // Lesson 5: comm iteration is the slowest way to poll.
+    assert!(comms.poller_busy > eps.poller_busy);
+    // Task-side injection parallelism beats the single shared channel.
+    assert!(eps.task_time < single.task_time);
+}
+
+#[test]
+fn graph_exchange_is_correct_and_resource_ordering_holds() {
+    let cfg = GraphConfig {
+        threads: 5,
+        rounds: 6,
+        ..GraphConfig::default()
+    };
+    let comms = run_graph(GraphMode::PairwiseComms, &cfg);
+    let eps = run_graph(GraphMode::Endpoints, &cfg);
+    assert_eq!(comms.messages, eps.messages);
+    assert_eq!(comms.channels_created, 25);
+    assert_eq!(eps.channels_created, 5);
+}
+
+#[test]
+fn nwchem_atomicity_is_mechanism_independent() {
+    let cfg = NwchemConfig {
+        procs: 3,
+        threads: 4,
+        steps: 6,
+        ..NwchemConfig::default()
+    };
+    let want = expected_checksum(&cfg);
+    for mode in [RmaMode::OrderedSingle, RmaMode::RelaxedHashed, RmaMode::Endpoints] {
+        let rep = run_nwchem(mode, &cfg);
+        assert_eq!(rep.checksum, want, "{mode:?}");
+    }
+}
+
+#[test]
+fn vasp_reductions_agree_and_segmented_wins() {
+    let cfg = VaspConfig {
+        procs: 4,
+        threads: 4,
+        elems: 4096,
+        repeats: 2,
+        ..VaspConfig::default()
+    };
+    let want = expected_sum(&cfg);
+    let funneled = run_vasp(VaspMode::Funneled, &cfg);
+    let segmented = run_vasp(VaspMode::MultiCommSegmented, &cfg);
+    let eps = run_vasp(VaspMode::EndpointsOneStep, &cfg);
+    assert_eq!(funneled.first_elem, want);
+    assert_eq!(segmented.first_elem, want);
+    assert_eq!(eps.first_elem, want);
+    // The paper's VASP result: segmented ≥ 2x over funneled.
+    assert!(
+        segmented.total_time.as_ns() * 2 <= funneled.total_time.as_ns(),
+        "expected >=2x: {} vs {}",
+        funneled.total_time,
+        segmented.total_time
+    );
+    // Lesson 19: only endpoints duplicate.
+    assert_eq!(funneled.duplicated_bytes, 0);
+    assert!(eps.duplicated_bytes > 0);
+}
+
+#[test]
+fn nine_point_halo_works_with_diagonal_exchanges() {
+    let cfg = HaloConfig {
+        nine_point: true,
+        ..halo_cfg()
+    };
+    for mech in [
+        HaloMechanism::SingleComm,
+        HaloMechanism::CommMapFig4,
+        HaloMechanism::TagsOneToOne,
+        HaloMechanism::Endpoints,
+    ] {
+        let rep = run_halo(mech, &cfg);
+        assert!(rep.verified, "{mech:?}");
+    }
+}

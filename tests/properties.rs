@@ -1,0 +1,208 @@
+//! Property-based tests (proptest) of the library's core invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rankmpi_core::coll::{bytes_to_f64s, f64s_to_bytes};
+use rankmpi_core::matching::{Incoming, MatchPattern, MatchingEngine, PostedRecv};
+use rankmpi_core::request::ReqState;
+use rankmpi_core::tag::{bits_for, default_tag_hash, TagLayout, TagPlacement, TAG_UB};
+use rankmpi_fabric::{Header, Packet};
+use rankmpi_vtime::{Nanos, Resource};
+use rankmpi_workloads::commcount::{boundary_threads_brute_force, min_channels_3d};
+use rankmpi_workloads::stencil::maps::{colored_map, Geometry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tag encode/decode is a bijection over every layout that fits.
+    #[test]
+    fn tag_layout_roundtrips(
+        src_bits in 0u32..=8,
+        dst_bits in 0u32..=8,
+        msb in any::<bool>(),
+        src in 0usize..256,
+        dst in 0usize..256,
+        app in 0i64..1024,
+    ) {
+        let app_bits = 22u32.saturating_sub(src_bits + dst_bits).min(10);
+        let placement = if msb { TagPlacement::Msb } else { TagPlacement::Lsb };
+        let layout = TagLayout::new(src_bits, dst_bits, app_bits, placement).unwrap();
+        let src = src % (1usize << src_bits.min(20));
+        let dst = dst % (1usize << dst_bits.min(20));
+        let app = app % (1i64 << app_bits);
+        let tag = layout.encode(src, dst, app).unwrap();
+        prop_assert!((0..=TAG_UB).contains(&tag));
+        prop_assert_eq!(layout.decode(tag), (src, dst, app));
+    }
+
+    /// `bits_for` is exact: the minimum width that represents 0..n.
+    #[test]
+    fn bits_for_is_minimal(n in 1usize..100_000) {
+        let b = bits_for(n);
+        prop_assert!((1u64 << b) >= n as u64);
+        if b > 0 {
+            prop_assert!((1u64 << (b - 1)) < n as u64);
+        }
+    }
+
+    /// The default tag hash always lands inside the pool.
+    #[test]
+    fn tag_hash_in_range(ctx in any::<u32>(), tag in 0i64..TAG_UB, n in 1usize..64) {
+        prop_assert!(default_tag_hash(ctx, tag, n) < n);
+    }
+
+    /// f64 wire serialization is lossless (including NaN-free specials).
+    #[test]
+    fn f64_bytes_roundtrip(v in proptest::collection::vec(any::<f64>().prop_filter("no NaN", |x| !x.is_nan()), 0..64)) {
+        prop_assert_eq!(bytes_to_f64s(&f64s_to_bytes(&v)), v);
+    }
+
+    /// Resource acquisitions never overlap and never start before request.
+    #[test]
+    fn resource_serializes_any_request_sequence(
+        reqs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..50)
+    ) {
+        let r = Resource::new();
+        let mut spans = Vec::new();
+        for (at, busy) in &reqs {
+            let a = r.acquire(Nanos(*at), Nanos(*busy));
+            prop_assert!(a.start >= Nanos(*at));
+            prop_assert_eq!(a.end, a.start + Nanos(*busy));
+            spans.push(a);
+        }
+        spans.sort_by_key(|a| a.start);
+        for w in spans.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        let total: u64 = reqs.iter().map(|(_, b)| *b).sum();
+        prop_assert_eq!(r.busy_total(), Nanos(total));
+    }
+
+    /// The matching engine conserves messages and preserves per-channel FIFO
+    /// under arbitrary interleavings of posts and arrivals.
+    #[test]
+    fn matching_conserves_and_orders(
+        ops in proptest::collection::vec((any::<bool>(), 0u32..3, 0i64..3), 1..120)
+    ) {
+        let mut e = MatchingEngine::new();
+        let mut sent: Vec<u64> = Vec::new();     // seq of every arrival
+        let mut matched: Vec<(i64, u64)> = Vec::new(); // (channel key, seq)
+        let mut seq = 0u64;
+        let mut arrival_clock = 0u64;
+        for (is_post, src, tag) in ops {
+            let key = (src as i64) << 8 | tag;
+            if is_post {
+                let recv = PostedRecv {
+                    pattern: MatchPattern { context_id: 1, src: src as i64, tag },
+                    req: ReqState::detached(),
+                    posted_at: Nanos::ZERO,
+                };
+                if let (Some(pkt), _) = e.post_recv(recv) {
+                    matched.push((key, pkt.header.seq));
+                }
+            } else {
+                arrival_clock += 10;
+                let pkt = Packet {
+                    header: Header {
+                        kind: 1,
+                        context_id: 1,
+                        src,
+                        dst: 0,
+                        tag,
+                        seq,
+                        aux: 0,
+                        aux2: 0,
+                    },
+                    payload: Bytes::new(),
+                    arrive_at: Nanos(arrival_clock),
+                };
+                sent.push(seq);
+                seq += 1;
+                if let Incoming::Matched { packet, .. } = e.incoming(pkt) {
+                    matched.push((key, packet.header.seq));
+                }
+            }
+        }
+        // Conservation: matched + still-queued == sent.
+        prop_assert_eq!(matched.len() + e.unexpected_len(), sent.len());
+        // Per-channel FIFO: within one (src, tag) channel, matched seqs rise.
+        let mut per_chan: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
+        for (key, s) in matched {
+            if let Some(prev) = per_chan.insert(key, s) {
+                prop_assert!(s > prev, "channel {} matched {} after {}", key, s, prev);
+            }
+        }
+    }
+
+    /// The closed-form boundary-thread count equals brute force everywhere.
+    #[test]
+    fn min_channels_formula_is_exact(x in 1usize..8, y in 1usize..8, z in 1usize..8) {
+        prop_assert_eq!(min_channels_3d(x, y, z), boundary_threads_brute_force(x, y, z));
+    }
+
+    /// Every generated communicator map matches consistently and exposes one
+    /// distinct channel per (thread, direction) at each process.
+    #[test]
+    // px, py >= 2: a 1-wide torus folds a channel's two endpoints into one
+    // process, where "two threads share the channel's comm" is inherent
+    // rather than a coloring defect.
+    fn colored_maps_are_valid(px in 2usize..4, py in 2usize..4, tx in 2usize..5, ty in 2usize..5, nine in any::<bool>(), corner in any::<bool>()) {
+        let geo = Geometry { px, py, tx, ty };
+        let map = colored_map(geo, nine, corner);
+        prop_assert!(map.validate_matching().is_ok());
+        if !corner {
+            // Without corner sharing, no two threads of a process may share.
+            prop_assert_eq!(map.max_threads_sharing_a_comm(), 1);
+        }
+    }
+
+    /// Nanos arithmetic: monotone, saturating, unit-consistent.
+    #[test]
+    fn nanos_arithmetic(a in any::<u64>(), b in any::<u64>()) {
+        let (na, nb) = (Nanos(a), Nanos(b));
+        prop_assert_eq!(na + nb, nb + na);
+        prop_assert!(na + nb >= na.max(nb));
+        prop_assert_eq!((na - nb) + (nb - na), Nanos(a.abs_diff(b)));
+        prop_assert_eq!(na.max(nb).min(na), na.min(nb).max(na));
+    }
+}
+
+/// End-to-end property: allreduce equals the sequential reduction for random
+/// vectors and process counts. (Outside the proptest! macro block to control
+/// the heavier case count.)
+#[test]
+fn allreduce_matches_sequential_reduction() {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rankmpi_core::{ReduceOp, Universe};
+
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..8 {
+        let procs = rng.gen_range(1..=6);
+        let len = rng.gen_range(1..=40);
+        let data: Vec<Vec<f64>> = (0..procs)
+            .map(|_| (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect())
+            .collect();
+        let mut expect = vec![0.0; len];
+        for v in &data {
+            for (e, x) in expect.iter_mut().zip(v) {
+                *e += x;
+            }
+        }
+        let u = Universe::builder().nodes(procs).build();
+        let data_ref = &data;
+        let results = u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            world
+                .allreduce(&mut th, &data_ref[env.rank()], ReduceOp::Sum)
+                .unwrap()
+        });
+        for r in results {
+            for (a, b) in r.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-9, "allreduce mismatch: {a} vs {b}");
+            }
+        }
+    }
+}
