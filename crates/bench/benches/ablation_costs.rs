@@ -19,7 +19,12 @@ use rankmpi_workloads::stencil::maps::Geometry;
 
 fn lesson3_cfg(profile: NetworkProfile) -> HaloConfig {
     HaloConfig {
-        geo: Geometry { px: 2, py: 2, tx: 6, ty: 6 },
+        geo: Geometry {
+            px: 2,
+            py: 2,
+            tx: 6,
+            ty: 6,
+        },
         iters: 6,
         elems_per_face: 1024,
         nine_point: true,
@@ -50,7 +55,12 @@ fn main() {
     }
     print_table(
         "Ablation — shared-context software penalty (Lesson 3 workload, 24-context NIC)",
-        &["penalty/msg", "comm-map comm/iter", "endpoints comm/iter", "ratio"],
+        &[
+            "penalty/msg",
+            "comm-map comm/iter",
+            "endpoints comm/iter",
+            "ratio",
+        ],
         &rows,
     );
 
@@ -64,7 +74,12 @@ fn main() {
     ] {
         let name = profile.name;
         let cfg = HaloConfig {
-            geo: Geometry { px: 2, py: 2, tx: 4, ty: 4 },
+            geo: Geometry {
+                px: 2,
+                py: 2,
+                tx: 4,
+                ty: 4,
+            },
             iters: 6,
             elems_per_face: 512,
             nine_point: false,
@@ -103,10 +118,9 @@ fn main() {
             let mut th = env.single_thread();
             rankmpi_workloads::measure::begin(&mut th);
             if env.rank() == 0 {
-                let mut tx = BufferedPsend::new(
-                    &world, &mut th, 1, 500, depth, parts, 512, &Info::new(),
-                )
-                .unwrap();
+                let mut tx =
+                    BufferedPsend::new(&world, &mut th, 1, 500, depth, parts, 512, &Info::new())
+                        .unwrap();
                 for i in 0..iters {
                     // Short fill phase: the per-iteration transfer-complete
                     // wait dominates at depth 1 and pipelines away deeper.
@@ -118,10 +132,9 @@ fn main() {
                 }
                 tx.finish(&mut th).unwrap();
             } else {
-                let mut rx = BufferedPrecv::new(
-                    &world, &mut th, 0, 500, depth, parts, 512, &Info::new(),
-                )
-                .unwrap();
+                let mut rx =
+                    BufferedPrecv::new(&world, &mut th, 0, 500, depth, parts, 512, &Info::new())
+                        .unwrap();
                 for _ in 0..iters {
                     rx.begin(&mut th).unwrap();
                 }

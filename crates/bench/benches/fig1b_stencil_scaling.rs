@@ -7,9 +7,9 @@
 //! 3×3 threads per process, and report per-iteration halo time.
 
 use rankmpi_bench::{print_table, ratio, takeaway};
+use rankmpi_vtime::Nanos;
 use rankmpi_workloads::stencil::halo::{run_halo, HaloConfig, HaloMechanism};
 use rankmpi_workloads::stencil::maps::Geometry;
-use rankmpi_vtime::Nanos;
 
 fn main() {
     let grids = [(2usize, 2usize), (4, 2), (4, 4)];
@@ -23,7 +23,12 @@ fn main() {
     let mut last: Vec<(HaloMechanism, Nanos)> = Vec::new();
     for (px, py) in grids {
         let cfg = HaloConfig {
-            geo: Geometry { px, py, tx: 4, ty: 4 },
+            geo: Geometry {
+                px,
+                py,
+                tx: 4,
+                ty: 4,
+            },
             iters: 8,
             elems_per_face: 1024,
             nine_point: true,

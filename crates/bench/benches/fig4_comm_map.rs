@@ -11,7 +11,9 @@ use rankmpi_workloads::stencil::maps::{
 };
 
 fn describe(map: &CommMap, geo: Geometry) -> Vec<String> {
-    let checked = map.validate_matching().expect("map must match consistently");
+    let checked = map
+        .validate_matching()
+        .expect("map must match consistently");
     vec![
         map.label.to_string(),
         map.n_comms().to_string(),
@@ -23,7 +25,12 @@ fn describe(map: &CommMap, geo: Geometry) -> Vec<String> {
 }
 
 fn main() {
-    let geo = Geometry { px: 2, py: 2, tx: 3, ty: 3 };
+    let geo = Geometry {
+        px: 2,
+        py: 2,
+        tx: 3,
+        ty: 3,
+    };
 
     let listing1 = listing1_map_5pt(geo);
     let naive = naive_map_5pt(geo);

@@ -24,7 +24,12 @@ fn main() {
     let mut last_gap = String::new();
     for t in [2usize, 3, 4] {
         let cfg = HaloConfig {
-            geo: Geometry { px: 2, py: 2, tx: t, ty: t },
+            geo: Geometry {
+                px: 2,
+                py: 2,
+                tx: t,
+                ty: t,
+            },
             iters: 6,
             elems_per_face: 64,
             nine_point: false,
@@ -44,7 +49,12 @@ fn main() {
     }
     print_table(
         "Lesson 14 — 2D 5-pt halo: endpoints (free-running) vs partitioned (shared request)",
-        &["threads/process", "endpoints time/iter", "partitioned time/iter", "partitioned overhead"],
+        &[
+            "threads/process",
+            "endpoints time/iter",
+            "partitioned time/iter",
+            "partitioned overhead",
+        ],
         &rows,
     );
 
@@ -103,7 +113,11 @@ fn main() {
     }
     print_table(
         "Lesson 14 — virtual time lost to the shared request lock (10 iterations)",
-        &["threads driving partitions", "send-side contention", "per pready"],
+        &[
+            "threads driving partitions",
+            "send-side contention",
+            "per pready",
+        ],
         &rows2,
     );
 

@@ -22,7 +22,11 @@ fn main() {
         ..NwchemConfig::default()
     };
 
-    let modes = [RmaMode::OrderedSingle, RmaMode::RelaxedHashed, RmaMode::Endpoints];
+    let modes = [
+        RmaMode::OrderedSingle,
+        RmaMode::RelaxedHashed,
+        RmaMode::Endpoints,
+    ];
     let mut reports = Vec::new();
     for mode in modes {
         let rep = run_nwchem(mode, &cfg);
@@ -45,7 +49,14 @@ fn main() {
         .collect();
     print_table(
         "Lesson 16 / Fig. 6 — get-compute-update (8 threads/process, atomic updates)",
-        &["variant", "total time", "VCIs used", "imbalance", "ideal VCIs", "atomicity"],
+        &[
+            "variant",
+            "total time",
+            "VCIs used",
+            "imbalance",
+            "ideal VCIs",
+            "atomicity",
+        ],
         &rows,
     );
 

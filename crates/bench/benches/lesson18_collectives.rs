@@ -50,7 +50,13 @@ fn main() {
         .collect();
     print_table(
         "Lessons 18-19 / Fig. 7 — multithreaded allreduce (4 procs x 4 threads, 16k elements)",
-        &["design", "total time", "result bytes/proc", "duplicated bytes", "user intranode step"],
+        &[
+            "design",
+            "total time",
+            "result bytes/proc",
+            "duplicated bytes",
+            "user intranode step",
+        ],
         &rows,
     );
 

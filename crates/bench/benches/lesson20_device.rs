@@ -25,7 +25,12 @@ fn main() {
         .collect();
     print_table(
         "Lesson 20 — device-initiated communication cost model",
-        &["scenario", "CPU proxy", "device full setup", "device partitioned"],
+        &[
+            "scenario",
+            "CPU proxy",
+            "device full setup",
+            "device partitioned",
+        ],
         &rows,
     );
 

@@ -21,7 +21,14 @@ use rankmpi_workloads::stencil::maps::Geometry;
 
 fn main() {
     // Part 1: the resource arithmetic.
-    let grids = [(2usize, 2usize, 2usize), (2, 2, 4), (4, 4, 2), (4, 4, 4), (4, 4, 8), (8, 8, 4)];
+    let grids = [
+        (2usize, 2usize, 2usize),
+        (2, 2, 4),
+        (4, 4, 2),
+        (4, 4, 4),
+        (4, 4, 8),
+        (8, 8, 4),
+    ];
     let rows: Vec<Vec<String>> = grids
         .iter()
         .map(|&(x, y, z)| {
@@ -36,7 +43,13 @@ fn main() {
         .collect();
     print_table(
         "Lesson 3 — 3D 27-pt stencil: communicators required vs minimum channels",
-        &["thread grid", "cores", "communicators", "min channels", "ratio"],
+        &[
+            "thread grid",
+            "cores",
+            "communicators",
+            "min channels",
+            "ratio",
+        ],
         &rows,
     );
     assert_eq!(communicators_required_3d(4, 4, 4), 808);
@@ -59,14 +72,24 @@ fn main() {
     }
     print_table(
         "Lesson 3 — generated 3D 27-pt communicator maps vs the closed form",
-        &["thread grid", "greedy-colored comms", "paper formula", "min channels"],
+        &[
+            "thread grid",
+            "greedy-colored comms",
+            "paper formula",
+            "min channels",
+        ],
         &rows3d,
     );
 
     // Part 2: run the halo exchange on a constrained NIC. 6x6 threads per
     // process needs a 9-pt communicator map far larger than the context pool,
     // while endpoints stay within it.
-    let geo = Geometry { px: 2, py: 2, tx: 6, ty: 6 };
+    let geo = Geometry {
+        px: 2,
+        py: 2,
+        tx: 6,
+        ty: 6,
+    };
     let profile = NetworkProfile::constrained(24);
     let cfg = HaloConfig {
         geo,
@@ -82,9 +105,7 @@ fn main() {
 
     // Communication time per iteration: the compute phase is identical, so
     // subtract it (the paper's >2x claim is specifically about comm time).
-    let comm_time = |r: &rankmpi_workloads::stencil::halo::HaloReport| {
-        r.per_iter - cfg.compute
-    };
+    let comm_time = |r: &rankmpi_workloads::stencil::halo::HaloReport| r.per_iter - cfg.compute;
     let fmt = |r: &rankmpi_workloads::stencil::halo::HaloReport| {
         vec![
             r.mechanism.to_string(),
@@ -97,7 +118,14 @@ fn main() {
     };
     print_table(
         "Lesson 3 — 2D 9-pt halo on a 24-context NIC (6x6 threads/process, 8 KiB faces)",
-        &["mechanism", "channels", "hw contexts", "oversubscription", "comm/iter", "time/iter"],
+        &[
+            "mechanism",
+            "channels",
+            "hw contexts",
+            "oversubscription",
+            "comm/iter",
+            "time/iter",
+        ],
         &[fmt(&comm_rep), fmt(&ep_rep)],
     );
 

@@ -33,7 +33,12 @@ fn main() {
     }
     print_table(
         "Lesson 5 / Fig. 5 — poller drain time: communicator iteration vs endpoint wildcard",
-        &["task threads", "comms poller busy", "endpoint poller busy", "slowdown"],
+        &[
+            "task threads",
+            "comms poller busy",
+            "endpoint poller busy",
+            "slowdown",
+        ],
         &rows,
     );
 
@@ -46,8 +51,16 @@ fn main() {
         "Lesson 5 — irregular graph exchange: channels required",
         &["mechanism", "channels/process", "total time"],
         &[
-            vec![gc.mode.to_string(), gc.channels_created.to_string(), format!("{}", gc.total_time)],
-            vec![ge.mode.to_string(), ge.channels_created.to_string(), format!("{}", ge.total_time)],
+            vec![
+                gc.mode.to_string(),
+                gc.channels_created.to_string(),
+                format!("{}", gc.total_time),
+            ],
+            vec![
+                ge.mode.to_string(),
+                ge.channels_created.to_string(),
+                format!("{}", ge.total_time),
+            ],
         ],
     );
 

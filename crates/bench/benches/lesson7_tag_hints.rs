@@ -16,7 +16,12 @@ use rankmpi_workloads::stencil::maps::Geometry;
 
 fn main() {
     let cfg = HaloConfig {
-        geo: Geometry { px: 2, py: 2, tx: 4, ty: 4 },
+        geo: Geometry {
+            px: 2,
+            py: 2,
+            tx: 4,
+            ty: 4,
+        },
         iters: 8,
         elems_per_face: 2048,
         nine_point: false,

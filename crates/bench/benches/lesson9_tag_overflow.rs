@@ -6,8 +6,11 @@
 //! application tag bits survive once sender/receiver thread ids are encoded,
 //! and at which thread counts layouts stop fitting.
 
-use rankmpi_bench::{print_table, takeaway};
+use rankmpi_bench::json::{engine_counters, write_bench_json, Json};
+use rankmpi_bench::{print_table, ratio, takeaway};
+use rankmpi_core::matching::EngineKind;
 use rankmpi_core::tag::{bits_for, TagLayout, TagPlacement, TAG_BITS};
+use rankmpi_core::Universe;
 use rankmpi_workloads::smilei::{run_smilei, SmileiConfig, SmileiMode};
 
 fn main() {
@@ -36,7 +39,13 @@ fn main() {
         .collect();
     print_table(
         &format!("Lesson 9 — tag-space budget ({TAG_BITS} usable tag bits)"),
-        &["threads/process", "tid bits (src+dst)", "app bits left", "app tags left", "layout"],
+        &[
+            "threads/process",
+            "tid bits (src+dst)",
+            "app bits left",
+            "app tags left",
+            "layout",
+        ],
         &rows,
     );
 
@@ -65,21 +74,89 @@ fn main() {
         mean_bytes: 4096,
         ..SmileiConfig::default()
     };
-    let rows: Vec<Vec<String>> = [SmileiMode::Original, SmileiMode::TagsUpgraded, SmileiMode::Endpoints]
-        .into_iter()
-        .map(|mode| {
-            let rep = run_smilei(mode, &cfg);
-            vec![
-                rep.mode.to_string(),
-                format!("{}", rep.total_time),
-                rep.tag_bits_used.to_string(),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = [
+        SmileiMode::Original,
+        SmileiMode::TagsUpgraded,
+        SmileiMode::Endpoints,
+    ]
+    .into_iter()
+    .map(|mode| {
+        let rep = run_smilei(mode, &cfg);
+        vec![
+            rep.mode.to_string(),
+            format!("{}", rep.total_time),
+            rep.tag_bits_used.to_string(),
+        ]
+    })
+    .collect();
     print_table(
         "Lessons 6 + 9 — Smilei-style particle exchange (8 threads, 4 patches each)",
         &["mode", "total time", "tag bits used"],
         &rows,
+    );
+
+    // The flip side of tag overflow: when parallelism cannot move into tags,
+    // all traffic multiplexes over one communicator and the receiver's
+    // matching queues go deep. The bucketed engine keeps deep-queue matching
+    // flat where the linear ("Original") scan pays per queued entry.
+    let patches = 256i64;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut engines_json = Vec::new();
+    let mut totals = Vec::new();
+    for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+        let u = Universe::builder().nodes(2).matching(kind).build();
+        let out = u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            rankmpi_workloads::measure::begin(&mut th);
+            let counters = if env.rank() == 0 {
+                for t in 0..patches {
+                    world.send(&mut th, 1, t, &[7u8; 64][..]).unwrap();
+                }
+                Json::Null
+            } else {
+                // A tag-overflowed consumer drains patches in its own order,
+                // not arrival order — the worst case for a linear scan.
+                for t in (0..patches).rev() {
+                    world.recv(&mut th, 0, t).unwrap();
+                }
+                engine_counters(&env.proc().vci(world.vci_block()[0]))
+            };
+            (rankmpi_workloads::measure::elapsed(&th), counters)
+        });
+        let total = out.iter().map(|(t, _)| *t).max().unwrap();
+        totals.push(total);
+        rows.push(vec![kind.name().to_string(), format!("{total}")]);
+        let counters = out
+            .into_iter()
+            .map(|(_, c)| c)
+            .find(|c| *c != Json::Null)
+            .unwrap();
+        engines_json.push(Json::obj([
+            ("total_time_ns", Json::int(total.as_ns())),
+            ("receiver_counters", counters),
+        ]));
+    }
+    assert!(
+        totals[1] <= totals[0],
+        "bucketed matching must not be slower than linear on the deep-queue drain"
+    );
+    rows.push(vec![
+        "speedup".to_string(),
+        ratio(totals[0].as_ns() as f64, totals[1].as_ns() as f64),
+    ]);
+    print_table(
+        &format!("Lesson 9 flip side — {patches} multiplexed tags drained out of order"),
+        &["matching engine", "total time"],
+        &rows,
+    );
+    write_bench_json(
+        "lesson9_tag_overflow",
+        &Json::obj([
+            ("bench", Json::str("lesson9_tag_overflow")),
+            ("patches", Json::int(patches as u64)),
+            ("engines", Json::Arr(engines_json)),
+        ]),
     );
 
     takeaway(

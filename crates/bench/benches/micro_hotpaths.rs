@@ -1,14 +1,20 @@
 //! Criterion microbenchmarks of the library's hot paths (real wall time, not
-//! virtual time): matching-engine scans at varying queue depths, resource
-//! acquisition, contention-lock round trips, and tag encoding.
+//! virtual time): matching-engine scans at varying queue depths under both
+//! engines, resource acquisition, contention-lock round trips, and tag
+//! encoding — plus a simulated-cost ablation of linear vs bucketed matching
+//! and a machine-readable `BENCH_micro_hotpaths.json` summary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use bytes::Bytes;
-use rankmpi_core::matching::{MatchPattern, MatchingEngine, PostedRecv};
+use rankmpi_bench::json::{engine_counters, write_bench_json, Json};
+use rankmpi_bench::print_table;
+use rankmpi_core::costs::CoreCosts;
+use rankmpi_core::matching::{EngineKind, MatchPattern, PostedRecv, ANY_SOURCE, ANY_TAG};
 use rankmpi_core::request::ReqState;
 use rankmpi_core::tag::{default_tag_hash, TagLayout, TagPlacement};
+use rankmpi_core::Universe;
 use rankmpi_fabric::{Header, Packet};
 use rankmpi_vtime::{Clock, ContentionLock, Nanos, Resource};
 
@@ -29,40 +35,159 @@ fn pkt(ctx: u32, src: u32, tag: i64) -> Packet {
     }
 }
 
+fn recv(ctx: u32, src: i64, tag: i64) -> PostedRecv {
+    PostedRecv {
+        pattern: MatchPattern {
+            context_id: ctx,
+            src,
+            tag,
+        },
+        req: ReqState::detached(),
+        posted_at: Nanos::ZERO,
+    }
+}
+
 fn bench_matching(c: &mut Criterion) {
     let mut g = c.benchmark_group("matching_engine");
-    for depth in [0usize, 16, 128, 1024] {
-        g.bench_with_input(
-            BenchmarkId::new("post_recv_scan", depth),
-            &depth,
-            |b, &depth| {
-                b.iter_batched(
-                    || {
-                        let mut e = MatchingEngine::new();
-                        for i in 0..depth {
-                            e.incoming(pkt(1, 0, i as i64));
-                        }
-                        e
-                    },
-                    |mut e| {
-                        // Miss: scans the whole unexpected queue.
-                        let (m, scanned) = e.post_recv(PostedRecv {
-                            pattern: MatchPattern {
-                                context_id: 1,
-                                src: 0,
-                                tag: depth as i64 + 1,
-                            },
-                            req: ReqState::detached(),
-                            posted_at: Nanos::ZERO,
-                        });
-                        black_box((m.is_some(), scanned))
-                    },
-                    criterion::BatchSize::SmallInput,
-                );
-            },
-        );
+    for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+        for depth in [0usize, 16, 128, 1024] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("post_recv_scan_{}", kind.name()), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter_batched(
+                        || {
+                            let mut e = kind.new_engine();
+                            for i in 0..depth {
+                                e.incoming(pkt(1, 0, i as i64));
+                            }
+                            e
+                        },
+                        |mut e| {
+                            // Miss: the linear engine scans the whole
+                            // unexpected queue; the bucketed engine answers
+                            // from an empty bin. Return the engine so its
+                            // teardown is not timed.
+                            let (m, work) = e.post_recv(recv(1, 0, depth as i64 + 1));
+                            black_box((m.is_some(), work.scanned));
+                            e
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
     }
     g.finish();
+}
+
+/// Simulated matching cost (the `CoreCosts` model, not wall time) for both
+/// engines across unexpected-queue depths, plus live engine counters from a
+/// reordered exchange. Writes `BENCH_micro_hotpaths.json`.
+fn bench_engine_ablation(_c: &mut Criterion) {
+    let costs = CoreCosts::default();
+    let mut rows = Vec::new();
+    let mut sweep_json = Vec::new();
+    for depth in [1usize, 16, 64, 256, 1024] {
+        let mut per_kind = Vec::new();
+        let mut jrow = vec![("depth".to_string(), Json::int(depth as u64))];
+        for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+            // Exact receive of the last-arrived of `depth` uniquely tagged
+            // unexpected packets: the hot path tag-multiplexed apps hit.
+            let mut e = kind.new_engine();
+            for i in 0..depth {
+                e.incoming(pkt(1, 0, i as i64));
+            }
+            let (m, work) = e.post_recv(recv(1, 0, depth as i64 - 1));
+            assert!(m.is_some());
+            let exact = costs.match_cost_of(&work);
+            // Wildcard receive on a fresh engine of the same depth: the
+            // bucketed engine pays per bin swept.
+            let mut e = kind.new_engine();
+            for i in 0..depth {
+                e.incoming(pkt(1, 0, i as i64));
+            }
+            let (m, work) = e.post_recv(recv(1, ANY_SOURCE, ANY_TAG));
+            assert!(m.is_some());
+            let wild = costs.match_cost_of(&work);
+            jrow.push((
+                format!("{}_exact_ns", kind.name()),
+                Json::int(exact.as_ns()),
+            ));
+            jrow.push((
+                format!("{}_wildcard_ns", kind.name()),
+                Json::int(wild.as_ns()),
+            ));
+            per_kind.push((exact, wild));
+        }
+        let (lin, buc) = (per_kind[0], per_kind[1]);
+        if depth >= 64 {
+            assert!(
+                buc.0 < lin.0,
+                "bucketed exact match must undercut linear at depth {depth}: {} vs {}",
+                buc.0,
+                lin.0
+            );
+        }
+        rows.push(vec![
+            depth.to_string(),
+            format!("{}", lin.0),
+            format!("{}", buc.0),
+            format!("{}", lin.1),
+            format!("{}", buc.1),
+        ]);
+        sweep_json.push(Json::Obj(jrow));
+    }
+    print_table(
+        "Simulated matching cost — linear vs bucketed (unexpected-depth sweep)",
+        &[
+            "depth",
+            "linear exact",
+            "bucketed exact",
+            "linear wildcard",
+            "bucketed wildcard",
+        ],
+        &rows,
+    );
+
+    // Live engine counters: rank 0 sends 64 uniquely tagged messages, rank 1
+    // drains them in reverse, snapshotting its VCI counters halfway while the
+    // unexpected queue is still deep.
+    let n = 64i64;
+    let mut engines_json = Vec::new();
+    for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+        let u = Universe::builder().nodes(2).matching(kind).build();
+        let snaps = u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                for t in 0..n {
+                    world.send(&mut th, 1, t, b"payload").unwrap();
+                }
+                Json::Null
+            } else {
+                for t in (n / 2..n).rev() {
+                    world.recv(&mut th, 0, t).unwrap();
+                }
+                let snap = engine_counters(&env.proc().vci(world.vci_block()[0]));
+                for t in (0..n / 2).rev() {
+                    world.recv(&mut th, 0, t).unwrap();
+                }
+                snap
+            }
+        });
+        let snap = snaps.into_iter().find(|s| *s != Json::Null).unwrap();
+        engines_json.push(snap);
+    }
+
+    write_bench_json(
+        "micro_hotpaths",
+        &Json::obj([
+            ("bench", Json::str("micro_hotpaths")),
+            ("sim_matching_cost", Json::Arr(sweep_json)),
+            ("receiver_counters_mid_drain", Json::Arr(engines_json)),
+        ]),
+    );
 }
 
 fn bench_resource(c: &mut Criterion) {
@@ -92,7 +217,9 @@ fn bench_tags(c: &mut Criterion) {
     let layout = TagLayout::for_threads(64, TagPlacement::Msb).unwrap();
     c.bench_function("tag_encode_decode", |b| {
         b.iter(|| {
-            let t = layout.encode(black_box(13), black_box(57), black_box(1000)).unwrap();
+            let t = layout
+                .encode(black_box(13), black_box(57), black_box(1000))
+                .unwrap();
             black_box(layout.decode(t))
         });
     });
@@ -105,5 +232,12 @@ fn bench_tags(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matching, bench_resource, bench_lock, bench_tags);
+criterion_group!(
+    benches,
+    bench_matching,
+    bench_engine_ablation,
+    bench_resource,
+    bench_lock,
+    bench_tags
+);
 criterion_main!(benches);

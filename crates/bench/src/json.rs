@@ -1,0 +1,195 @@
+//! A minimal, dependency-free JSON emitter for machine-readable bench
+//! summaries.
+//!
+//! Bench targets print human-readable tables; alongside them they can drop a
+//! `BENCH_<name>.json` file (into `RANKMPI_BENCH_DIR`, defaulting to the
+//! current directory) so that regression tooling can diff runs without
+//! scraping stdout. The matching-engine counters exported here —
+//! `posted_len`, `unexpected_len`, `matched`, `polls` — come straight from
+//! [`rankmpi_core::vci::Vci`].
+
+use std::path::PathBuf;
+
+use rankmpi_core::vci::Vci;
+
+/// A JSON value. Only what the bench summaries need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; integers up to 2^53 render without a fraction.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (counters, depths, nanoseconds).
+    pub fn int(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Self {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_val(v: &Json, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Json::Str(s) => {
+            out.push('"');
+            escape(s, out);
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_val(item, out, indent + 1);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                out.push('"');
+                escape(k, out);
+                out.push_str("\": ");
+                write_val(val, out, indent + 1);
+                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Render a value as pretty-printed JSON text.
+pub fn render(v: &Json) -> String {
+    let mut s = String::new();
+    write_val(v, &mut s, 0);
+    s
+}
+
+/// Snapshot one VCI's matching-engine counters as a JSON object:
+/// `engine`, `posted_len`, `unexpected_len`, `matched`, `polls`.
+pub fn engine_counters(vci: &Vci) -> Json {
+    Json::obj([
+        ("engine", Json::str(vci.engine_kind().name())),
+        ("posted_len", Json::int(vci.posted_depth() as u64)),
+        ("unexpected_len", Json::int(vci.unexpected_depth() as u64)),
+        ("matched", Json::int(vci.matched())),
+        ("polls", Json::int(vci.polls())),
+    ])
+}
+
+/// Write `BENCH_<name>.json` into `RANKMPI_BENCH_DIR` (default: the current
+/// directory) and return the path. Failures are reported, not fatal: benches
+/// should still print their tables on read-only filesystems.
+pub fn write_bench_json(name: &str, v: &Json) -> Option<PathBuf> {
+    let dir = std::env::var_os("RANKMPI_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let path = dir.join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, render(v) + "\n") {
+        Ok(()) => {
+            println!("\nwrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Json::obj([
+            ("name", Json::str("demo")),
+            ("n", Json::int(3)),
+            ("half", Json::Num(0.5)),
+            (
+                "tags",
+                Json::Arr(vec![Json::int(1), Json::Bool(true), Json::Null]),
+            ),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let s = render(&v);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"name\": \"demo\""));
+        assert!(s.contains("\"n\": 3"));
+        assert!(s.contains("\"half\": 0.5"));
+        assert!(s.contains("\"empty\": {}"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = render(&Json::str("a\"b\\c\nd"));
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn writes_file_to_bench_dir() {
+        let dir = std::env::temp_dir().join("rankmpi_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("RANKMPI_BENCH_DIR", &dir);
+        let p = write_bench_json("unit_test", &Json::obj([("ok", Json::Bool(true))])).unwrap();
+        std::env::remove_var("RANKMPI_BENCH_DIR");
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("\"ok\": true"));
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -9,6 +9,8 @@
 
 use std::fmt::Display;
 
+pub mod json;
+
 /// Print a Markdown-style table.
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
     println!("\n## {title}\n");

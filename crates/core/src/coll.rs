@@ -149,9 +149,9 @@ impl Communicator {
         let buf: Bytes;
         let mut mask = 1usize;
         if vr == 0 {
-            buf = Bytes::copy_from_slice(data.ok_or(Error::InvalidState(
-                "bcast root must supply data",
-            ))?);
+            buf = Bytes::copy_from_slice(
+                data.ok_or(Error::InvalidState("bcast root must supply data"))?,
+            );
             while mask < p {
                 mask <<= 1;
             }
@@ -310,7 +310,9 @@ impl Communicator {
                 got: all.len(),
             });
         }
-        Ok((0..p).map(|i| all.slice(i * chunk..(i + 1) * chunk)).collect())
+        Ok((0..p)
+            .map(|i| all.slice(i * chunk..(i + 1) * chunk))
+            .collect())
     }
 
     /// Scatter: the root sends `chunks[i]` to rank `i`; everyone returns
@@ -326,12 +328,18 @@ impl Communicator {
         let p = self.size();
         let r = self.rank();
         if root >= p {
-            return Err(Error::InvalidRank { rank: root as i64, size: p });
+            return Err(Error::InvalidRank {
+                rank: root as i64,
+                size: p,
+            });
         }
         if r == root {
             let chunks = chunks.ok_or(Error::InvalidState("scatter root must supply chunks"))?;
             if chunks.len() != p {
-                return Err(Error::LengthMismatch { expected: p, got: chunks.len() });
+                return Err(Error::LengthMismatch {
+                    expected: p,
+                    got: chunks.len(),
+                });
             }
             for (dst, chunk) in chunks.iter().enumerate() {
                 if dst != root {
@@ -667,7 +675,9 @@ mod tests {
         let out = u.run(|env| {
             let world = env.world();
             let mut th = env.single_thread();
-            world.scan(&mut th, &[vals[env.rank()]], ReduceOp::Max).unwrap()
+            world
+                .scan(&mut th, &[vals[env.rank()]], ReduceOp::Max)
+                .unwrap()
         });
         let got: Vec<f64> = out.iter().map(|o| o[0]).collect();
         assert_eq!(got, vec![3.0, 3.0, 4.0, 4.0, 5.0]);

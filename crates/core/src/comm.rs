@@ -157,8 +157,16 @@ impl Communicator {
     /// hints shape the VCI mapping.
     pub fn dup_with_info(&self, th: &mut ThreadCtx, info: Info) -> Result<Communicator> {
         let (policy, want_vcis) = policy_from_info(&info)?;
+        let engine = info.matching_engine()?;
         let idx = self.proc.next_dup_index(self.ctx_id);
         let (ctx_id, block) = self.universe.agree_comm((self.ctx_id, idx, 0), want_vcis);
+        if let Some(kind) = engine {
+            // The hint selects the matching structure on every VCI of the
+            // communicator's block; any pending state migrates.
+            for &v in block.iter() {
+                self.proc.vci(v).set_engine_kind(kind);
+            }
+        }
         let child = Communicator {
             universe: Arc::clone(&self.universe),
             proc: Arc::clone(&self.proc),
@@ -179,20 +187,11 @@ impl Communicator {
     /// Split the communicator by `color` (collective). Processes passing the
     /// same color land in the same child, ordered by `(key, parent rank)`.
     /// A negative color (like `MPI_UNDEFINED`) yields `None`.
-    pub fn split(
-        &self,
-        th: &mut ThreadCtx,
-        color: i64,
-        key: i64,
-    ) -> Result<Option<Communicator>> {
+    pub fn split(&self, th: &mut ThreadCtx, color: i64, key: i64) -> Result<Option<Communicator>> {
         let idx = self.proc.next_dup_index(self.ctx_id);
-        let all = self.universe.gather_split(
-            (self.ctx_id, idx),
-            self.my_rank,
-            self.size(),
-            color,
-            key,
-        );
+        let all =
+            self.universe
+                .gather_split((self.ctx_id, idx), self.my_rank, self.size(), color, key);
         self.barrier(th)?;
         if color < 0 {
             return Ok(None);
@@ -204,10 +203,7 @@ impl Communicator {
             .map(|(r, (_, k))| (*k, r))
             .collect();
         members.sort_unstable();
-        let ranks: Vec<usize> = members
-            .iter()
-            .map(|&(_, r)| self.group.global(r))
-            .collect();
+        let ranks: Vec<usize> = members.iter().map(|&(_, r)| self.group.global(r)).collect();
         let my_new = members
             .iter()
             .position(|&(_, r)| r == self.my_rank)
@@ -377,6 +373,45 @@ mod tests {
         let (p, n) = policy_from_info(&full).unwrap();
         assert!(matches!(p, VciPolicy::TagBitsOneToOne { .. }));
         assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn matching_hint_switches_block_engines() {
+        use crate::matching::EngineKind;
+        use crate::universe::Universe;
+        let u = Universe::builder().nodes(2).num_vcis(2).build();
+        let kinds = u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let info = Info::new().set(keys::RANKMPI_MATCHING, "linear");
+            let c = world.dup_with_info(&mut th, info).unwrap();
+            let block = c.vci_block();
+            let kind = c.proc().vci(block[0]).engine_kind();
+            // Traffic on the switched communicator still flows.
+            if env.rank() == 0 {
+                c.send(&mut th, 1, 7, b"via linear").unwrap();
+            } else {
+                let (_st, data) = c.recv(&mut th, 0, 7).unwrap();
+                assert_eq!(&data[..], b"via linear");
+            }
+            kind
+        });
+        assert!(kinds.iter().all(|&k| k == EngineKind::Linear));
+    }
+
+    #[test]
+    fn bad_matching_hint_is_an_error() {
+        use crate::universe::Universe;
+        let u = Universe::builder().nodes(1).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let info = Info::new().set(keys::RANKMPI_MATCHING, "quantum");
+            assert!(matches!(
+                world.dup_with_info(&mut th, info),
+                Err(Error::BadInfoValue { .. })
+            ));
+        });
     }
 
     #[test]

@@ -12,10 +12,19 @@ use rankmpi_vtime::Nanos;
 /// reductions cost ~1 ns/element.
 #[derive(Debug, Clone)]
 pub struct CoreCosts {
-    /// Fixed cost of one matching-engine operation (enqueue or probe).
+    /// Fixed cost of one matching-engine operation (enqueue or probe) on the
+    /// flat-queue (linear) engine.
     pub match_base: Nanos,
     /// Additional matching cost per queue element scanned.
     pub match_per_scan: Nanos,
+    /// Fixed cost of one matching operation on the bucketed engine: the hash
+    /// walk costs a little more up front than touching a flat queue's head,
+    /// which is what buys depth-independent exact matching.
+    pub match_bucket_base: Nanos,
+    /// Per-entry (or per-bin) cost of the wildcard sweep a bucketed engine
+    /// performs for wildcard patterns — dearer than a flat-queue compare
+    /// because each step is a separate bin/sideline probe.
+    pub match_wildcard_per_scan: Nanos,
     /// Cost to allocate/initialize a request object.
     pub request_setup: Nanos,
     /// Per-byte cost of copying payloads (eager-protocol copies), picoseconds.
@@ -39,6 +48,8 @@ impl Default for CoreCosts {
         CoreCosts {
             match_base: Nanos(40),
             match_per_scan: Nanos(4),
+            match_bucket_base: Nanos(52),
+            match_wildcard_per_scan: Nanos(6),
             request_setup: Nanos(25),
             copy_byte_ps: 62, // ~16 GB/s single-threaded memcpy
             shm_latency: Nanos(200),
@@ -67,9 +78,23 @@ impl CoreCosts {
         self.reduce_per_elem * elems as u64
     }
 
-    /// Matching cost after scanning `scanned` queue entries.
+    /// Matching cost after scanning `scanned` flat-queue entries.
     pub fn match_cost(&self, scanned: usize) -> Nanos {
         self.match_base + self.match_per_scan * scanned as u64
+    }
+
+    /// Matching cost of one engine operation, priced from the work the
+    /// engine reported: flat-queue work costs `match_base` plus a scan term;
+    /// bucketed work swaps the base for `match_bucket_base` and adds the
+    /// wildcard-sweep term.
+    pub fn match_cost_of(&self, work: &crate::matching::ScanWork) -> Nanos {
+        let base = if work.bucketed {
+            self.match_bucket_base
+        } else {
+            self.match_base
+        };
+        base + self.match_per_scan * work.scanned as u64
+            + self.match_wildcard_per_scan * work.wildcard_scanned as u64
     }
 }
 
@@ -89,6 +114,24 @@ mod tests {
         let c = CoreCosts::default();
         let base = c.match_cost(0);
         assert_eq!(c.match_cost(10), base + c.match_per_scan * 10);
+    }
+
+    #[test]
+    fn bucketed_cost_beats_linear_at_depth() {
+        use crate::matching::ScanWork;
+        let c = CoreCosts::default();
+        // Shallow queues: the hash overhead makes bucketing slightly dearer.
+        assert!(c.match_cost_of(&ScanWork::bucketed(1, 0)) > c.match_cost_of(&ScanWork::linear(1)));
+        // At depth 64 the linear scan dwarfs the bucket's single-entry touch.
+        assert!(
+            c.match_cost_of(&ScanWork::bucketed(1, 0)) < c.match_cost_of(&ScanWork::linear(64)) / 4
+        );
+        // Wildcard sweeps are charged their own per-step rate.
+        let wild = c.match_cost_of(&ScanWork::bucketed(1, 10));
+        assert_eq!(
+            wild,
+            c.match_bucket_base + c.match_per_scan + c.match_wildcard_per_scan * 10
+        );
     }
 
     #[test]

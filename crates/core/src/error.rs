@@ -83,10 +83,16 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             Error::TagOutOfRange { tag } => write!(f, "tag {tag} out of range"),
-            Error::TagBitsOverflow { requested, available } => write!(
+            Error::TagBitsOverflow {
+                requested,
+                available,
+            } => write!(
                 f,
                 "tag layout needs {requested} bits but only {available} are available"
             ),
@@ -124,19 +130,23 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = Error::TagBitsOverflow { requested: 30, available: 22 };
+        let e = Error::TagBitsOverflow {
+            requested: 30,
+            available: 22,
+        };
         assert!(e.to_string().contains("30"));
         assert!(e.to_string().contains("22"));
-        let e = Error::WindowOutOfBounds { offset: 8, len: 8, size: 12 };
+        let e = Error::WindowOutOfBounds {
+            offset: 8,
+            len: 8,
+            size: 12,
+        };
         assert!(e.to_string().contains("16"));
     }
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            Error::InvalidState("x"),
-            Error::InvalidState("x")
-        );
+        assert_eq!(Error::InvalidState("x"), Error::InvalidState("x"));
         assert_ne!(
             Error::TagOutOfRange { tag: 1 },
             Error::TagOutOfRange { tag: 2 }

@@ -25,6 +25,9 @@ pub mod keys {
     /// RMA: ordering required between accumulate operations
     /// (`none` relaxes MPI's default same-source-same-target ordering).
     pub const ACCUMULATE_ORDERING: &str = "accumulate_ordering";
+    /// Implementation hint: which matching engine the communicator's VCIs run
+    /// (`linear` or `bucketed`).
+    pub const RANKMPI_MATCHING: &str = "rankmpi_matching";
 }
 
 /// An MPI Info object: an ordered map of string hints.
@@ -82,10 +85,13 @@ impl Info {
     pub fn get_usize(&self, key: &str) -> Result<Option<usize>> {
         match self.get(key) {
             None => Ok(None),
-            Some(v) => v.parse::<usize>().map(Some).map_err(|_| Error::BadInfoValue {
-                key: key.to_string(),
-                value: v.to_string(),
-            }),
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| Error::BadInfoValue {
+                    key: key.to_string(),
+                    value: v.to_string(),
+                }),
         }
     }
 
@@ -102,6 +108,20 @@ impl Info {
     /// `mpi_assert_no_any_source`.
     pub fn no_any_source(&self) -> Result<bool> {
         self.get_bool(keys::ASSERT_NO_ANY_SOURCE)
+    }
+
+    /// `rankmpi_matching`: the matching-engine kind requested for the
+    /// communicator's VCIs, if any.
+    pub fn matching_engine(&self) -> Result<Option<crate::matching::EngineKind>> {
+        match self.get(keys::RANKMPI_MATCHING) {
+            None => Ok(None),
+            Some(v) => crate::matching::EngineKind::parse(v)
+                .map(Some)
+                .ok_or_else(|| Error::BadInfoValue {
+                    key: keys::RANKMPI_MATCHING.to_string(),
+                    value: v.to_string(),
+                }),
+        }
     }
 
     /// Iterate over all hints.
@@ -141,6 +161,21 @@ mod tests {
     fn bad_int_is_an_error() {
         let info = Info::new().set(keys::NUM_VCIS, "eight");
         assert!(info.get_usize(keys::NUM_VCIS).is_err());
+    }
+
+    #[test]
+    fn matching_hint_parses_or_rejects() {
+        use crate::matching::EngineKind;
+        let info = Info::new().set(keys::RANKMPI_MATCHING, "linear");
+        assert_eq!(info.matching_engine().unwrap(), Some(EngineKind::Linear));
+        let info = Info::new().set(keys::RANKMPI_MATCHING, "bucketed");
+        assert_eq!(info.matching_engine().unwrap(), Some(EngineKind::Bucketed));
+        assert_eq!(Info::new().matching_engine().unwrap(), None);
+        let bad = Info::new().set(keys::RANKMPI_MATCHING, "btree");
+        assert!(matches!(
+            bad.matching_engine(),
+            Err(Error::BadInfoValue { .. })
+        ));
     }
 
     #[test]

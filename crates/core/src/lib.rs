@@ -73,7 +73,7 @@ pub use comm::{CollMode, Communicator};
 pub use error::{Error, Result};
 pub use group::Group;
 pub use info::Info;
-pub use matching::{MatchPattern, Status, ANY_SOURCE, ANY_TAG};
+pub use matching::{EngineKind, MatchPattern, Status, ANY_SOURCE, ANY_TAG};
 pub use proc::{ProcEnv, ProcShared, ThreadCtx};
 pub use request::Request;
 pub use rma::{AccumulateOrdering, Window};

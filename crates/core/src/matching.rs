@@ -1,4 +1,4 @@
-//! The matching engine: posted-receive and unexpected-message queues with
+//! The matching engines: posted-receive and unexpected-message queues with
 //! MPI's ⟨communicator, rank, tag⟩ matching, wildcards, and non-overtaking
 //! order.
 //!
@@ -9,10 +9,21 @@
 //! logically parallel communication gets a *distinct matching engine per
 //! channel* and queue depths stay per-thread.
 //!
-//! The engine itself is a pure data structure; time accounting (engine
-//! occupancy, scan costs) is done by the caller in [`crate::vci`] so the same
-//! code serves blocking, nonblocking, and probe paths.
+//! Two engines implement the [`MatchEngine`] trait:
+//!
+//! - [`LinearEngine`] — flat queues scanned front to back, the classic MPICH
+//!   structure whose cost grows linearly with queue depth (the paper's
+//!   "Original" regime baseline);
+//! - [`BucketedEngine`] — per-context hash bins keyed by the exact
+//!   `(src, tag)` envelope plus a wildcard sideline, giving O(1) exact
+//!   matching at any depth while preserving MPI's ordering rules exactly.
+//!
+//! Both are pure data structures; time accounting (engine occupancy, scan
+//! costs) is done by the caller in [`crate::vci`] from the [`ScanWork`] each
+//! operation reports, so the same code serves blocking, nonblocking, and
+//! probe paths.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use rankmpi_fabric::Packet;
@@ -63,7 +74,7 @@ impl MatchPattern {
     }
 }
 
-/// A receive posted to the engine, waiting for its message.
+/// A receive posted to an engine, waiting for its message.
 #[derive(Debug, Clone)]
 pub struct PostedRecv {
     /// What to match.
@@ -74,31 +85,154 @@ pub struct PostedRecv {
     pub posted_at: Nanos,
 }
 
-/// Result of presenting an incoming packet to the engine.
+/// The work one matching operation performed, reported by the engine so the
+/// caller can price it ([`crate::costs::CoreCosts::match_cost_of`]).
+///
+/// `scanned` counts queue entries actually examined — for [`LinearEngine`]
+/// that is the flat-queue walk, for [`BucketedEngine`] the depth of the one
+/// bin consulted — so linear depth-dependent pricing stays meaningful across
+/// engines. `wildcard_scanned` counts the extra entries or bins a wildcard
+/// forces a bucketed engine to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanWork {
+    /// Queue entries examined on the primary path.
+    pub scanned: usize,
+    /// Wildcard-sideline entries (or bins) additionally examined.
+    pub wildcard_scanned: usize,
+    /// Whether the operation ran on a bucketed structure (prices the fixed
+    /// hash overhead instead of the flat-queue base cost).
+    pub bucketed: bool,
+}
+
+impl ScanWork {
+    /// Work of a flat-queue operation that examined `scanned` entries.
+    pub fn linear(scanned: usize) -> Self {
+        ScanWork {
+            scanned,
+            wildcard_scanned: 0,
+            bucketed: false,
+        }
+    }
+
+    /// Work of a bucketed operation: `scanned` entries in the consulted bin,
+    /// `wildcard_scanned` sideline entries or bins swept.
+    pub fn bucketed(scanned: usize, wildcard_scanned: usize) -> Self {
+        ScanWork {
+            scanned,
+            wildcard_scanned,
+            bucketed: true,
+        }
+    }
+}
+
+/// Result of presenting an incoming packet to an engine.
 #[derive(Debug)]
 pub enum Incoming {
     /// The packet matched a posted receive; both are handed back for
-    /// completion. `scanned` is the number of posted entries examined.
+    /// completion.
     Matched {
         /// The matched posted receive.
         recv: PostedRecv,
         /// The matching packet.
         packet: Packet,
-        /// Posted-queue entries scanned.
-        scanned: usize,
+        /// Matching work performed.
+        work: ScanWork,
     },
     /// No posted receive matched; the packet was stored on the unexpected
-    /// queue after scanning `scanned` posted entries.
+    /// queue.
     Queued {
-        /// Posted-queue entries scanned.
-        scanned: usize,
+        /// Matching work performed.
+        work: ScanWork,
     },
 }
 
-/// One matching engine: the posted-receive queue and the unexpected-message
-/// queue of a single VCI.
+/// Which matching engine a VCI runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Flat queues, linear scans (the paper's "Original" regime baseline).
+    Linear,
+    /// Per-context `(src, tag)` hash bins with a wildcard sideline.
+    #[default]
+    Bucketed,
+}
+
+impl EngineKind {
+    /// Parse the value of the `rankmpi_matching` Info hint.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "linear" => Some(EngineKind::Linear),
+            "bucketed" => Some(EngineKind::Bucketed),
+            _ => None,
+        }
+    }
+
+    /// The hint spelling of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Linear => "linear",
+            EngineKind::Bucketed => "bucketed",
+        }
+    }
+
+    /// Construct a fresh engine of this kind.
+    pub fn new_engine(self) -> Box<dyn MatchEngine> {
+        match self {
+            EngineKind::Linear => Box::new(LinearEngine::new()),
+            EngineKind::Bucketed => Box::new(BucketedEngine::new()),
+        }
+    }
+}
+
+/// A matching engine: the posted-receive and unexpected-message state of a
+/// single VCI, behind a structure-agnostic interface.
+///
+/// All implementations preserve MPI's matching semantics exactly:
+///
+/// - *first-posted wins*: an arriving packet matches the earliest-posted
+///   receive whose pattern accepts it;
+/// - *earliest-arrival wins*: a posted receive matches the unexpected message
+///   with the smallest virtual arrival time (ties broken by arrival order);
+/// - wildcards never cross context ids.
+pub trait MatchEngine: Send + std::fmt::Debug {
+    /// Which kind of engine this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Post a receive. If an unexpected message already matches, the earliest
+    /// such message is removed and returned. Returns the matched packet (if
+    /// any) and the matching work performed.
+    fn post_recv(&mut self, recv: PostedRecv) -> (Option<Packet>, ScanWork);
+
+    /// Present an arriving packet. The *first posted* matching receive wins.
+    fn incoming(&mut self, packet: Packet) -> Incoming;
+
+    /// Non-destructive probe: the earliest unexpected message matching
+    /// `pattern`, if any, plus the work performed.
+    fn probe(&self, pattern: &MatchPattern) -> (Option<Status>, ScanWork);
+
+    /// Cancel the posted receive completing `req`, if still queued. Returns
+    /// whether something was removed.
+    fn cancel(&mut self, req: &Arc<ReqState>) -> bool;
+
+    /// Depth of the posted-receive queue.
+    fn posted_len(&self) -> usize;
+
+    /// Depth of the unexpected-message queue.
+    fn unexpected_len(&self) -> usize;
+
+    /// Remove and return the complete engine state: posted receives in
+    /// posting order, unexpected packets in arrival order. Used to migrate a
+    /// VCI between engine kinds; re-inserting both lists into an empty engine
+    /// (posts first, then arrivals) reconstructs equivalent state, because in
+    /// any valid engine no posted receive matches any queued unexpected
+    /// packet (each insertion path searches the other queue first).
+    fn drain(&mut self) -> (Vec<PostedRecv>, Vec<Packet>);
+}
+
+/// The flat-queue engine: posted and unexpected messages in vectors scanned
+/// front to back. Matching cost grows linearly with queue depth — the
+/// behavior the paper's "Original" regime measurements show.
 #[derive(Debug, Default)]
-pub struct MatchingEngine {
+pub struct LinearEngine {
     posted: Vec<PostedRecv>,
     /// Unexpected messages ordered by virtual arrival time (stable for ties),
     /// so matching follows the fabric's arrival order regardless of which real
@@ -106,33 +240,33 @@ pub struct MatchingEngine {
     unexpected: Vec<Packet>,
 }
 
-impl MatchingEngine {
+impl LinearEngine {
     /// An empty engine.
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// Post a receive. If an unexpected message already matches, the earliest
-    /// such message is removed and returned (non-overtaking: earliest arrival
-    /// wins). Returns the matched packet (if any) and how many unexpected
-    /// entries were scanned.
-    pub fn post_recv(&mut self, recv: PostedRecv) -> (Option<Packet>, usize) {
+impl MatchEngine for LinearEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Linear
+    }
+
+    fn post_recv(&mut self, recv: PostedRecv) -> (Option<Packet>, ScanWork) {
         let mut scanned = 0;
         for i in 0..self.unexpected.len() {
             scanned += 1;
             let h = &self.unexpected[i].header;
             if recv.pattern.matches(h.context_id, h.src, h.tag) {
                 let pkt = self.unexpected.remove(i);
-                return (Some(pkt), scanned);
+                return (Some(pkt), ScanWork::linear(scanned));
             }
         }
         self.posted.push(recv);
-        (None, scanned)
+        (None, ScanWork::linear(scanned))
     }
 
-    /// Present an arriving packet. The *first posted* matching receive wins
-    /// (non-overtaking in posting order).
-    pub fn incoming(&mut self, packet: Packet) -> Incoming {
+    fn incoming(&mut self, packet: Packet) -> Incoming {
         let h = packet.header;
         let mut scanned = 0;
         for i in 0..self.posted.len() {
@@ -142,7 +276,7 @@ impl MatchingEngine {
                 return Incoming::Matched {
                     recv,
                     packet,
-                    scanned,
+                    work: ScanWork::linear(scanned),
                 };
             }
         }
@@ -155,12 +289,12 @@ impl MatchingEngine {
             .map(|i| i + 1)
             .unwrap_or(0);
         self.unexpected.insert(pos, packet);
-        Incoming::Queued { scanned }
+        Incoming::Queued {
+            work: ScanWork::linear(scanned),
+        }
     }
 
-    /// Non-destructive probe: the earliest unexpected message matching
-    /// `pattern`, if any, plus entries scanned.
-    pub fn probe(&self, pattern: &MatchPattern) -> (Option<Status>, usize) {
+    fn probe(&self, pattern: &MatchPattern) -> (Option<Status>, ScanWork) {
         let mut scanned = 0;
         for p in &self.unexpected {
             scanned += 1;
@@ -172,38 +306,320 @@ impl MatchingEngine {
                         tag: h.tag,
                         len: p.payload.len(),
                     }),
-                    scanned,
+                    ScanWork::linear(scanned),
                 );
             }
         }
-        (None, scanned)
+        (None, ScanWork::linear(scanned))
     }
 
-    /// Depth of the posted-receive queue.
-    pub fn posted_len(&self) -> usize {
-        self.posted.len()
-    }
-
-    /// Depth of the unexpected-message queue.
-    pub fn unexpected_len(&self) -> usize {
-        self.unexpected.len()
-    }
-
-    /// Remove the most recently posted receive (used to retract a probe that
-    /// found nothing). Returns whether something was removed.
-    pub fn cancel_last_posted(&mut self) -> bool {
-        self.posted.pop().is_some()
-    }
-
-    /// Cancel the posted receive completing `req`, if still queued.
-    /// Returns whether something was removed.
-    pub fn cancel(&mut self, req: &Arc<ReqState>) -> bool {
+    fn cancel(&mut self, req: &Arc<ReqState>) -> bool {
         if let Some(i) = self.posted.iter().position(|p| Arc::ptr_eq(&p.req, req)) {
             self.posted.remove(i);
             true
         } else {
             false
         }
+    }
+
+    fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    fn drain(&mut self) -> (Vec<PostedRecv>, Vec<Packet>) {
+        (
+            std::mem::take(&mut self.posted),
+            std::mem::take(&mut self.unexpected),
+        )
+    }
+}
+
+/// One posted receive inside the bucketed engine, stamped with its posting
+/// sequence number so first-posted-wins can be decided across bins.
+#[derive(Debug)]
+struct PostedEntry {
+    recv: PostedRecv,
+    seq: u64,
+}
+
+/// One unexpected packet inside the bucketed engine, stamped with its arrival
+/// sequence number so earliest-arrival-wins ties break in arrival order
+/// across bins, exactly as the linear engine's stable sorted queue does.
+#[derive(Debug)]
+struct UnexpectedEntry {
+    pkt: Packet,
+    seq: u64,
+}
+
+/// Per-context matching state of the bucketed engine.
+#[derive(Debug, Default)]
+struct ContextBins {
+    /// Fully-concrete posted receives, binned by `(src, tag)`; each bin is
+    /// FIFO in posting order.
+    posted_exact: HashMap<(u32, i64), VecDeque<PostedEntry>>,
+    /// Posted receives with any wildcard, in posting order.
+    posted_wild: Vec<PostedEntry>,
+    /// Unexpected packets binned by the envelope's `(src, tag)`; each bin is
+    /// sorted by `(arrive_at, seq)`.
+    unexpected: HashMap<(u32, i64), Vec<UnexpectedEntry>>,
+}
+
+/// The bucketed engine: per-context hash bins keyed by the exact `(src, tag)`
+/// envelope, with wildcard receives on a separate sideline.
+///
+/// Exact-pattern operations touch one bin — O(1) in total queue depth — while
+/// monotone sequence numbers keep both of MPI's ordering rules intact:
+/// posting sequence decides first-posted-wins between a bin front and the
+/// wildcard sideline, and `(arrival time, arrival sequence)` decides
+/// earliest-arrival-wins across unexpected bins. Wildcards pay for what they
+/// force: a sideline or bin sweep, reported as
+/// [`ScanWork::wildcard_scanned`].
+#[derive(Debug, Default)]
+pub struct BucketedEngine {
+    ctxs: HashMap<u32, ContextBins>,
+    post_seq: u64,
+    arrival_seq: u64,
+    posted_count: usize,
+    unexpected_count: usize,
+}
+
+/// An unexpected-bin match candidate: the bin's key and its front entry's
+/// `(arrive_at, arrival seq)` — the earliest-arrival-wins ordering key.
+type UnexpectedHit = ((u32, i64), (Nanos, u64));
+
+impl BucketedEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The earliest unexpected entry matching `pattern` in `bins`:
+    /// `(bin key, (arrive_at, seq))`, plus how many bins were examined.
+    fn earliest_unexpected(
+        bins: &ContextBins,
+        pattern: &MatchPattern,
+    ) -> (Option<UnexpectedHit>, usize) {
+        let ctx = pattern.context_id;
+        if !pattern.has_wildcard() {
+            let key = (pattern.src as u32, pattern.tag);
+            let hit = bins
+                .unexpected
+                .get(&key)
+                .and_then(|bin| bin.first().map(|e| (key, (e.pkt.arrive_at, e.seq))));
+            return (hit, 0);
+        }
+        // Wildcard: sweep every bin of the context, keeping the earliest
+        // matching front. Bin fronts are each bin's earliest arrival, so the
+        // minimum over fronts is the global earliest match.
+        let mut best: Option<UnexpectedHit> = None;
+        let mut swept = 0;
+        for (&key, bin) in &bins.unexpected {
+            swept += 1;
+            if !pattern.matches(ctx, key.0, key.1) {
+                continue;
+            }
+            if let Some(e) = bin.first() {
+                let cand = (key, (e.pkt.arrive_at, e.seq));
+                if best.is_none_or(|(_, b)| cand.1 < b) {
+                    best = cand.into();
+                }
+            }
+        }
+        (best, swept)
+    }
+
+    /// Remove and return the front of unexpected bin `key`.
+    fn take_unexpected_front(&mut self, ctx: u32, key: (u32, i64)) -> Packet {
+        let bins = self.ctxs.get_mut(&ctx).expect("context exists");
+        let bin = bins.unexpected.get_mut(&key).expect("bin exists");
+        let e = bin.remove(0);
+        if bin.is_empty() {
+            bins.unexpected.remove(&key);
+        }
+        self.unexpected_count -= 1;
+        e.pkt
+    }
+}
+
+impl MatchEngine for BucketedEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Bucketed
+    }
+
+    fn post_recv(&mut self, recv: PostedRecv) -> (Option<Packet>, ScanWork) {
+        let ctx = recv.pattern.context_id;
+        let bins = self.ctxs.entry(ctx).or_default();
+        let (hit, swept) = Self::earliest_unexpected(bins, &recv.pattern);
+        if let Some((key, _)) = hit {
+            let pkt = self.take_unexpected_front(ctx, key);
+            return (Some(pkt), ScanWork::bucketed(1, swept));
+        }
+        let entry = PostedEntry {
+            recv,
+            seq: self.post_seq,
+        };
+        self.post_seq += 1;
+        self.posted_count += 1;
+        if entry.recv.pattern.has_wildcard() {
+            bins.posted_wild.push(entry);
+        } else {
+            let key = (entry.recv.pattern.src as u32, entry.recv.pattern.tag);
+            bins.posted_exact.entry(key).or_default().push_back(entry);
+        }
+        (None, ScanWork::bucketed(0, swept))
+    }
+
+    fn incoming(&mut self, packet: Packet) -> Incoming {
+        let h = packet.header;
+        let key = (h.src, h.tag);
+        let bins = self.ctxs.entry(h.context_id).or_default();
+
+        // First-posted-wins across the exact bin and the wildcard sideline:
+        // compare the bin front's posting sequence against the first matching
+        // sideline entry (the sideline is in posting order, so the first
+        // match is the earliest-posted wildcard candidate).
+        let exact_seq = bins
+            .posted_exact
+            .get(&key)
+            .and_then(|b| b.front())
+            .map(|e| e.seq);
+        let scanned = exact_seq.is_some() as usize;
+        let mut wild_idx = None;
+        let mut swept = 0;
+        for (i, e) in bins.posted_wild.iter().enumerate() {
+            swept += 1;
+            if e.recv.pattern.matches(h.context_id, h.src, h.tag) {
+                wild_idx = Some((i, e.seq));
+                break;
+            }
+        }
+        let work = ScanWork::bucketed(scanned, swept);
+
+        let winner = match (exact_seq, wild_idx) {
+            (None, None) => None,
+            (Some(_), None) => Some(true),
+            (None, Some(_)) => Some(false),
+            (Some(es), Some((_, ws))) => Some(es < ws),
+        };
+        if let Some(exact_wins) = winner {
+            let entry = if exact_wins {
+                let bin = bins.posted_exact.get_mut(&key).expect("bin exists");
+                let e = bin.pop_front().expect("front exists");
+                if bin.is_empty() {
+                    bins.posted_exact.remove(&key);
+                }
+                e
+            } else {
+                let (i, _) = wild_idx.expect("wildcard candidate");
+                bins.posted_wild.remove(i)
+            };
+            self.posted_count -= 1;
+            return Incoming::Matched {
+                recv: entry.recv,
+                packet,
+                work,
+            };
+        }
+
+        // No match: queue by envelope, each bin sorted by (arrive_at, seq).
+        // Packets mostly arrive nearly-sorted, so search from the back.
+        let entry = UnexpectedEntry {
+            pkt: packet,
+            seq: self.arrival_seq,
+        };
+        self.arrival_seq += 1;
+        self.unexpected_count += 1;
+        let bin = bins.unexpected.entry(key).or_default();
+        let pos = bin
+            .iter()
+            .rposition(|e| e.pkt.arrive_at <= entry.pkt.arrive_at)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        bin.insert(pos, entry);
+        Incoming::Queued { work }
+    }
+
+    fn probe(&self, pattern: &MatchPattern) -> (Option<Status>, ScanWork) {
+        let Some(bins) = self.ctxs.get(&pattern.context_id) else {
+            return (None, ScanWork::bucketed(0, 0));
+        };
+        let (hit, swept) = Self::earliest_unexpected(bins, pattern);
+        let st = hit.map(|(key, _)| {
+            let e = bins.unexpected[&key].first().expect("front exists");
+            Status {
+                source: e.pkt.header.src as usize,
+                tag: e.pkt.header.tag,
+                len: e.pkt.payload.len(),
+            }
+        });
+        (st, ScanWork::bucketed(hit.is_some() as usize, swept))
+    }
+
+    fn cancel(&mut self, req: &Arc<ReqState>) -> bool {
+        for bins in self.ctxs.values_mut() {
+            if let Some(i) = bins
+                .posted_wild
+                .iter()
+                .position(|e| Arc::ptr_eq(&e.recv.req, req))
+            {
+                bins.posted_wild.remove(i);
+                self.posted_count -= 1;
+                return true;
+            }
+            let hit_key = bins
+                .posted_exact
+                .iter()
+                .find(|(_, bin)| bin.iter().any(|e| Arc::ptr_eq(&e.recv.req, req)))
+                .map(|(&key, _)| key);
+            if let Some(key) = hit_key {
+                let bin = bins.posted_exact.get_mut(&key).expect("bin exists");
+                let i = bin
+                    .iter()
+                    .position(|e| Arc::ptr_eq(&e.recv.req, req))
+                    .expect("entry exists");
+                bin.remove(i);
+                if bin.is_empty() {
+                    bins.posted_exact.remove(&key);
+                }
+                self.posted_count -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn posted_len(&self) -> usize {
+        self.posted_count
+    }
+
+    fn unexpected_len(&self) -> usize {
+        self.unexpected_count
+    }
+
+    fn drain(&mut self) -> (Vec<PostedRecv>, Vec<Packet>) {
+        let mut posted: Vec<PostedEntry> = Vec::with_capacity(self.posted_count);
+        let mut unexpected: Vec<UnexpectedEntry> = Vec::with_capacity(self.unexpected_count);
+        for (_, bins) in std::mem::take(&mut self.ctxs) {
+            posted.extend(bins.posted_wild);
+            for (_, bin) in bins.posted_exact {
+                posted.extend(bin);
+            }
+            for (_, bin) in bins.unexpected {
+                unexpected.extend(bin);
+            }
+        }
+        posted.sort_by_key(|e| e.seq);
+        unexpected.sort_by_key(|e| (e.pkt.arrive_at, e.seq));
+        self.posted_count = 0;
+        self.unexpected_count = 0;
+        (
+            posted.into_iter().map(|e| e.recv).collect(),
+            unexpected.into_iter().map(|e| e.pkt).collect(),
+        )
     }
 }
 
@@ -242,141 +658,301 @@ mod tests {
         }
     }
 
+    /// Run a semantics test against both engines.
+    fn for_both(f: impl Fn(&mut dyn MatchEngine)) {
+        let mut lin = LinearEngine::new();
+        f(&mut lin);
+        let mut buck = BucketedEngine::new();
+        f(&mut buck);
+    }
+
     #[test]
     fn exact_triplet_matching() {
-        let mut e = MatchingEngine::new();
-        assert!(matches!(e.incoming(pkt(1, 0, 5, 10)), Incoming::Queued { .. }));
-        // Wrong context, wrong src, wrong tag: all miss.
-        let (m, _) = e.post_recv(recv(2, 0, 5));
-        assert!(m.is_none());
-        let (m, _) = e.post_recv(recv(1, 1, 5));
-        assert!(m.is_none());
-        let (m, _) = e.post_recv(recv(1, 0, 6));
-        assert!(m.is_none());
-        // Exact match hits.
-        let (m, scanned) = e.post_recv(recv(1, 0, 5));
-        assert!(m.is_some());
-        assert_eq!(scanned, 1);
-        assert_eq!(e.posted_len(), 3);
-        assert_eq!(e.unexpected_len(), 0);
+        for_both(|e| {
+            assert!(matches!(
+                e.incoming(pkt(1, 0, 5, 10)),
+                Incoming::Queued { .. }
+            ));
+            // Wrong context, wrong src, wrong tag: all miss.
+            let (m, _) = e.post_recv(recv(2, 0, 5));
+            assert!(m.is_none());
+            let (m, _) = e.post_recv(recv(1, 1, 5));
+            assert!(m.is_none());
+            let (m, _) = e.post_recv(recv(1, 0, 6));
+            assert!(m.is_none());
+            // Exact match hits.
+            let (m, work) = e.post_recv(recv(1, 0, 5));
+            assert!(m.is_some());
+            assert_eq!(work.scanned, 1);
+            assert_eq!(e.posted_len(), 3);
+            assert_eq!(e.unexpected_len(), 0);
+        });
     }
 
     #[test]
     fn wildcards_match_anything_in_context() {
-        let mut e = MatchingEngine::new();
-        e.incoming(pkt(3, 7, 42, 10));
-        let (m, _) = e.post_recv(recv(3, ANY_SOURCE, ANY_TAG));
-        let p = m.unwrap();
-        assert_eq!(p.header.src, 7);
-        assert_eq!(p.header.tag, 42);
+        for_both(|e| {
+            e.incoming(pkt(3, 7, 42, 10));
+            let (m, _) = e.post_recv(recv(3, ANY_SOURCE, ANY_TAG));
+            let p = m.unwrap();
+            assert_eq!(p.header.src, 7);
+            assert_eq!(p.header.tag, 42);
+        });
     }
 
     #[test]
     fn wildcard_does_not_cross_contexts() {
-        let mut e = MatchingEngine::new();
-        e.incoming(pkt(3, 7, 42, 10));
-        let (m, _) = e.post_recv(recv(4, ANY_SOURCE, ANY_TAG));
-        assert!(m.is_none());
+        for_both(|e| {
+            e.incoming(pkt(3, 7, 42, 10));
+            let (m, _) = e.post_recv(recv(4, ANY_SOURCE, ANY_TAG));
+            assert!(m.is_none());
+        });
     }
 
     #[test]
     fn non_overtaking_earliest_arrival_wins() {
-        let mut e = MatchingEngine::new();
-        // Same envelope, different arrival times, inserted out of real order.
-        e.incoming(pkt(1, 0, 5, 300));
-        e.incoming(pkt(1, 0, 5, 100));
-        e.incoming(pkt(1, 0, 5, 200));
-        let (m, _) = e.post_recv(recv(1, 0, 5));
-        assert_eq!(m.unwrap().arrive_at, Nanos(100));
-        let (m, _) = e.post_recv(recv(1, 0, 5));
-        assert_eq!(m.unwrap().arrive_at, Nanos(200));
-        let (m, _) = e.post_recv(recv(1, 0, 5));
-        assert_eq!(m.unwrap().arrive_at, Nanos(300));
+        for_both(|e| {
+            // Same envelope, different arrival times, inserted out of real order.
+            e.incoming(pkt(1, 0, 5, 300));
+            e.incoming(pkt(1, 0, 5, 100));
+            e.incoming(pkt(1, 0, 5, 200));
+            let (m, _) = e.post_recv(recv(1, 0, 5));
+            assert_eq!(m.unwrap().arrive_at, Nanos(100));
+            let (m, _) = e.post_recv(recv(1, 0, 5));
+            assert_eq!(m.unwrap().arrive_at, Nanos(200));
+            let (m, _) = e.post_recv(recv(1, 0, 5));
+            assert_eq!(m.unwrap().arrive_at, Nanos(300));
+        });
+    }
+
+    #[test]
+    fn earliest_arrival_wins_across_bins_for_wildcards() {
+        for_both(|e| {
+            // Different envelopes (thus different bins in the bucketed
+            // engine), arrivals out of insertion order.
+            e.incoming(pkt(1, 2, 8, 300));
+            e.incoming(pkt(1, 0, 5, 100));
+            e.incoming(pkt(1, 1, 6, 200));
+            let (m, _) = e.post_recv(recv(1, ANY_SOURCE, ANY_TAG));
+            assert_eq!(m.unwrap().arrive_at, Nanos(100));
+            let (m, _) = e.post_recv(recv(1, ANY_SOURCE, ANY_TAG));
+            assert_eq!(m.unwrap().arrive_at, Nanos(200));
+            let (m, _) = e.post_recv(recv(1, ANY_SOURCE, ANY_TAG));
+            assert_eq!(m.unwrap().arrive_at, Nanos(300));
+        });
     }
 
     #[test]
     fn non_overtaking_first_posted_wins() {
-        let mut e = MatchingEngine::new();
-        let r1 = recv(1, 0, 5);
-        let r2 = recv(1, 0, 5);
-        let req1 = Arc::clone(&r1.req);
-        e.post_recv(r1);
-        e.post_recv(r2);
-        match e.incoming(pkt(1, 0, 5, 10)) {
-            Incoming::Matched { recv, .. } => assert!(Arc::ptr_eq(&recv.req, &req1)),
-            _ => panic!("expected a match"),
-        }
-        assert_eq!(e.posted_len(), 1);
+        for_both(|e| {
+            let r1 = recv(1, 0, 5);
+            let r2 = recv(1, 0, 5);
+            let req1 = Arc::clone(&r1.req);
+            e.post_recv(r1);
+            e.post_recv(r2);
+            match e.incoming(pkt(1, 0, 5, 10)) {
+                Incoming::Matched { recv, .. } => assert!(Arc::ptr_eq(&recv.req, &req1)),
+                _ => panic!("expected a match"),
+            }
+            assert_eq!(e.posted_len(), 1);
+        });
     }
 
     #[test]
     fn wildcard_posted_receives_steal_in_post_order() {
-        let mut e = MatchingEngine::new();
-        let specific = recv(1, 0, 5);
-        let wild = recv(1, ANY_SOURCE, ANY_TAG);
-        let wild_req = Arc::clone(&wild.req);
-        e.post_recv(wild); // posted first
-        e.post_recv(specific);
-        match e.incoming(pkt(1, 0, 5, 10)) {
-            Incoming::Matched { recv, .. } => {
-                assert!(Arc::ptr_eq(&recv.req, &wild_req), "wildcard posted first wins")
+        for_both(|e| {
+            let specific = recv(1, 0, 5);
+            let wild = recv(1, ANY_SOURCE, ANY_TAG);
+            let wild_req = Arc::clone(&wild.req);
+            e.post_recv(wild); // posted first
+            e.post_recv(specific);
+            match e.incoming(pkt(1, 0, 5, 10)) {
+                Incoming::Matched { recv, .. } => {
+                    assert!(
+                        Arc::ptr_eq(&recv.req, &wild_req),
+                        "wildcard posted first wins"
+                    )
+                }
+                _ => panic!("expected a match"),
             }
-            _ => panic!("expected a match"),
-        }
+        });
+    }
+
+    #[test]
+    fn exact_posted_before_wildcard_wins() {
+        for_both(|e| {
+            let specific = recv(1, 0, 5);
+            let spec_req = Arc::clone(&specific.req);
+            e.post_recv(specific); // posted first
+            e.post_recv(recv(1, ANY_SOURCE, ANY_TAG));
+            match e.incoming(pkt(1, 0, 5, 10)) {
+                Incoming::Matched { recv, .. } => {
+                    assert!(Arc::ptr_eq(&recv.req, &spec_req), "exact posted first wins")
+                }
+                _ => panic!("expected a match"),
+            }
+        });
     }
 
     #[test]
     fn probe_is_non_destructive() {
-        let mut e = MatchingEngine::new();
-        e.incoming(pkt(1, 2, 9, 10));
-        let pat = MatchPattern {
-            context_id: 1,
-            src: ANY_SOURCE,
-            tag: 9,
-        };
-        let (st, scanned) = e.probe(&pat);
-        let st = st.unwrap();
-        assert_eq!(st.source, 2);
-        assert_eq!(st.len, 1);
-        assert_eq!(scanned, 1);
-        assert_eq!(e.unexpected_len(), 1, "probe leaves the message queued");
+        for_both(|e| {
+            e.incoming(pkt(1, 2, 9, 10));
+            let pat = MatchPattern {
+                context_id: 1,
+                src: ANY_SOURCE,
+                tag: 9,
+            };
+            let (st, _) = e.probe(&pat);
+            let st = st.unwrap();
+            assert_eq!(st.source, 2);
+            assert_eq!(st.len, 1);
+            assert_eq!(e.unexpected_len(), 1, "probe leaves the message queued");
+        });
     }
 
     #[test]
-    fn scan_counts_grow_with_queue_depth() {
-        let mut e = MatchingEngine::new();
+    fn linear_scan_counts_grow_with_queue_depth() {
+        let mut e = LinearEngine::new();
         for i in 0..10 {
             e.incoming(pkt(1, 0, i, 10 + i as u64));
         }
         // Matching the last-queued tag scans the whole queue.
-        let (m, scanned) = e.post_recv(recv(1, 0, 9));
+        let (m, work) = e.post_recv(recv(1, 0, 9));
         assert!(m.is_some());
-        assert_eq!(scanned, 10);
+        assert_eq!(work.scanned, 10);
+        assert!(!work.bucketed);
     }
 
     #[test]
-    fn cancel_last_posted_retracts_probes() {
-        let mut e = MatchingEngine::new();
-        assert!(!e.cancel_last_posted(), "nothing to retract on empty queue");
-        e.post_recv(recv(1, 0, 5));
-        e.post_recv(recv(1, 0, 6));
-        assert!(e.cancel_last_posted());
-        assert_eq!(e.posted_len(), 1);
-        // The remaining posted receive is the first one (tag 5).
-        assert!(matches!(e.incoming(pkt(1, 0, 5, 10)), Incoming::Matched { .. }));
-        assert!(matches!(e.incoming(pkt(1, 0, 6, 20)), Incoming::Queued { .. }));
+    fn bucketed_exact_work_is_depth_independent() {
+        let mut e = BucketedEngine::new();
+        for i in 0..64 {
+            e.incoming(pkt(1, 0, i, 10 + i as u64));
+        }
+        // Matching any tag touches one bin: one entry examined, no sweep.
+        let (m, work) = e.post_recv(recv(1, 0, 63));
+        assert!(m.is_some());
+        assert_eq!(work.scanned, 1);
+        assert_eq!(work.wildcard_scanned, 0);
+        assert!(work.bucketed);
+        // A wildcard pays the bin sweep instead.
+        let (m, work) = e.post_recv(recv(1, ANY_SOURCE, ANY_TAG));
+        assert!(m.is_some());
+        assert_eq!(work.wildcard_scanned, 63, "swept all remaining bins");
     }
 
     #[test]
-    fn cancel_removes_posted() {
-        let mut e = MatchingEngine::new();
+    fn cancel_removes_posted_by_identity() {
+        for_both(|e| {
+            // Interleave two "probes": cancelling the first must not disturb
+            // the second — the race cancel-by-position used to lose.
+            let r1 = recv(1, 0, 5);
+            let r2 = recv(1, 0, 6);
+            let req1 = Arc::clone(&r1.req);
+            let req2 = Arc::clone(&r2.req);
+            e.post_recv(r1);
+            e.post_recv(r2);
+            assert!(e.cancel(&req1));
+            assert!(!e.cancel(&req1), "second cancel finds nothing");
+            assert_eq!(e.posted_len(), 1);
+            // The survivor is r2: its message matches, r1's queues.
+            assert!(matches!(
+                e.incoming(pkt(1, 0, 6, 10)),
+                Incoming::Matched { .. }
+            ));
+            assert!(matches!(
+                e.incoming(pkt(1, 0, 5, 20)),
+                Incoming::Queued { .. }
+            ));
+            assert!(!e.cancel(&req2), "r2 already completed");
+        });
+    }
+
+    #[test]
+    fn cancel_removes_wildcard_posted() {
+        for_both(|e| {
+            let r = recv(1, ANY_SOURCE, ANY_TAG);
+            let req = Arc::clone(&r.req);
+            e.post_recv(r);
+            assert!(e.cancel(&req));
+            assert_eq!(e.posted_len(), 0);
+            assert!(matches!(
+                e.incoming(pkt(1, 0, 5, 10)),
+                Incoming::Queued { .. }
+            ));
+        });
+    }
+
+    #[test]
+    fn drain_preserves_posting_and_arrival_order() {
+        for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+            let mut e = kind.new_engine();
+            let r1 = recv(1, 0, 5);
+            let r2 = recv(1, ANY_SOURCE, ANY_TAG);
+            let r3 = recv(2, 3, 7);
+            let (req1, req2, req3) = (
+                Arc::clone(&r1.req),
+                Arc::clone(&r2.req),
+                Arc::clone(&r3.req),
+            );
+            e.post_recv(r1);
+            e.post_recv(r2);
+            e.post_recv(r3);
+            // Context 3 has no posted receives: all three arrivals queue, in
+            // different (src, tag) bins, out of arrival order.
+            e.incoming(pkt(3, 9, 9, 300));
+            e.incoming(pkt(3, 1, 2, 100));
+            e.incoming(pkt(3, 8, 8, 200));
+            let (posted, unexpected) = e.drain();
+            assert_eq!(e.posted_len(), 0);
+            assert_eq!(e.unexpected_len(), 0);
+            assert!(Arc::ptr_eq(&posted[0].req, &req1));
+            assert!(Arc::ptr_eq(&posted[1].req, &req2));
+            assert!(Arc::ptr_eq(&posted[2].req, &req3));
+            let arrivals: Vec<u64> = unexpected.iter().map(|p| p.arrive_at.0).collect();
+            assert_eq!(arrivals, vec![100, 200, 300]);
+        }
+    }
+
+    #[test]
+    fn migration_between_kinds_preserves_matching() {
+        // Drain a linear engine into a bucketed one and check the pending
+        // receive and unexpected packet still behave identically.
+        let mut lin = EngineKind::Linear.new_engine();
         let r = recv(1, 0, 5);
         let req = Arc::clone(&r.req);
-        e.post_recv(r);
-        assert!(e.cancel(&req));
-        assert!(!e.cancel(&req));
-        assert_eq!(e.posted_len(), 0);
-        // A now-arriving message queues as unexpected.
-        assert!(matches!(e.incoming(pkt(1, 0, 5, 10)), Incoming::Queued { .. }));
+        lin.post_recv(r);
+        lin.incoming(pkt(1, 7, 7, 50));
+        let (posted, unexpected) = lin.drain();
+        let mut buck = EngineKind::Bucketed.new_engine();
+        for p in posted {
+            let (m, _) = buck.post_recv(p);
+            assert!(m.is_none(), "quiescent state has no cross matches");
+        }
+        for u in unexpected {
+            assert!(matches!(buck.incoming(u), Incoming::Queued { .. }));
+        }
+        // The pending posted recv matches its packet on the new engine.
+        match buck.incoming(pkt(1, 0, 5, 60)) {
+            Incoming::Matched { recv, .. } => assert!(Arc::ptr_eq(&recv.req, &req)),
+            _ => panic!("expected a match"),
+        }
+        // The queued unexpected packet is still probe-able.
+        let (st, _) = buck.probe(&MatchPattern {
+            context_id: 1,
+            src: 7,
+            tag: 7,
+        });
+        assert_eq!(st.unwrap().source, 7);
+    }
+
+    #[test]
+    fn engine_kind_parses_hint_values() {
+        assert_eq!(EngineKind::parse("linear"), Some(EngineKind::Linear));
+        assert_eq!(EngineKind::parse("bucketed"), Some(EngineKind::Bucketed));
+        assert_eq!(EngineKind::parse("fancy"), None);
+        assert_eq!(EngineKind::default(), EngineKind::Bucketed);
+        assert_eq!(EngineKind::Linear.name(), "linear");
     }
 }

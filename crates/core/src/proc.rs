@@ -9,6 +9,7 @@ use rankmpi_vtime::Clock;
 
 use crate::comm::Communicator;
 use crate::costs::CoreCosts;
+use crate::matching::EngineKind;
 use crate::universe::UniverseShared;
 use crate::vci::{DirectRegistry, DirectSink, Vci};
 
@@ -24,6 +25,9 @@ pub struct ProcShared {
     nic: Arc<Nic>,
     shm_nic: Arc<Nic>,
     costs: CoreCosts,
+    /// Default matching-engine kind for newly created VCIs (the
+    /// `rankmpi_matching` Info hint overrides per communicator).
+    matching: EngineKind,
     direct: Arc<DirectRegistry>,
     vcis: RwLock<Vec<Arc<Vci>>>,
     seq: AtomicU64,
@@ -36,7 +40,8 @@ pub struct ProcShared {
 }
 
 impl ProcShared {
-    /// Create the process with `num_vcis` standard VCIs.
+    /// Create the process with `num_vcis` standard VCIs running `matching`
+    /// engines.
     pub(crate) fn new(
         rank: usize,
         node: usize,
@@ -44,6 +49,7 @@ impl ProcShared {
         shm_nic: Arc<Nic>,
         costs: CoreCosts,
         num_vcis: usize,
+        matching: EngineKind,
     ) -> Arc<Self> {
         let notify = Arc::new(Notify::new());
         let direct = Arc::new(DirectRegistry::new());
@@ -54,6 +60,7 @@ impl ProcShared {
             nic,
             shm_nic,
             costs,
+            matching,
             direct,
             vcis: RwLock::new(Vec::new()),
             seq: AtomicU64::new(0),
@@ -109,8 +116,14 @@ impl ProcShared {
             Arc::clone(&self.notify),
             self.costs.clone(),
             Arc::clone(&self.direct),
+            self.matching,
         ));
         id
+    }
+
+    /// Default matching-engine kind of this process's VCIs.
+    pub fn matching(&self) -> EngineKind {
+        self.matching
     }
 
     /// Register a direct-delivery sink (partitioned communication).
@@ -324,11 +337,7 @@ impl ProcEnv {
     }
 
     /// Run `f` on `n` threads.
-    pub fn parallel_n<R: Send>(
-        &self,
-        n: usize,
-        f: impl Fn(&mut ThreadCtx) -> R + Sync,
-    ) -> Vec<R> {
+    pub fn parallel_n<R: Send>(&self, n: usize, f: impl Fn(&mut ThreadCtx) -> R + Sync) -> Vec<R> {
         let f = &f;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)

@@ -166,7 +166,12 @@ impl Communicator {
     }
 
     /// Probe-and-receive: returns the message if one is already available.
-    pub fn try_recv(&self, th: &mut ThreadCtx, src: i64, tag: i64) -> Result<Option<(Status, Bytes)>> {
+    pub fn try_recv(
+        &self,
+        th: &mut ThreadCtx,
+        src: i64,
+        tag: i64,
+    ) -> Result<Option<(Status, Bytes)>> {
         match self.iprobe(th, src, tag)? {
             // Receive exactly the probed message (same concrete envelope) so
             // concurrent consumers cannot steal it out from under us within
@@ -183,7 +188,12 @@ impl Communicator {
     /// unexpected message from the engine so no other thread can steal it
     /// (the race `iprobe` + `recv` cannot close under wildcards), returning
     /// its status and payload. `None` if nothing matches yet.
-    pub fn improbe(&self, th: &mut ThreadCtx, src: i64, tag: i64) -> Result<Option<(Status, Bytes)>> {
+    pub fn improbe(
+        &self,
+        th: &mut ThreadCtx,
+        src: i64,
+        tag: i64,
+    ) -> Result<Option<(Status, Bytes)>> {
         self.check_recv_args(src, tag)?;
         let pattern = MatchPattern {
             context_id: self.context_id(),
@@ -221,14 +231,22 @@ impl Communicator {
     fn check_recv_args(&self, src: i64, tag: i64) -> Result<()> {
         if src != ANY_SOURCE {
             self.check_rank(src as usize)?;
-        } else if self.info().get_bool(keys::ASSERT_NO_ANY_SOURCE).unwrap_or(false) {
+        } else if self
+            .info()
+            .get_bool(keys::ASSERT_NO_ANY_SOURCE)
+            .unwrap_or(false)
+        {
             return Err(Error::WildcardUnsupported {
                 reason: "communicator asserted mpi_assert_no_any_source",
             });
         }
         if tag != ANY_TAG {
             self.check_tag(tag)?;
-        } else if self.info().get_bool(keys::ASSERT_NO_ANY_TAG).unwrap_or(false) {
+        } else if self
+            .info()
+            .get_bool(keys::ASSERT_NO_ANY_TAG)
+            .unwrap_or(false)
+        {
             return Err(Error::WildcardUnsupported {
                 reason: "communicator asserted mpi_assert_no_any_tag",
             });

@@ -176,10 +176,7 @@ impl Request {
 
 /// Wait for all requests, like `MPI_Waitall`. Returns statuses/payloads in
 /// request order; `clock` ends at the max completion time.
-pub fn wait_all(
-    clock: &mut rankmpi_vtime::Clock,
-    reqs: &[Request],
-) -> Vec<(Status, Bytes)> {
+pub fn wait_all(clock: &mut rankmpi_vtime::Clock, reqs: &[Request]) -> Vec<(Status, Bytes)> {
     reqs.iter().map(|r| r.wait(clock)).collect()
 }
 

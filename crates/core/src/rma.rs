@@ -121,7 +121,12 @@ pub struct Window {
 impl Window {
     /// Collectively create a window of `size` bytes on every process of
     /// `comm`. Info may set `accumulate_ordering=none`.
-    pub fn create(comm: &Communicator, th: &mut ThreadCtx, size: usize, info: &Info) -> Result<Window> {
+    pub fn create(
+        comm: &Communicator,
+        th: &mut ThreadCtx,
+        size: usize,
+        info: &Info,
+    ) -> Result<Window> {
         let ordering = match info.get(keys::ACCUMULATE_ORDERING) {
             Some("none") => AccumulateOrdering::None,
             _ => AccumulateOrdering::Ordered,
@@ -131,16 +136,16 @@ impl Window {
         let idx = th.proc().next_dup_index(comm.context_id() | 0x4000_0000);
         let win_id = comm.universe().agree_window((comm.context_id(), idx));
         let mine = WindowTarget::new(size);
-        comm.universe()
-            .publish_window_target(win_id, comm.global_rank(comm.rank()), Arc::clone(&mine));
+        comm.universe().publish_window_target(
+            win_id,
+            comm.global_rank(comm.rank()),
+            Arc::clone(&mine),
+        );
         // Creation is collective & synchronizing: after the barrier, every
         // process's target is published.
         comm.barrier(th)?;
         let targets = (0..comm.size())
-            .map(|r| {
-                comm.universe()
-                    .window_target(win_id, comm.global_rank(r))
-            })
+            .map(|r| comm.universe().window_target(win_id, comm.global_rank(r)))
             .collect();
         Ok(Window {
             comm: comm.clone(),
@@ -202,7 +207,14 @@ impl Window {
 
     /// Charge the one-sided injection path and return the virtual time the
     /// operation is applied at the target.
-    fn issue(&self, th: &mut ThreadCtx, vci_idx: usize, target: usize, bytes: usize, atomic: bool) -> Nanos {
+    fn issue(
+        &self,
+        th: &mut ThreadCtx,
+        vci_idx: usize,
+        target: usize,
+        bytes: usize,
+        atomic: bool,
+    ) -> Nanos {
         let _mpi = th.enter_mpi();
         let costs = th.proc().costs().clone();
         th.clock.advance(costs.copy_cost(bytes));
@@ -247,7 +259,13 @@ impl Window {
 
     /// `MPI_Get` (blocking convenience): read `len` bytes at `offset` from
     /// `target`'s window. Virtual time includes the response transfer.
-    pub fn get(&self, th: &mut ThreadCtx, target: usize, offset: usize, len: usize) -> Result<Vec<u8>> {
+    pub fn get(
+        &self,
+        th: &mut ThreadCtx,
+        target: usize,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>> {
         self.get_on_vci(th, self.vci_for(target, offset), target, offset, len)
     }
 
@@ -295,7 +313,14 @@ impl Window {
         vals: &[f64],
         op: ReduceOp,
     ) -> Result<()> {
-        self.accumulate_on_vci(th, self.vci_for_atomic(target, offset), target, offset, vals, op)
+        self.accumulate_on_vci(
+            th,
+            self.vci_for_atomic(target, offset),
+            target,
+            offset,
+            vals,
+            op,
+        )
     }
 
     /// `accumulate` through an explicit VCI.
@@ -342,7 +367,8 @@ impl Window {
         let done = match self.ordering {
             AccumulateOrdering::Ordered => {
                 let res = self.targets[target].order_resource(th.proc().rank());
-                res.acquire(apply_at, costs.rma_apply + costs.rma_atomic_extra).end
+                res.acquire(apply_at, costs.rma_apply + costs.rma_atomic_extra)
+                    .end
             }
             AccumulateOrdering::None => apply_at,
         };
@@ -411,7 +437,12 @@ impl Window {
                 size: self.comm.size(),
             });
         }
-        let last = self.pending.lock().get(&(target, vci_idx)).copied().unwrap_or(0);
+        let last = self
+            .pending
+            .lock()
+            .get(&(target, vci_idx))
+            .copied()
+            .unwrap_or(0);
         if last > 0 {
             th.clock
                 .wait_until(Nanos(last) + th.universe().profile().latency);
@@ -511,7 +542,8 @@ mod tests {
             let win = Window::create(&world, &mut th, 64, &Info::new()).unwrap();
             // Everyone accumulates 1.0 into rank 0's first element, 3 times.
             for _ in 0..3 {
-                win.accumulate(&mut th, 0, 0, &[1.0], ReduceOp::Sum).unwrap();
+                win.accumulate(&mut th, 0, 0, &[1.0], ReduceOp::Sum)
+                    .unwrap();
             }
             win.flush(&mut th, 0).unwrap();
             win.fence(&mut th).unwrap();
@@ -627,10 +659,7 @@ mod tests {
             });
             win.fence(&mut setup).unwrap();
             if env.rank() == 0 {
-                assert_eq!(
-                    win.read_local_f64(0, 1).unwrap(),
-                    vec![(p * 2 * n) as f64]
-                );
+                assert_eq!(win.read_local_f64(0, 1).unwrap(), vec![(p * 2 * n) as f64]);
             }
         });
     }

@@ -201,7 +201,10 @@ mod tests {
     fn overflowing_layout_is_rejected() {
         assert!(matches!(
             TagLayout::new(10, 10, 10, TagPlacement::Msb),
-            Err(Error::TagBitsOverflow { requested: 30, available: 22 })
+            Err(Error::TagBitsOverflow {
+                requested: 30,
+                available: 22
+            })
         ));
     }
 

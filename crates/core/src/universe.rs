@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 use rankmpi_fabric::{NetworkProfile, Nic};
 
 use crate::costs::CoreCosts;
+use crate::matching::EngineKind;
 use crate::proc::{ProcEnv, ProcShared};
 use crate::rma::WindowTarget;
 
@@ -51,6 +52,7 @@ pub struct UniverseShared {
     threads_per_proc: usize,
     num_vcis: usize,
     thread_level: ThreadLevel,
+    matching: EngineKind,
     nics: Vec<Arc<Nic>>,
     shm_nics: Vec<Arc<Nic>>,
     procs: Vec<Arc<ProcShared>>,
@@ -128,6 +130,11 @@ impl UniverseShared {
     /// The provided thread-support level.
     pub fn thread_level(&self) -> ThreadLevel {
         self.thread_level
+    }
+
+    /// The default matching-engine kind of the universe's VCIs.
+    pub fn matching(&self) -> EngineKind {
+        self.matching
     }
 
     /// The network profile.
@@ -244,6 +251,7 @@ pub struct UniverseBuilder {
     threads_per_proc: usize,
     num_vcis: usize,
     thread_level: ThreadLevel,
+    matching: EngineKind,
     profile: NetworkProfile,
     costs: CoreCosts,
 }
@@ -256,6 +264,7 @@ impl Default for UniverseBuilder {
             threads_per_proc: 1,
             num_vcis: 1,
             thread_level: ThreadLevel::Multiple,
+            matching: EngineKind::default(),
             profile: NetworkProfile::omni_path(),
             costs: CoreCosts::default(),
         }
@@ -292,6 +301,14 @@ impl UniverseBuilder {
     /// Thread-support level (default `MPI_THREAD_MULTIPLE`).
     pub fn thread_level(mut self, l: ThreadLevel) -> Self {
         self.thread_level = l;
+        self
+    }
+
+    /// Default matching-engine kind for every VCI (default
+    /// [`EngineKind::Bucketed`]; the `rankmpi_matching` Info hint overrides
+    /// per communicator).
+    pub fn matching(mut self, kind: EngineKind) -> Self {
+        self.matching = kind;
         self
     }
 
@@ -338,6 +355,7 @@ impl UniverseBuilder {
                     Arc::clone(&shm_nics[node]),
                     self.costs.clone(),
                     self.num_vcis,
+                    self.matching,
                 )
             })
             .collect();
@@ -349,6 +367,7 @@ impl UniverseBuilder {
             threads_per_proc: self.threads_per_proc,
             num_vcis: self.num_vcis,
             thread_level: self.thread_level,
+            matching: self.matching,
             nics,
             shm_nics,
             procs,
@@ -516,7 +535,10 @@ mod tests {
             });
             results[1]
         });
-        assert!(caught[0], "tid 1's MPI call must be rejected under FUNNELED");
+        assert!(
+            caught[0],
+            "tid 1's MPI call must be rejected under FUNNELED"
+        );
     }
 
     #[test]

@@ -11,11 +11,15 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use rankmpi_fabric::{transmit, Header, HwContext, Mailbox, NetworkProfile, Nic, Notify, Packet, TxInfo};
+use rankmpi_fabric::{
+    transmit, Header, HwContext, Mailbox, NetworkProfile, Nic, Notify, Packet, TxInfo,
+};
 use rankmpi_vtime::{Clock, ContentionLock, Counter, Nanos};
 
 use crate::costs::CoreCosts;
-use crate::matching::{Incoming, MatchPattern, MatchingEngine, PostedRecv, Status};
+use crate::matching::{
+    EngineKind, Incoming, MatchEngine, MatchPattern, PostedRecv, ScanWork, Status,
+};
 use crate::request::ReqState;
 use crate::tag::{default_tag_hash, TagLayout};
 
@@ -83,7 +87,11 @@ impl DirectRegistry {
         if let Some(s) = sink {
             s.deliver(pkt);
         } else {
-            debug_assert!(false, "direct packet for unregistered sink {}", pkt.header.aux);
+            debug_assert!(
+                false,
+                "direct packet for unregistered sink {}",
+                pkt.header.aux
+            );
         }
     }
 }
@@ -92,6 +100,19 @@ impl std::fmt::Debug for DirectRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "DirectRegistry({} sinks)", self.sinks.read().len())
     }
+}
+
+/// Where one matching operation's work is charged — the two time-accounting
+/// regimes of the library unified behind [`Vci::charge_match`].
+enum ChargeTo<'a> {
+    /// The calling thread performs the work now: its clock advances by the
+    /// cost (caller-side paths: post, probe, matched probe).
+    Caller(&'a mut Clock),
+    /// The engine performs the work, serialized on the VCI's virtual engine
+    /// occupancy and anchored no earlier than the given ready time
+    /// (incoming-side paths, where completion stamps must not depend on
+    /// which real thread drained the mailbox, or when).
+    EngineAt(Nanos),
 }
 
 /// One VCI: mailbox + matching engine + hardware context (+ an intra-node
@@ -107,7 +128,7 @@ pub struct Vci {
     shm_ctx: Arc<HwContext>,
     mailbox: Arc<Mailbox>,
     /// The VCI "big lock": serializes software access to the matching engine.
-    engine: ContentionLock<MatchingEngine>,
+    engine: ContentionLock<Box<dyn MatchEngine>>,
     /// The matching engine's virtual occupancy: every message match/enqueue
     /// consumes engine time here, anchored to the message's arrival — so
     /// completion stamps are independent of *which* real thread happened to
@@ -122,7 +143,9 @@ pub struct Vci {
 impl Vci {
     /// Create VCI `id` for a process on the node served by `nic`/`shm_nic`,
     /// signaling `notify` on arrivals and dispatching direct packets through
-    /// `direct`.
+    /// `direct`. `engine_kind` selects the matching structure (see
+    /// [`EngineKind`]); the `rankmpi_matching` Info hint can change it later
+    /// via [`Vci::set_engine_kind`].
     pub fn new(
         id: usize,
         nic: &Nic,
@@ -130,6 +153,7 @@ impl Vci {
         notify: Arc<Notify>,
         costs: CoreCosts,
         direct: Arc<DirectRegistry>,
+        engine_kind: EngineKind,
     ) -> Arc<Self> {
         Arc::new(Vci {
             id,
@@ -138,12 +162,44 @@ impl Vci {
             ctx: nic.alloc_context(),
             shm_ctx: shm_nic.alloc_context(),
             mailbox: Arc::new(Mailbox::new(notify)),
-            engine: ContentionLock::new(MatchingEngine::new()),
+            engine: ContentionLock::new(engine_kind.new_engine()),
             engine_time: rankmpi_vtime::Resource::new(),
             direct,
             polls: Counter::new(),
             matched: Counter::new(),
         })
+    }
+
+    /// The matching-engine kind this VCI currently runs.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.lock_unmodeled().kind()
+    }
+
+    /// Switch this VCI to a different matching-engine kind, migrating any
+    /// pending state (posted receives in posting order, then unexpected
+    /// packets in arrival order). Returns whether a switch happened.
+    ///
+    /// Safe at any point: in a valid engine no posted receive matches any
+    /// queued unexpected packet (each insertion path searches the other queue
+    /// first), so the replay cannot produce spurious matches and both of
+    /// MPI's ordering rules survive the move.
+    pub fn set_engine_kind(&self, kind: EngineKind) -> bool {
+        let mut eng = self.engine.lock_unmodeled();
+        if eng.kind() == kind {
+            return false;
+        }
+        let (posted, unexpected) = eng.drain();
+        let mut fresh = kind.new_engine();
+        for p in posted {
+            let (m, _) = fresh.post_recv(p);
+            debug_assert!(m.is_none(), "quiescent engine state cannot cross-match");
+        }
+        for u in unexpected {
+            let outcome = fresh.incoming(u);
+            debug_assert!(matches!(outcome, Incoming::Queued { .. }));
+        }
+        *eng = fresh;
+        true
     }
 
     /// VCI index within its process's pool.
@@ -216,29 +272,17 @@ impl Vci {
     /// If a matching unexpected message is already queued the request is
     /// completed immediately (completion time accounts for arrival, matching
     /// work and the eager copy); otherwise the receive is queued.
-    pub fn post_recv(
-        &self,
-        clock: &mut Clock,
-        pattern: MatchPattern,
-        req: Arc<ReqState>,
-    ) {
+    pub fn post_recv(&self, clock: &mut Clock, pattern: MatchPattern, req: Arc<ReqState>) {
         let mut eng = self.engine.lock(clock);
         let posted = PostedRecv {
             pattern,
             req,
             posted_at: clock.now(),
         };
-        let (matched, scanned) = eng.post_recv(posted.clone());
-        clock.advance(self.costs.match_cost(scanned));
+        let (matched, work) = eng.post_recv(posted.clone());
+        let done = self.charge_match(ChargeTo::Caller(clock), &work);
         if let Some(pkt) = matched {
-            self.matched.incr();
-            let finish = self.completion_time(clock.now(), &pkt);
-            let status = Status {
-                source: pkt.header.src as usize,
-                tag: pkt.header.tag,
-                len: pkt.payload.len(),
-            };
-            posted.req.complete(finish, status, pkt.payload);
+            self.complete_match(done, &posted.req, pkt);
         }
         eng.release(clock);
     }
@@ -275,7 +319,7 @@ impl Vci {
                 self.direct.dispatch(pkt);
                 continue;
             }
-            self.handle_incoming(&mut eng, pkt);
+            self.handle_incoming(&mut **eng, pkt);
         }
         drop(eng);
         clock.advance(self.costs.match_base / 4); // the poll's own CPU cost
@@ -313,41 +357,53 @@ impl Vci {
         injected + self.profile.wire_latency() + self.profile.rx_gap
     }
 
-    fn handle_incoming(&self, eng: &mut MatchingEngine, pkt: Packet) {
+    fn handle_incoming(&self, eng: &mut dyn MatchEngine, pkt: Packet) {
         let arrived = pkt.arrive_at;
         match eng.incoming(pkt) {
-            Incoming::Matched {
-                recv,
-                packet,
-                scanned,
-            } => {
-                self.matched.incr();
+            Incoming::Matched { recv, packet, work } => {
                 // The serial matching engine processes this message no
-                // earlier than its arrival and the receive's posting; the
-                // scan work occupies the engine.
+                // earlier than its arrival and the receive's posting.
                 let ready = packet.arrive_at.max(recv.posted_at);
-                let acq = self.engine_time.acquire(ready, self.costs.match_cost(scanned));
-                let finish = acq.end
-                    + self.profile.recv_overhead
-                    + self.costs.copy_cost(packet.payload.len());
-                let status = Status {
-                    source: packet.header.src as usize,
-                    tag: packet.header.tag,
-                    len: packet.payload.len(),
-                };
-                recv.req.complete(finish, status, packet.payload);
+                let done = self.charge_match(ChargeTo::EngineAt(ready), &work);
+                self.complete_match(done, &recv.req, packet);
             }
-            Incoming::Queued { scanned } => {
-                self.engine_time
-                    .acquire(arrived, self.costs.match_cost(scanned));
+            Incoming::Queued { work } => {
+                self.charge_match(ChargeTo::EngineAt(arrived), &work);
             }
         }
     }
 
-    fn completion_time(&self, ready: Nanos, pkt: &Packet) -> Nanos {
-        ready.max(pkt.arrive_at)
+    /// Charge one matching operation's work and return the virtual time the
+    /// engine work finished. This is the single accounting point for every
+    /// matching path — blocking and nonblocking receives, probes, and
+    /// incoming-side handling — so all of them price engine occupancy
+    /// identically.
+    fn charge_match(&self, to: ChargeTo<'_>, work: &ScanWork) -> Nanos {
+        let cost = self.costs.match_cost_of(work);
+        match to {
+            ChargeTo::Caller(clock) => {
+                clock.advance(cost);
+                clock.now()
+            }
+            ChargeTo::EngineAt(ready) => self.engine_time.acquire(ready, cost).end,
+        }
+    }
+
+    /// Complete `req` with `pkt`, with its matching work finished at `done`:
+    /// delivery cannot precede the packet's arrival, then costs the receive
+    /// overhead and the eager copy. Returns the completion time.
+    fn complete_match(&self, done: Nanos, req: &Arc<ReqState>, pkt: Packet) -> Nanos {
+        self.matched.incr();
+        let finish = done.max(pkt.arrive_at)
             + self.profile.recv_overhead
-            + self.costs.copy_cost(pkt.payload.len())
+            + self.costs.copy_cost(pkt.payload.len());
+        let status = Status {
+            source: pkt.header.src as usize,
+            tag: pkt.header.tag,
+            len: pkt.payload.len(),
+        };
+        req.complete(finish, status, pkt.payload);
+        finish
     }
 
     /// Probe for an unexpected message matching `pattern` without receiving
@@ -355,8 +411,8 @@ impl Vci {
     pub fn iprobe(&self, clock: &mut Clock, pattern: &MatchPattern) -> Option<Status> {
         self.progress(clock);
         let eng = self.engine.lock(clock);
-        let (st, scanned) = eng.probe(pattern);
-        clock.advance(self.costs.match_cost(scanned));
+        let (st, work) = eng.probe(pattern);
+        self.charge_match(ChargeTo::Caller(clock), &work);
         eng.release(clock);
         st
     }
@@ -368,33 +424,27 @@ impl Vci {
     pub fn mprobe(&self, clock: &mut Clock, pattern: &MatchPattern) -> Option<(Status, Bytes)> {
         self.progress(clock);
         let mut eng = self.engine.lock(clock);
-        // Reuse the posted-receive matching path with a throwaway request.
+        // Reuse the posted-receive matching path with a throwaway request,
+        // keeping its handle so a miss retracts exactly this probe — other
+        // threads may have posted receives in the meantime.
         let probe = PostedRecv {
             pattern: *pattern,
             req: ReqState::detached(),
             posted_at: clock.now(),
         };
-        let (matched, scanned) = eng.post_recv(probe);
-        clock.advance(self.costs.match_cost(scanned));
+        let probe_req = Arc::clone(&probe.req);
+        let (matched, work) = eng.post_recv(probe);
+        let done = self.charge_match(ChargeTo::Caller(clock), &work);
         let out = match matched {
             Some(pkt) => {
-                self.matched.incr();
-                let finish = clock.now()
-                    + self.profile.recv_overhead
-                    + self.costs.copy_cost(pkt.payload.len());
-                clock.wait_until(finish.max(pkt.arrive_at));
-                Some((
-                    Status {
-                        source: pkt.header.src as usize,
-                        tag: pkt.header.tag,
-                        len: pkt.payload.len(),
-                    },
-                    pkt.payload,
-                ))
+                let finish = self.complete_match(done, &probe_req, pkt);
+                clock.wait_until(finish);
+                let (status, payload) = probe_req.take_result();
+                Some((status, payload))
             }
             None => {
-                // Nothing matched: remove the probe we just queued.
-                let removed = eng.cancel_last_posted();
+                // Nothing matched: retract the probe by request identity.
+                let removed = eng.cancel(&probe_req);
                 debug_assert!(removed);
                 None
             }
@@ -411,6 +461,16 @@ impl Vci {
     /// Number of messages matched on this VCI.
     pub fn matched(&self) -> u64 {
         self.matched.get()
+    }
+
+    /// Current depth of the engine's posted-receive queue.
+    pub fn posted_depth(&self) -> usize {
+        self.engine.lock_unmodeled().posted_len()
+    }
+
+    /// Current depth of the engine's unexpected-message queue.
+    pub fn unexpected_depth(&self) -> usize {
+        self.engine.lock_unmodeled().unexpected_len()
     }
 
     /// Total contention on the VCI lock (virtual time spent acquiring).
@@ -501,6 +561,7 @@ mod tests {
             Arc::new(Notify::new()),
             CoreCosts::default(),
             Arc::new(DirectRegistry::new()),
+            EngineKind::default(),
         );
         (v, nic, shm)
     }
@@ -523,13 +584,23 @@ mod tests {
         let (a, _n1, _s1) = test_vci(0);
         let (b, _n2, _s2) = test_vci(0);
         let mut sc = Clock::new();
-        let info = a.send_packet(&mut sc, &b, false, header(9, 0, 5), Bytes::from_static(b"hey"));
+        let info = a.send_packet(
+            &mut sc,
+            &b,
+            false,
+            header(9, 0, 5),
+            Bytes::from_static(b"hey"),
+        );
 
         let mut rc = Clock::new();
         let req = ReqState::detached();
         b.post_recv(
             &mut rc,
-            MatchPattern { context_id: 9, src: 0, tag: 5 },
+            MatchPattern {
+                context_id: 9,
+                src: 0,
+                tag: 5,
+            },
             Arc::clone(&req),
         );
         assert!(!req.is_complete());
@@ -548,14 +619,24 @@ mod tests {
         let (a, _n1, _s1) = test_vci(0);
         let (b, _n2, _s2) = test_vci(0);
         let mut sc = Clock::new();
-        a.send_packet(&mut sc, &b, false, header(9, 3, 5), Bytes::from_static(b"x"));
+        a.send_packet(
+            &mut sc,
+            &b,
+            false,
+            header(9, 3, 5),
+            Bytes::from_static(b"x"),
+        );
 
         let mut rc = Clock::new();
         b.progress(&mut rc); // queues as unexpected
         let req = ReqState::detached();
         b.post_recv(
             &mut rc,
-            MatchPattern { context_id: 9, src: ANY_SOURCE, tag: ANY_TAG },
+            MatchPattern {
+                context_id: 9,
+                src: ANY_SOURCE,
+                tag: ANY_TAG,
+            },
             Arc::clone(&req),
         );
         assert!(req.is_complete());
@@ -585,6 +666,92 @@ mod tests {
     }
 
     #[test]
+    fn engine_switch_migrates_pending_state() {
+        let (a, _n1, _s1) = test_vci(0);
+        let (b, _n2, _s2) = test_vci(0);
+        assert_eq!(b.engine_kind(), EngineKind::Bucketed);
+        // Queue an unexpected message and a pending receive, then switch.
+        let mut sc = Clock::new();
+        a.send_packet(
+            &mut sc,
+            &b,
+            false,
+            header(9, 3, 5),
+            Bytes::from_static(b"u"),
+        );
+        let mut rc = Clock::new();
+        b.progress(&mut rc); // queues as unexpected
+        let req = ReqState::detached();
+        b.post_recv(
+            &mut rc,
+            MatchPattern {
+                context_id: 9,
+                src: 0,
+                tag: 7,
+            },
+            Arc::clone(&req),
+        );
+        assert!(b.set_engine_kind(EngineKind::Linear));
+        assert!(
+            !b.set_engine_kind(EngineKind::Linear),
+            "same kind is a no-op"
+        );
+        assert_eq!(b.engine_kind(), EngineKind::Linear);
+        assert_eq!(b.unexpected_depth(), 1);
+        assert_eq!(b.posted_depth(), 1);
+        // The migrated unexpected message still matches a new receive...
+        let req2 = ReqState::detached();
+        b.post_recv(
+            &mut rc,
+            MatchPattern {
+                context_id: 9,
+                src: 3,
+                tag: 5,
+            },
+            Arc::clone(&req2),
+        );
+        assert!(req2.is_complete());
+        // ...and the migrated posted receive matches new traffic.
+        a.send_packet(
+            &mut sc,
+            &b,
+            false,
+            header(9, 0, 7),
+            Bytes::from_static(b"v"),
+        );
+        b.progress(&mut rc);
+        assert!(req.is_complete());
+    }
+
+    #[test]
+    fn mprobe_miss_retracts_only_its_own_probe() {
+        let (b, _n, _s) = test_vci(0);
+        let mut rc = Clock::new();
+        // Another thread's receive is posted while we mprobe for something
+        // that is not there: the miss must not disturb it.
+        let req = ReqState::detached();
+        b.post_recv(
+            &mut rc,
+            MatchPattern {
+                context_id: 9,
+                src: 0,
+                tag: 7,
+            },
+            Arc::clone(&req),
+        );
+        let miss = b.mprobe(
+            &mut rc,
+            &MatchPattern {
+                context_id: 9,
+                src: 0,
+                tag: 8,
+            },
+        );
+        assert!(miss.is_none());
+        assert_eq!(b.posted_depth(), 1, "the other receive survives the miss");
+    }
+
+    #[test]
     fn single_policy_pins_to_first_block_entry() {
         let (s, r) = select_vcis(&VciPolicy::Single, &[7], 1, 42);
         assert_eq!((s, r), (7, 7));
@@ -593,7 +760,11 @@ mod tests {
                 &VciPolicy::Single,
                 &[7],
                 1,
-                &MatchPattern { context_id: 1, src: ANY_SOURCE, tag: ANY_TAG }
+                &MatchPattern {
+                    context_id: 1,
+                    src: ANY_SOURCE,
+                    tag: ANY_TAG
+                }
             ),
             Some(7)
         );
@@ -608,12 +779,16 @@ mod tests {
         let (s, r) = select_vcis(&policy, &block, 1, tag);
         assert_eq!(s, 12); // src tid 2
         assert_eq!(r, 13); // dst tid 3
-        // Receiver with the concrete tag finds the same VCI.
+                           // Receiver with the concrete tag finds the same VCI.
         let rv = select_recv_vci(
             &policy,
             &block,
             1,
-            &MatchPattern { context_id: 1, src: 0, tag },
+            &MatchPattern {
+                context_id: 1,
+                src: 0,
+                tag,
+            },
         );
         assert_eq!(rv, Some(13));
     }
@@ -626,7 +801,11 @@ mod tests {
             &policy,
             &[0, 1, 2, 3],
             1,
-            &MatchPattern { context_id: 1, src: 0, tag: ANY_TAG },
+            &MatchPattern {
+                context_id: 1,
+                src: 0,
+                tag: ANY_TAG,
+            },
         );
         assert_eq!(rv, None);
         // But a single-VCI block accepts wildcards.
@@ -634,7 +813,11 @@ mod tests {
             &policy,
             &[5],
             1,
-            &MatchPattern { context_id: 1, src: 0, tag: ANY_TAG },
+            &MatchPattern {
+                context_id: 1,
+                src: 0,
+                tag: ANY_TAG,
+            },
         );
         assert_eq!(rv, Some(5));
     }
@@ -650,7 +833,11 @@ mod tests {
                 &policy,
                 &block,
                 42,
-                &MatchPattern { context_id: 42, src: 0, tag },
+                &MatchPattern {
+                    context_id: 42,
+                    src: 0,
+                    tag,
+                },
             );
             assert_eq!(rv, Some(r));
         }

@@ -16,8 +16,8 @@ use std::sync::atomic::Ordering;
 
 use rankmpi_core::coll::{bytes_to_f64s, f64s_to_bytes};
 use rankmpi_core::comm::COLL_CTX_BIT;
-use rankmpi_core::{Error, ReduceOp, Result, ThreadCtx};
 use rankmpi_core::tag::TAG_UB;
+use rankmpi_core::{Error, ReduceOp, Result, ThreadCtx};
 
 use crate::endpoint::Endpoint;
 use crate::topology::EndpointTopology;
@@ -167,7 +167,13 @@ impl Endpoint {
         let mut mask = 1usize;
         while mask < p {
             if vr & mask != 0 {
-                self.coll_send(th, seq, phase, (vr - mask + root_ep) % p, &f64s_to_bytes(&acc))?;
+                self.coll_send(
+                    th,
+                    seq,
+                    phase,
+                    (vr - mask + root_ep) % p,
+                    &f64s_to_bytes(&acc),
+                )?;
                 return Ok(None);
             }
             if vr + mask < p {
@@ -237,7 +243,9 @@ impl Endpoint {
                 got: all.len(),
             });
         }
-        Ok((0..p).map(|i| all.slice(i * chunk..(i + 1) * chunk)).collect())
+        Ok((0..p)
+            .map(|i| all.slice(i * chunk..(i + 1) * chunk))
+            .collect())
     }
 }
 
@@ -289,7 +297,8 @@ mod tests {
             let eps = &eps;
             env.parallel(|th| {
                 let ep = &eps[th.tid()];
-                ep.ep_allreduce(th, &[ep.rank() as f64], ReduceOp::Sum).unwrap()
+                ep.ep_allreduce(th, &[ep.rank() as f64], ReduceOp::Sum)
+                    .unwrap()
             })
         });
         // Sum of ep ranks 0..6 = 15; every endpoint holds its own copy.
@@ -318,7 +327,10 @@ mod tests {
         });
         for per_proc in &times {
             for t in per_proc {
-                assert!(t.as_ns() >= 15_000, "no endpoint leaves before the slowest entered");
+                assert!(
+                    t.as_ns() >= 15_000,
+                    "no endpoint leaves before the slowest entered"
+                );
             }
         }
     }

@@ -4,13 +4,13 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use rankmpi_fabric::Header;
 use rankmpi_core::matching::{MatchPattern, Status, ANY_SOURCE, ANY_TAG};
 use rankmpi_core::request::{ReqState, Request};
-use rankmpi_core::vci::KIND_PT2PT;
-use rankmpi_core::{Error, ProcShared, Result, ThreadCtx};
 use rankmpi_core::tag::TAG_UB;
 use rankmpi_core::universe::UniverseShared;
+use rankmpi_core::vci::KIND_PT2PT;
+use rankmpi_core::{Error, ProcShared, Result, ThreadCtx};
+use rankmpi_fabric::Header;
 
 use crate::topology::EndpointTopology;
 
@@ -95,7 +95,13 @@ impl Endpoint {
     }
 
     /// Nonblocking send to endpoint `dst_ep` (eager: locally complete).
-    pub fn isend(&self, th: &mut ThreadCtx, dst_ep: usize, tag: i64, data: &[u8]) -> Result<Request> {
+    pub fn isend(
+        &self,
+        th: &mut ThreadCtx,
+        dst_ep: usize,
+        tag: i64,
+        data: &[u8],
+    ) -> Result<Request> {
         self.isend_ctx(th, self.topo.ctx_id, dst_ep, tag, data)
     }
 
@@ -127,7 +133,13 @@ impl Endpoint {
             aux: 0,
             aux2: 0,
         };
-        svci.send_packet(&mut th.clock, &dvci, intra, header, Bytes::copy_from_slice(data));
+        svci.send_packet(
+            &mut th.clock,
+            &dvci,
+            intra,
+            header,
+            Bytes::copy_from_slice(data),
+        );
 
         let req = ReqState::new(Arc::clone(self.proc.notify()));
         req.complete(
@@ -204,7 +216,12 @@ impl Endpoint {
     }
 
     /// Probe-and-receive if a matching message is already here.
-    pub fn try_recv(&self, th: &mut ThreadCtx, src: i64, tag: i64) -> Result<Option<(Status, Bytes)>> {
+    pub fn try_recv(
+        &self,
+        th: &mut ThreadCtx,
+        src: i64,
+        tag: i64,
+    ) -> Result<Option<(Status, Bytes)>> {
         match self.iprobe(th, src, tag)? {
             Some(st) => Ok(Some(self.recv(th, st.source as i64, st.tag)?)),
             None => Ok(None),
@@ -282,7 +299,8 @@ mod tests {
                 let poll_ep = &eps[0];
                 let mut seen = Vec::new();
                 while seen.len() < 3 {
-                    if let Some((st, _)) = poll_ep.try_recv(&mut th0, ANY_SOURCE, ANY_TAG).unwrap() {
+                    if let Some((st, _)) = poll_ep.try_recv(&mut th0, ANY_SOURCE, ANY_TAG).unwrap()
+                    {
                         seen.push(st.tag);
                     } else {
                         std::thread::yield_now();

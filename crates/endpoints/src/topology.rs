@@ -56,15 +56,19 @@ impl EndpointTopology {
 /// the node's bounded pool, so creating more endpoints than the NIC has
 /// contexts degrades gracefully into sharing — the library's responsibility,
 /// not the user's.
+///
+/// `info` understands `rankmpi_matching`: it selects the matching engine of
+/// every per-endpoint VCI created here (the process default otherwise).
 pub fn comm_create_endpoints(
     parent: &Communicator,
     th: &mut ThreadCtx,
     my_num_ep: usize,
-    _info: &Info,
+    info: &Info,
 ) -> Result<Vec<Endpoint>> {
     if my_num_ep == 0 {
         return Err(Error::InvalidState("my_num_ep must be at least 1"));
     }
+    let engine = info.matching_engine()?;
     let universe = parent.universe().clone();
     let proc = parent.proc().clone();
 
@@ -98,6 +102,11 @@ pub fn comm_create_endpoints(
     // endpoints get consecutive indices because `add_vci` appends under this
     // process's creation lock — one creator per process).
     let my_vcis: Vec<usize> = (0..my_num_ep).map(|_| proc.add_vci()).collect();
+    if let Some(kind) = engine {
+        for &v in &my_vcis {
+            proc.vci(v).set_engine_kind(kind);
+        }
+    }
     let first_vci = my_vcis[0];
     debug_assert!(my_vcis.windows(2).all(|w| w[1] == w[0] + 1));
     let vci_starts: Vec<(i64, i64)> = universe.gather_split(
@@ -130,7 +139,15 @@ pub fn comm_create_endpoints(
 
     let base = offsets[parent.rank()];
     Ok((0..my_num_ep)
-        .map(|i| Endpoint::new(Arc::clone(&topo), proc.clone(), universe.clone(), base + i, my_vcis[i]))
+        .map(|i| {
+            Endpoint::new(
+                Arc::clone(&topo),
+                proc.clone(),
+                universe.clone(),
+                base + i,
+                my_vcis[i],
+            )
+        })
         .collect())
 }
 
@@ -146,8 +163,7 @@ mod tests {
             let world = env.world();
             let mut th = env.single_thread();
             // Rank r asks for r+1 endpoints: counts 1, 2, 3.
-            let eps =
-                comm_create_endpoints(&world, &mut th, env.rank() + 1, &Info::new()).unwrap();
+            let eps = comm_create_endpoints(&world, &mut th, env.rank() + 1, &Info::new()).unwrap();
             eps.iter().map(|e| e.rank()).collect::<Vec<_>>()
         });
         assert_eq!(out[0], vec![0]);
@@ -182,6 +198,25 @@ mod tests {
             assert_eq!(sorted.len(), 4, "distinct VCIs per endpoint");
         });
         assert_eq!(u.shared().proc(0).num_vcis(), before + 4);
+    }
+
+    #[test]
+    fn matching_hint_selects_endpoint_engine() {
+        use rankmpi_core::info::keys;
+        use rankmpi_core::matching::EngineKind;
+        let u = Universe::builder().nodes(1).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let info = Info::new().set(keys::RANKMPI_MATCHING, "linear");
+            let eps = comm_create_endpoints(&world, &mut th, 2, &info).unwrap();
+            for e in &eps {
+                assert_eq!(
+                    e.proc().vci(e.vci_index()).engine_kind(),
+                    EngineKind::Linear
+                );
+            }
+        });
     }
 
     #[test]

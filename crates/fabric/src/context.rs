@@ -150,7 +150,11 @@ mod tests {
         c.note_rx();
         c.note_rx();
         assert_eq!(c.msgs_rx(), 2);
-        assert_eq!(c.busy_total(), Nanos::ZERO, "arrivals do not occupy the tx pipeline");
+        assert_eq!(
+            c.busy_total(),
+            Nanos::ZERO,
+            "arrivals do not occupy the tx pipeline"
+        );
     }
 
     #[test]

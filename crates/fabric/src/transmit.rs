@@ -103,7 +103,15 @@ mod tests {
     fn single_message_timing_adds_up() {
         let (p, src, dst, mail) = setup();
         let mut clock = Clock::new();
-        let info = transmit(&p, &mut clock, &src, &dst, &mail, Header::zeroed(), Bytes::new());
+        let info = transmit(
+            &p,
+            &mut clock,
+            &src,
+            &dst,
+            &mail,
+            Header::zeroed(),
+            Bytes::new(),
+        );
 
         // CPU side: overhead + gate base + doorbell.
         let cpu = p.send_overhead + p.context_lock.acquire_base + p.doorbell;
@@ -127,7 +135,10 @@ mod tests {
         let n = 100;
         let mut last = None;
         for i in 0..n {
-            let h = Header { seq: i, ..Header::zeroed() };
+            let h = Header {
+                seq: i,
+                ..Header::zeroed()
+            };
             last = Some(transmit(&p, &mut clock, &src, &dst, &mail, h, Bytes::new()));
         }
         let last = last.unwrap();
@@ -150,9 +161,25 @@ mod tests {
     fn payload_bytes_extend_occupancy() {
         let (p, src, dst, mail) = setup();
         let mut clock = Clock::new();
-        let small = transmit(&p, &mut clock, &src, &dst, &mail, Header::zeroed(), Bytes::new());
+        let small = transmit(
+            &p,
+            &mut clock,
+            &src,
+            &dst,
+            &mail,
+            Header::zeroed(),
+            Bytes::new(),
+        );
         let big_payload = Bytes::from(vec![0u8; 1 << 20]); // 1 MiB
-        let big = transmit(&p, &mut clock, &src, &dst, &mail, Header::zeroed(), big_payload);
+        let big = transmit(
+            &p,
+            &mut clock,
+            &src,
+            &dst,
+            &mail,
+            Header::zeroed(),
+            big_payload,
+        );
         let dma = Nanos((1u64 << 20) * p.byte_time_ps / 1_000);
         assert!(big.injected_at >= small.injected_at + dma);
     }
@@ -170,8 +197,24 @@ mod tests {
 
         let mut c1 = Clock::new();
         let mut c2 = Clock::new();
-        let a = transmit(&p, &mut c1, &ch1, &dst, &mail, Header::zeroed(), Bytes::new());
-        let b = transmit(&p, &mut c2, &ch2, &dst, &mail, Header::zeroed(), Bytes::new());
+        let a = transmit(
+            &p,
+            &mut c1,
+            &ch1,
+            &dst,
+            &mail,
+            Header::zeroed(),
+            Bytes::new(),
+        );
+        let b = transmit(
+            &p,
+            &mut c2,
+            &ch2,
+            &dst,
+            &mail,
+            Header::zeroed(),
+            Bytes::new(),
+        );
         // Second channel's message cannot leave before the first's.
         assert!(b.injected_at >= a.injected_at + p.context_gap);
     }

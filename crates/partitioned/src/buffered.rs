@@ -38,7 +38,17 @@ impl BufferedPsend {
         info: &Info,
     ) -> Result<Self> {
         let slots = (0..depth)
-            .map(|k| psend_init(comm, th, dst, base_tag + k as i64, partitions, part_bytes, info))
+            .map(|k| {
+                psend_init(
+                    comm,
+                    th,
+                    dst,
+                    base_tag + k as i64,
+                    partitions,
+                    part_bytes,
+                    info,
+                )
+            })
             .collect::<Result<Vec<_>>>()?;
         Ok(BufferedPsend {
             slots,
@@ -107,7 +117,17 @@ impl BufferedPrecv {
         info: &Info,
     ) -> Result<Self> {
         let slots = (0..depth)
-            .map(|k| precv_init(comm, th, src, base_tag + k as i64, partitions, part_bytes, info))
+            .map(|k| {
+                precv_init(
+                    comm,
+                    th,
+                    src,
+                    base_tag + k as i64,
+                    partitions,
+                    part_bytes,
+                    info,
+                )
+            })
             .collect::<Result<Vec<_>>>()?;
         Ok(BufferedPrecv {
             slots,

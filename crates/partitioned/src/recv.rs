@@ -43,10 +43,13 @@ pub fn precv_init(
     tag: i64,
     partitions: usize,
     part_bytes: usize,
-    _info: &Info,
+    info: &Info,
 ) -> Result<PrecvRequest> {
     if partitions == 0 {
         return Err(Error::InvalidState("partitioned op needs >= 1 partition"));
+    }
+    if let Some(kind) = info.matching_engine()? {
+        comm.proc().vci(comm.vci_block()[0]).set_engine_kind(kind);
     }
     let costs = th.proc().costs();
     let recv_cost = th.universe().profile().recv_overhead + costs.copy_cost(part_bytes);

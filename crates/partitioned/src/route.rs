@@ -45,7 +45,12 @@ pub struct PartSink {
 
 impl PartSink {
     /// Build a sink for `partitions × part_bytes`.
-    pub fn new(partitions: usize, part_bytes: usize, notify: Arc<Notify>, recv_cost: Nanos) -> Arc<Self> {
+    pub fn new(
+        partitions: usize,
+        part_bytes: usize,
+        notify: Arc<Notify>,
+        recv_cost: Nanos,
+    ) -> Arc<Self> {
         Arc::new(PartSink {
             partitions,
             part_bytes,
@@ -160,9 +165,8 @@ impl PartSink {
         self.completed_iter.fetch_add(1, Ordering::AcqRel);
         let next = self.iteration.fetch_add(1, Ordering::AcqRel) + 1;
         let mut early = self.early.lock();
-        let (now_due, still_early): (Vec<Packet>, Vec<Packet>) = early
-            .drain(..)
-            .partition(|p| (p.header.aux2 >> 32) == next);
+        let (now_due, still_early): (Vec<Packet>, Vec<Packet>) =
+            early.drain(..).partition(|p| (p.header.aux2 >> 32) == next);
         *early = still_early;
         drop(early);
         for p in now_due {

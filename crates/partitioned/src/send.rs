@@ -39,6 +39,9 @@ pub struct PsendRequest {
 /// `MPI_Psend_init`: set up a persistent send of `partitions × part_bytes` to
 /// `dst` with `tag` on `comm`. A local call; the handshake completes on the
 /// first `start`.
+///
+/// `info` understands `rankmpi_matching`: it switches the engine of the
+/// control VCI that matches the route handshake.
 pub fn psend_init(
     comm: &Communicator,
     th: &mut ThreadCtx,
@@ -46,10 +49,13 @@ pub fn psend_init(
     tag: i64,
     partitions: usize,
     part_bytes: usize,
-    _info: &Info,
+    info: &Info,
 ) -> Result<PsendRequest> {
     if partitions == 0 {
         return Err(Error::InvalidState("partitioned op needs >= 1 partition"));
+    }
+    if let Some(kind) = info.matching_engine()? {
+        comm.proc().vci(comm.vci_block()[0]).set_engine_kind(kind);
     }
     th.clock.advance(th.proc().costs().request_setup);
     Ok(PsendRequest {
@@ -163,7 +169,13 @@ impl PsendRequest {
             aux: route_id,
             aux2: (iter << 32) | part as u64,
         };
-        svci.send_packet(&mut th.clock, &dvci, intra, header, Bytes::copy_from_slice(data));
+        svci.send_packet(
+            &mut th.clock,
+            &dvci,
+            intra,
+            header,
+            Bytes::copy_from_slice(data),
+        );
         self.ready_count.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
@@ -334,6 +346,34 @@ mod tests {
                 for p in 0..t {
                     assert_eq!(data[p * 8], p as u8);
                 }
+            }
+        });
+    }
+
+    #[test]
+    fn matching_hint_applies_to_control_vci() {
+        use rankmpi_core::info::keys;
+        use rankmpi_core::matching::EngineKind;
+        let u = Universe::builder().nodes(2).num_vcis(2).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let info = Info::new().set(keys::RANKMPI_MATCHING, "linear");
+            if env.rank() == 0 {
+                let sreq = psend_init(&world, &mut th, 1, 5, 2, 4, &info).unwrap();
+                assert_eq!(
+                    world.proc().vci(world.vci_block()[0]).engine_kind(),
+                    EngineKind::Linear
+                );
+                sreq.start(&mut th).unwrap();
+                for p in 0..2 {
+                    sreq.pready(&mut th, p, &[p as u8; 4]).unwrap();
+                }
+                sreq.wait(&mut th).unwrap();
+            } else {
+                let rreq = precv_init(&world, &mut th, 0, 5, 2, 4, &info).unwrap();
+                rreq.start(&mut th).unwrap();
+                rreq.wait(&mut th).unwrap();
             }
         });
     }

@@ -124,7 +124,10 @@ mod tests {
     fn all_leave_at_joined_time() {
         let b = Arc::new(VirtualBarrier::with_costs(
             4,
-            BarrierCosts { base: Nanos(10), per_level: Nanos(0) },
+            BarrierCosts {
+                base: Nanos(10),
+                per_level: Nanos(0),
+            },
         ));
         let mut handles = Vec::new();
         for i in 0..4u64 {
@@ -146,7 +149,10 @@ mod tests {
     fn barrier_is_reusable_across_generations() {
         let b = Arc::new(VirtualBarrier::with_costs(
             2,
-            BarrierCosts { base: Nanos(5), per_level: Nanos(0) },
+            BarrierCosts {
+                base: Nanos(5),
+                per_level: Nanos(0),
+            },
         ));
         let mut handles = Vec::new();
         for i in 0..2u64 {
@@ -166,7 +172,10 @@ mod tests {
 
     #[test]
     fn episode_cost_grows_with_width() {
-        let costs = BarrierCosts { base: Nanos(0), per_level: Nanos(10) };
+        let costs = BarrierCosts {
+            base: Nanos(0),
+            per_level: Nanos(10),
+        };
         let b2 = VirtualBarrier::with_costs(2, costs);
         let b16 = VirtualBarrier::with_costs(16, costs);
         assert_eq!(b2.episode_cost(), Nanos(10)); // log2(2) = 1 level

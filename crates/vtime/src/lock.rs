@@ -97,8 +97,7 @@ impl<T> ContentionLock<T> {
         // placement is computed single-threaded at release.
         let guard = self.inner.lock();
 
-        let acquire_cost =
-            self.costs.acquire_base + self.costs.per_waiter * waiters_before;
+        let acquire_cost = self.costs.acquire_base + self.costs.per_waiter * waiters_before;
         clock.advance(acquire_cost);
         self.contended_total
             .fetch_add(acquire_cost.as_ns(), Ordering::Relaxed);
@@ -196,7 +195,11 @@ mod tests {
     fn colliding_critical_sections_serialize_in_virtual_time() {
         let l = ContentionLock::with_costs(
             (),
-            LockCosts { acquire_base: Nanos(10), per_waiter: Nanos(0), handoff: Nanos(0) },
+            LockCosts {
+                acquire_base: Nanos(10),
+                per_waiter: Nanos(0),
+                handoff: Nanos(0),
+            },
         );
         // Thread A: enters at 10 (after acquire cost), works 100ns inside.
         let mut a = Clock::new();
@@ -219,7 +222,11 @@ mod tests {
     fn virtually_disjoint_sections_do_not_interact() {
         let l = ContentionLock::with_costs(
             (),
-            LockCosts { acquire_base: Nanos(0), per_waiter: Nanos(0), handoff: Nanos(0) },
+            LockCosts {
+                acquire_base: Nanos(0),
+                per_waiter: Nanos(0),
+                handoff: Nanos(0),
+            },
         );
         // A virtually-late thread holds the lock first in real time...
         let mut late = Clock::starting_at(Nanos(10_000));
@@ -237,7 +244,11 @@ mod tests {
 
     #[test]
     fn waiters_inflate_latency() {
-        let costs = LockCosts { acquire_base: Nanos(10), per_waiter: Nanos(100), handoff: Nanos(20) };
+        let costs = LockCosts {
+            acquire_base: Nanos(10),
+            per_waiter: Nanos(100),
+            handoff: Nanos(20),
+        };
         let l = std::sync::Arc::new(ContentionLock::with_costs(0u64, costs));
         let mut handles = Vec::new();
         for _ in 0..4 {

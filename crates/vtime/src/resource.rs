@@ -159,10 +159,22 @@ mod tests {
     fn back_to_back_requests_serialize() {
         let r = Resource::new();
         let a = r.acquire(Nanos(0), Nanos(10));
-        assert_eq!(a, Acquisition { start: Nanos(0), end: Nanos(10) });
+        assert_eq!(
+            a,
+            Acquisition {
+                start: Nanos(0),
+                end: Nanos(10)
+            }
+        );
         // Second request at t=0 queues behind the first.
         let b = r.acquire(Nanos(0), Nanos(10));
-        assert_eq!(b, Acquisition { start: Nanos(10), end: Nanos(20) });
+        assert_eq!(
+            b,
+            Acquisition {
+                start: Nanos(10),
+                end: Nanos(20)
+            }
+        );
         assert_eq!(b.queued(Nanos(0)), Nanos(10));
     }
 
@@ -196,7 +208,7 @@ mod tests {
         let r = Resource::new();
         r.acquire(Nanos(0), Nanos(10)); // [0, 10)
         r.acquire(Nanos(20), Nanos(10)); // [20, 30)
-        // A 10-wide request at 0 fits exactly into [10, 20).
+                                         // A 10-wide request at 0 fits exactly into [10, 20).
         let fit = r.acquire(Nanos(0), Nanos(10));
         assert_eq!(fit.start, Nanos(10));
         // An 11-wide request at 0 does not; next fit is after 30.

@@ -109,9 +109,9 @@ pub fn run_graph(mode: GraphMode, cfg: &GraphConfig) -> GraphReport {
         // Pairwise comms: comm[i * t + j] carries i→j traffic (either
         // direction between the two processes).
         let comms: Vec<Communicator> = match mode {
-            GraphMode::PairwiseComms => (0..t * t)
-                .map(|_| world.dup(&mut setup).unwrap())
-                .collect(),
+            GraphMode::PairwiseComms => {
+                (0..t * t).map(|_| world.dup(&mut setup).unwrap()).collect()
+            }
             _ => Vec::new(),
         };
         let eps = match mode {
@@ -137,8 +137,12 @@ pub fn run_graph(mode: GraphMode, cfg: &GraphConfig) -> GraphReport {
                     GraphMode::PairwiseComms => {
                         // The channel is identified by (sender tid, receiver
                         // tid) — both sides must look up the same comm.
-                        let s = comms[tid * t + send_to].isend(th, peer, 0, &payload).unwrap();
-                        let r = comms[recv_from * t + tid].irecv(th, peer as i64, 0).unwrap();
+                        let s = comms[tid * t + send_to]
+                            .isend(th, peer, 0, &payload)
+                            .unwrap();
+                        let r = comms[recv_from * t + tid]
+                            .irecv(th, peer as i64, 0)
+                            .unwrap();
                         s.wait(&mut th.clock);
                         let (_st, data) = r.wait(&mut th.clock);
                         assert_eq!(data[0] as usize, recv_from);

@@ -168,9 +168,7 @@ pub fn run_legion(mode: LegionMode, cfg: &LegionConfig) -> LegionReport {
             while processed < total {
                 let seen = notify.version();
                 let got = match mode {
-                    LegionMode::SingleComm => {
-                        world.try_recv(&mut th, ANY_SOURCE, ANY_TAG).unwrap()
-                    }
+                    LegionMode::SingleComm => world.try_recv(&mut th, ANY_SOURCE, ANY_TAG).unwrap(),
                     LegionMode::CommPerThread => {
                         let mut found = None;
                         for c in comms {
@@ -181,9 +179,7 @@ pub fn run_legion(mode: LegionMode, cfg: &LegionConfig) -> LegionReport {
                         }
                         found
                     }
-                    LegionMode::Endpoints => {
-                        eps[0].try_recv(&mut th, ANY_SOURCE, ANY_TAG).unwrap()
-                    }
+                    LegionMode::Endpoints => eps[0].try_recv(&mut th, ANY_SOURCE, ANY_TAG).unwrap(),
                 };
                 match got {
                     Some((_st, _data)) => {

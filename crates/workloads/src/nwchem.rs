@@ -169,8 +169,14 @@ pub fn run_nwchem(mode: RmaMode, cfg: &NwchemConfig) -> NwchemReport {
                     let tile = rng.gen_range(0..cfg.tiles);
                     match mode {
                         RmaMode::Endpoints => {
-                            win.get_on_vci(th, eps[tid].vci_index(), target, tile * tile_bytes, tile_bytes)
-                                .unwrap();
+                            win.get_on_vci(
+                                th,
+                                eps[tid].vci_index(),
+                                target,
+                                tile * tile_bytes,
+                                tile_bytes,
+                            )
+                            .unwrap();
                         }
                         _ => {
                             win.get(th, target, tile * tile_bytes, tile_bytes).unwrap();
@@ -209,11 +215,7 @@ pub fn run_nwchem(mode: RmaMode, cfg: &NwchemConfig) -> NwchemReport {
         });
 
         win.fence(&mut setup).unwrap();
-        let local_sum: f64 = win
-            .read_local_f64(0, win_bytes / 8)
-            .unwrap()
-            .iter()
-            .sum();
+        let local_sum: f64 = win.read_local_f64(0, win_bytes / 8).unwrap().iter().sum();
         let max_t = per_thread.iter().map(|(t, _)| *t).max().unwrap();
         let all: Vec<usize> = per_thread.into_iter().flat_map(|(_, v)| v).collect();
         let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
@@ -228,10 +230,7 @@ pub fn run_nwchem(mode: RmaMode, cfg: &NwchemConfig) -> NwchemReport {
 
     let total_time = results.iter().map(|(t, _, _, _)| *t).max().unwrap();
     let distinct = results.iter().map(|(_, v, _, _)| *v).max().unwrap();
-    let imbalance = results
-        .iter()
-        .map(|(_, _, i, _)| *i)
-        .fold(0.0f64, f64::max);
+    let imbalance = results.iter().map(|(_, _, i, _)| *i).fold(0.0f64, f64::max);
     let checksum: f64 = results.iter().map(|(_, _, _, s)| *s).sum();
     NwchemReport {
         mode: mode.label(),
@@ -262,7 +261,11 @@ mod tests {
     #[test]
     fn all_modes_accumulate_the_same_total() {
         let cfg = quick();
-        for mode in [RmaMode::OrderedSingle, RmaMode::RelaxedHashed, RmaMode::Endpoints] {
+        for mode in [
+            RmaMode::OrderedSingle,
+            RmaMode::RelaxedHashed,
+            RmaMode::Endpoints,
+        ] {
             let rep = run_nwchem(mode, &cfg);
             assert_eq!(
                 rep.checksum,

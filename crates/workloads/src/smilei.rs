@@ -90,9 +90,8 @@ pub struct SmileiReport {
 /// Size of patch `p`'s buffer for thread `t` at iteration `i` (deterministic,
 /// varies ±50% around the mean like a drifting particle population).
 fn buf_size(cfg: &SmileiConfig, t: usize, p: usize, i: usize) -> usize {
-    let mut rng = StdRng::seed_from_u64(
-        cfg.seed ^ ((t as u64) << 40) ^ ((p as u64) << 20) ^ i as u64,
-    );
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ ((t as u64) << 40) ^ ((p as u64) << 20) ^ i as u64);
     let half = cfg.mean_bytes / 2;
     (cfg.mean_bytes - half + rng.gen_range(0..=2 * half)).max(16)
 }
@@ -201,7 +200,12 @@ pub fn run_smilei(mode: SmileiMode, cfg: &SmileiConfig) -> SmileiReport {
     });
 
     let bytes_moved: usize = (0..2)
-        .flat_map(|_| (0..t).flat_map(|tid| (0..cfg.iters).flat_map(move |i| (0..cfg.patches_per_thread).map(move |p| (tid, p, i)))))
+        .flat_map(|_| {
+            (0..t).flat_map(|tid| {
+                (0..cfg.iters)
+                    .flat_map(move |i| (0..cfg.patches_per_thread).map(move |p| (tid, p, i)))
+            })
+        })
         .map(|(tid, p, i)| buf_size(cfg, tid, p, i))
         .sum();
 
@@ -220,7 +224,11 @@ mod tests {
     #[test]
     fn all_modes_exchange_correctly() {
         let cfg = SmileiConfig::default();
-        for mode in [SmileiMode::Original, SmileiMode::TagsUpgraded, SmileiMode::Endpoints] {
+        for mode in [
+            SmileiMode::Original,
+            SmileiMode::TagsUpgraded,
+            SmileiMode::Endpoints,
+        ] {
             let rep = run_smilei(mode, &cfg);
             assert!(rep.total_time > Nanos::ZERO, "{mode:?}");
             assert!(rep.bytes_moved > 0);
@@ -263,8 +271,8 @@ mod tests {
     #[test]
     fn tag_budget_asserts_fire_when_patches_overflow() {
         let cfg = SmileiConfig {
-            threads: 1024,                // 10 + 10 tid bits
-            patches_per_thread: 1 << 3,   // needs 3 more bits: 23 > 22
+            threads: 1024,              // 10 + 10 tid bits
+            patches_per_thread: 1 << 3, // needs 3 more bits: 23 > 22
             ..SmileiConfig::default()
         };
         let r = std::panic::catch_unwind(|| run_smilei(SmileiMode::TagsUpgraded, &cfg));

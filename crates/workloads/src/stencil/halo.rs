@@ -2,9 +2,9 @@
 
 use std::sync::Arc;
 
-use rankmpi_core::{Communicator, Info, Universe};
 use rankmpi_core::info::keys;
 use rankmpi_core::tag::{TagLayout, TagPlacement};
+use rankmpi_core::{Communicator, Info, Universe};
 use rankmpi_endpoints::comm_create_endpoints;
 use rankmpi_fabric::NetworkProfile;
 use rankmpi_partitioned::{precv_init, psend_init, PrecvRequest, PsendRequest};
@@ -180,9 +180,9 @@ pub fn run_halo(mech: HaloMechanism, cfg: &HaloConfig) -> HaloReport {
     let nthreads = geo.n_threads();
     let num_vcis = match mech {
         HaloMechanism::SingleComm => 1,
-        HaloMechanism::CommMapListing1 | HaloMechanism::CommMapNaive | HaloMechanism::CommMapFig4 => {
-            map.as_ref().unwrap().n_comms() + 1
-        }
+        HaloMechanism::CommMapListing1
+        | HaloMechanism::CommMapNaive
+        | HaloMechanism::CommMapFig4 => map.as_ref().unwrap().n_comms() + 1,
         HaloMechanism::TagsOneToOne | HaloMechanism::TagsHashed => nthreads,
         HaloMechanism::Endpoints => 1,
         HaloMechanism::Partitioned => nthreads.clamp(4, 8),
@@ -204,7 +204,9 @@ pub fn run_halo(mech: HaloMechanism, cfg: &HaloConfig) -> HaloReport {
             channels_created = 1;
             run_tagged(&uni, cfg, dirs, None)
         }
-        HaloMechanism::CommMapListing1 | HaloMechanism::CommMapNaive | HaloMechanism::CommMapFig4 => {
+        HaloMechanism::CommMapListing1
+        | HaloMechanism::CommMapNaive
+        | HaloMechanism::CommMapFig4 => {
             let map = map.unwrap();
             channels_created = map.n_comms();
             run_comm_map(&uni, cfg, dirs, map)
@@ -229,11 +231,7 @@ pub fn run_halo(mech: HaloMechanism, cfg: &HaloConfig) -> HaloReport {
 
     let total_time = times.into_iter().max().unwrap();
     let nic = uni.shared().nic(0);
-    let gate_contention: Nanos = nic
-        .contexts()
-        .iter()
-        .map(|c| c.gate_contention())
-        .sum();
+    let gate_contention: Nanos = nic.contexts().iter().map(|c| c.gate_contention()).sum();
     HaloReport {
         mechanism: mech.label(),
         total_time,
@@ -282,7 +280,9 @@ fn exchange_loop(
             fill_payload(&mut payload, iter, my_proc, tid, d);
             let stag = tag_of(d, tid, ntid);
             let comm = send_comm_of(d);
-            comm.isend(th, nproc, stag, &payload).unwrap().wait(&mut th.clock);
+            comm.isend(th, nproc, stag, &payload)
+                .unwrap()
+                .wait(&mut th.clock);
         }
         for (req, nproc, ntid, d) in reqs {
             let (_st, data) = req.wait(&mut th.clock);
@@ -298,13 +298,7 @@ fn exchange_loop(
     }
 }
 
-fn run_comm_map(
-    uni: &Universe,
-    cfg: &HaloConfig,
-    dirs: &[Dir2],
-    map: Arc<CommMap>,
-) -> Vec<Nanos> {
-    
+fn run_comm_map(uni: &Universe, cfg: &HaloConfig, dirs: &[Dir2], map: Arc<CommMap>) -> Vec<Nanos> {
     uni.run(|env| {
         let world = env.world();
         let mut setup = env.single_thread();
@@ -349,7 +343,7 @@ fn run_comm_map(
 fn run_tagged(uni: &Universe, cfg: &HaloConfig, dirs: &[Dir2], hints: Option<bool>) -> Vec<Nanos> {
     let nthreads = cfg.geo.n_threads();
     let layout = TagLayout::for_threads(nthreads, TagPlacement::Msb).unwrap();
-    
+
     uni.run(|env| {
         let world = env.world();
         let mut setup = env.single_thread();
@@ -438,7 +432,8 @@ fn run_endpoints(uni: &Universe, cfg: &HaloConfig, dirs: &[Dir2]) -> Vec<Nanos> 
                     let (nproc, ntid) = geo.neighbor(rx, ry, tid_x, tid_y, d);
                     let n_ep = ep.topology().ep_rank(nproc, ep_slot[&ntid]);
                     reqs.push((
-                        ep.irecv(th, n_ep as i64, dir_idx(d.opposite()) as i64).unwrap(),
+                        ep.irecv(th, n_ep as i64, dir_idx(d.opposite()) as i64)
+                            .unwrap(),
                         nproc,
                         ntid,
                         d,
@@ -500,8 +495,16 @@ fn run_partitioned(uni: &Universe, cfg: &HaloConfig) -> Vec<Nanos> {
             // Our receive for direction d matches the neighbor's send with
             // the opposite tag.
             recvs.push(
-                precv_init(&world, &mut setup, nproc, dir_idx(d.opposite()) as i64, parts, bytes, &info)
-                    .unwrap(),
+                precv_init(
+                    &world,
+                    &mut setup,
+                    nproc,
+                    dir_idx(d.opposite()) as i64,
+                    parts,
+                    bytes,
+                    &info,
+                )
+                .unwrap(),
             );
         }
         let sends = &sends;
@@ -598,7 +601,12 @@ mod tests {
     }
 
     fn g22() -> Geometry {
-        Geometry { px: 2, py: 2, tx: 2, ty: 2 }
+        Geometry {
+            px: 2,
+            py: 2,
+            tx: 2,
+            ty: 2,
+        }
     }
 
     #[test]
@@ -636,7 +644,15 @@ mod tests {
 
     #[test]
     fn parallel_mechanisms_beat_the_original() {
-        let cfg = quick(Geometry { px: 2, py: 2, tx: 3, ty: 3 }, false);
+        let cfg = quick(
+            Geometry {
+                px: 2,
+                py: 2,
+                tx: 3,
+                ty: 3,
+            },
+            false,
+        );
         let orig = run_halo(HaloMechanism::SingleComm, &cfg);
         let eps = run_halo(HaloMechanism::Endpoints, &cfg);
         let tags = run_halo(HaloMechanism::TagsOneToOne, &cfg);
@@ -653,7 +669,12 @@ mod tests {
     fn naive_map_is_slower_than_listing1() {
         let cfg = HaloConfig {
             iters: 6,
-            geo: Geometry { px: 2, py: 2, tx: 4, ty: 4 },
+            geo: Geometry {
+                px: 2,
+                py: 2,
+                tx: 4,
+                ty: 4,
+            },
             ..quick(g22(), false)
         };
         let ideal = run_halo(HaloMechanism::CommMapListing1, &cfg);
@@ -668,7 +689,15 @@ mod tests {
 
     #[test]
     fn endpoints_use_fewer_contexts_than_comm_map() {
-        let cfg = quick(Geometry { px: 2, py: 2, tx: 3, ty: 3 }, false);
+        let cfg = quick(
+            Geometry {
+                px: 2,
+                py: 2,
+                tx: 3,
+                ty: 3,
+            },
+            false,
+        );
         let comms = run_halo(HaloMechanism::CommMapListing1, &cfg);
         let eps = run_halo(HaloMechanism::Endpoints, &cfg);
         assert!(comms.channels_created > eps.channels_created.min(9));

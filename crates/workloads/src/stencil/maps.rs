@@ -129,7 +129,14 @@ impl Geometry {
 
     /// Where `(proc, thread)`'s exchange partner in direction `d` lives:
     /// `(proc rank, thread id)` on the torus.
-    pub fn neighbor(&self, rx: usize, ry: usize, tid_x: usize, tid_y: usize, d: Dir2) -> (usize, usize) {
+    pub fn neighbor(
+        &self,
+        rx: usize,
+        ry: usize,
+        tid_x: usize,
+        tid_y: usize,
+        d: Dir2,
+    ) -> (usize, usize) {
         let (gx, gy) = self.global_patch(rx, ry, tid_x, tid_y);
         let (dx, dy) = d.offset();
         let wx = (self.px * self.tx) as i64;
@@ -232,8 +239,7 @@ impl CommMap {
         let g = self.geo;
         (0..g.n_procs())
             .map(|p| {
-                let mut comms: Vec<usize> =
-                    self.usages_at(p).into_iter().map(|(_, c)| c).collect();
+                let mut comms: Vec<usize> = self.usages_at(p).into_iter().map(|(_, c)| c).collect();
                 comms.sort_unstable();
                 comms.dedup();
                 comms.len()
@@ -351,7 +357,11 @@ pub fn naive_map_5pt(geo: Geometry) -> CommMap {
 /// the same thread (a single thread's serial operations may share — Fig. 4's
 /// corner-thread optimization).
 pub fn colored_map(geo: Geometry, nine_point: bool, corner_opt: bool) -> CommMap {
-    let dirs: &[Dir2] = if nine_point { &Dir2::ALL } else { &Dir2::CARDINAL };
+    let dirs: &[Dir2] = if nine_point {
+        &Dir2::ALL
+    } else {
+        &Dir2::CARDINAL
+    };
 
     // Enumerate channels once (each unordered pair).
     #[derive(Clone)]
@@ -372,7 +382,9 @@ pub fn colored_map(geo: Geometry, nine_point: bool, corner_opt: bool) -> CommMap
                         }
                         let (nproc, ntid) = geo.neighbor(rx, ry, tid_x, tid_y, d);
                         // Canonical orientation: keep one record per pair.
-                        if (proc, tid, format!("{d:?}")) <= (nproc, ntid, format!("{:?}", d.opposite())) {
+                        if (proc, tid, format!("{d:?}"))
+                            <= (nproc, ntid, format!("{:?}", d.opposite()))
+                        {
                             channels.push(Channel {
                                 a: (proc, tid, d),
                                 b: (nproc, ntid, d.opposite()),
@@ -470,7 +482,9 @@ mod tests {
         let g = geo(2, 2, 3, 3);
         let map = listing1_map_5pt(g);
         assert_eq!(map.n_comms(), 2 * 3 + 2 * 3);
-        let checked = map.validate_matching().expect("matching must be consistent");
+        let checked = map
+            .validate_matching()
+            .expect("matching must be consistent");
         // 2*(tx + ty) boundary ops per proc * 4 procs.
         assert_eq!(checked, 4 * 2 * (3 + 3));
         // All parallelism exposed: every op at a proc uses a distinct comm.
@@ -481,7 +495,8 @@ mod tests {
     fn naive_map_matches_but_halves_parallelism() {
         let g = geo(2, 2, 3, 3);
         let map = naive_map_5pt(g);
-        map.validate_matching().expect("naive map still matches correctly");
+        map.validate_matching()
+            .expect("naive map still matches correctly");
         let ideal = listing1_map_5pt(g);
         // Listing 1: no two threads of a process ever share a communicator.
         assert_eq!(ideal.max_threads_sharing_a_comm(), 1);

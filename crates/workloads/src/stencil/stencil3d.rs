@@ -118,9 +118,7 @@ impl Geometry3 {
     /// Whether `(thread, direction)` crosses a process boundary.
     pub fn crosses_proc(&self, tc: [usize; 3], d: Dir3) -> bool {
         let offs = [d.dx, d.dy, d.dz];
-        (0..3).any(|a| {
-            (offs[a] > 0 && tc[a] == self.t[a] - 1) || (offs[a] < 0 && tc[a] == 0)
-        })
+        (0..3).any(|a| (offs[a] > 0 && tc[a] == self.t[a] - 1) || (offs[a] < 0 && tc[a] == 0))
     }
 
     /// The exchange partner of `(proc coords, thread coords)` in direction
@@ -308,7 +306,10 @@ pub struct Halo3Config {
 impl Default for Halo3Config {
     fn default() -> Self {
         Halo3Config {
-            geo: Geometry3 { p: [2, 2, 2], t: [2, 2, 2] },
+            geo: Geometry3 {
+                p: [2, 2, 2],
+                t: [2, 2, 2],
+            },
             iters: 4,
             msg_bytes: 512,
             full_27pt: true,
@@ -340,7 +341,11 @@ fn stamp(iter: usize, proc: usize, tid: usize, d: Dir3) -> u64 {
 /// Run the 3D halo exchange.
 pub fn run_halo3(mech: Halo3Mechanism, cfg: &Halo3Config) -> Halo3Report {
     let geo = cfg.geo;
-    let dirs = if cfg.full_27pt { Dir3::all() } else { Dir3::faces() };
+    let dirs = if cfg.full_27pt {
+        Dir3::all()
+    } else {
+        Dir3::faces()
+    };
     let nthreads = geo.n_threads();
     let boundary = geo.boundary_tids(&dirs);
 
@@ -423,13 +428,13 @@ pub fn run_halo3(mech: Halo3Mechanism, cfg: &Halo3Config) -> Halo3Report {
                             let ep = &eps[ep_slot[&tid]];
                             let n_ep = ep.topology().ep_rank(np, ep_slot[&nt]);
                             reqs.push((
-                                ep.irecv(th, n_ep as i64, d.opposite().index() as i64).unwrap(),
+                                ep.irecv(th, n_ep as i64, d.opposite().index() as i64)
+                                    .unwrap(),
                                 np,
                                 nt,
                                 d,
                             ));
-                            payload[..8]
-                                .copy_from_slice(&stamp(iter, me, tid, d).to_le_bytes());
+                            payload[..8].copy_from_slice(&stamp(iter, me, tid, d).to_le_bytes());
                             ep.isend(th, n_ep, d.index() as i64, &payload)
                                 .unwrap()
                                 .wait(&mut th.clock);
@@ -440,17 +445,13 @@ pub fn run_halo3(mech: Halo3Mechanism, cfg: &Halo3Config) -> Halo3Report {
                                     &comms[0],
                                     &comms[0],
                                     layout.encode(tid, nt, d.index() as i64).unwrap(),
-                                    layout
-                                        .encode(nt, tid, d.opposite().index() as i64)
-                                        .unwrap(),
+                                    layout.encode(nt, tid, d.opposite().index() as i64).unwrap(),
                                 ),
                                 Halo3Mechanism::TagsOneToOne => (
                                     &comms[0],
                                     &comms[0],
                                     layout.encode(tid, nt, d.index() as i64).unwrap(),
-                                    layout
-                                        .encode(nt, tid, d.opposite().index() as i64)
-                                        .unwrap(),
+                                    layout.encode(nt, tid, d.opposite().index() as i64).unwrap(),
                                 ),
                                 Halo3Mechanism::CommMap => {
                                     let m = map.unwrap();
@@ -464,8 +465,7 @@ pub fn run_halo3(mech: Halo3Mechanism, cfg: &Halo3Config) -> Halo3Report {
                                 Halo3Mechanism::Endpoints => unreachable!(),
                             };
                             reqs.push((recv_comm.irecv(th, np as i64, rtag).unwrap(), np, nt, d));
-                            payload[..8]
-                                .copy_from_slice(&stamp(iter, me, tid, d).to_le_bytes());
+                            payload[..8].copy_from_slice(&stamp(iter, me, tid, d).to_le_bytes());
                             send_comm
                                 .isend(th, np, stag, &payload)
                                 .unwrap()
@@ -506,7 +506,10 @@ mod tests {
 
     #[test]
     fn geometry_roundtrips_and_wraps() {
-        let g = Geometry3 { p: [2, 3, 2], t: [2, 2, 3] };
+        let g = Geometry3 {
+            p: [2, 3, 2],
+            t: [2, 2, 3],
+        };
         for r in 0..g.n_procs() {
             assert_eq!(g.proc_rank(g.proc_coords(r)), r);
         }
@@ -514,7 +517,11 @@ mod tests {
             assert_eq!(g.tid(g.tid_coords(t)), t);
         }
         // +x from the last column wraps to proc x=0.
-        let d = Dir3 { dx: 1, dy: 0, dz: 0 };
+        let d = Dir3 {
+            dx: 1,
+            dy: 0,
+            dz: 0,
+        };
         let (np, nt) = g.neighbor([1, 0, 0], [1, 0, 0], d);
         assert_eq!(g.proc_coords(np), [0, 0, 0]);
         assert_eq!(g.tid_coords(nt), [0, 0, 0]);
@@ -544,7 +551,10 @@ mod tests {
 
     #[test]
     fn colored_map3_matches_and_stays_near_the_formula() {
-        let g = Geometry3 { p: [2, 2, 2], t: [2, 2, 2] };
+        let g = Geometry3 {
+            p: [2, 2, 2],
+            t: [2, 2, 2],
+        };
         let m = colored_map3(g, &Dir3::all(), true);
         m.validate_matching().unwrap();
         // The paper's closed form counts a mirrored-construction map; the
@@ -575,7 +585,10 @@ mod tests {
     #[test]
     fn parallel_mechanisms_beat_original_in_3d() {
         let cfg = Halo3Config {
-            geo: Geometry3 { p: [2, 2, 2], t: [2, 2, 2] },
+            geo: Geometry3 {
+                p: [2, 2, 2],
+                t: [2, 2, 2],
+            },
             iters: 3,
             msg_bytes: 2048,
             compute: Nanos::us(2),

@@ -147,8 +147,7 @@ pub fn run_vasp(mode: VaspMode, cfg: &VaspConfig) -> VaspReport {
                         let mut s = shared.lock();
                         ReduceOp::Sum.apply(&mut s, &mine);
                         // The on-node combine is serial per thread arrival.
-                        th.clock
-                            .advance(th.proc().costs().reduce_cost(cfg.elems));
+                        th.clock.advance(th.proc().costs().reduce_cost(cfg.elems));
                     }
                     team.wait(&mut th.clock);
                     // One thread funnels the internode allreduce.
@@ -162,17 +161,13 @@ pub fn run_vasp(mode: VaspMode, cfg: &VaspConfig) -> VaspReport {
                 }
                 (crate::measure::elapsed(th), first)
             });
-            per_thread
-                .into_iter()
-                .max_by_key(|(t, _)| *t)
-                .unwrap()
+            per_thread.into_iter().max_by_key(|(t, _)| *t).unwrap()
         }),
         VaspMode::MultiCommSegmented => uni.run(|env| {
             let world = env.world();
             let me = env.rank();
             let mut setup = env.single_thread();
-            let comms: Vec<Communicator> =
-                (0..t).map(|_| world.dup(&mut setup).unwrap()).collect();
+            let comms: Vec<Communicator> = (0..t).map(|_| world.dup(&mut setup).unwrap()).collect();
             let seg = cfg.elems / t;
             let team = Arc::new(VirtualBarrier::new(t));
             let shared: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(vec![0.0; cfg.elems]));
@@ -192,23 +187,18 @@ pub fn run_vasp(mode: VaspMode, cfg: &VaspConfig) -> VaspReport {
                         let c = contribution(me, lt, cfg.elems);
                         ReduceOp::Sum.apply(&mut my_seg, &c[tid * seg..(tid + 1) * seg]);
                     }
-                    th.clock
-                        .advance(th.proc().costs().reduce_cost(cfg.elems)); // t * seg adds
-                    // Parallel internode allreduce of my segment on my comm.
+                    th.clock.advance(th.proc().costs().reduce_cost(cfg.elems)); // t * seg adds
+                                                                                // Parallel internode allreduce of my segment on my comm.
                     let global_seg = comms[tid].allreduce(th, &my_seg, ReduceOp::Sum).unwrap();
                     // USER intranode step 2: assemble the full result.
                     shared.lock()[tid * seg..(tid + 1) * seg].copy_from_slice(&global_seg);
-                    th.clock
-                        .advance(th.proc().costs().copy_cost(seg * 8));
+                    th.clock.advance(th.proc().costs().copy_cost(seg * 8));
                     team.wait(&mut th.clock);
                     first = shared.lock()[0];
                 }
                 (crate::measure::elapsed(th), first)
             });
-            per_thread
-                .into_iter()
-                .max_by_key(|(t, _)| *t)
-                .unwrap()
+            per_thread.into_iter().max_by_key(|(t, _)| *t).unwrap()
         }),
         VaspMode::EndpointsOneStep => uni.run(|env| {
             let world = env.world();
@@ -228,10 +218,7 @@ pub fn run_vasp(mode: VaspMode, cfg: &VaspConfig) -> VaspReport {
                 }
                 (crate::measure::elapsed(th), first)
             });
-            per_thread
-                .into_iter()
-                .max_by_key(|(t, _)| *t)
-                .unwrap()
+            per_thread.into_iter().max_by_key(|(t, _)| *t).unwrap()
         }),
     };
 
@@ -314,7 +301,10 @@ mod tests {
         let seg = run_vasp(VaspMode::MultiCommSegmented, &cfg);
         assert_eq!(seg.duplicated_bytes, 0);
         // (threads - 1) extra copies per process.
-        assert_eq!(eps.duplicated_bytes, cfg.procs * (cfg.threads - 1) * cfg.elems * 8);
+        assert_eq!(
+            eps.duplicated_bytes,
+            cfg.procs * (cfg.threads - 1) * cfg.elems * 8
+        );
         assert!(eps.result_bytes_per_process > seg.result_bytes_per_process);
     }
 }

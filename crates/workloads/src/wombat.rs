@@ -87,7 +87,10 @@ pub struct WombatReport {
 /// Run the put-based halo exchange; boundary contents are verified after a
 /// fence each iteration.
 pub fn run_wombat(mode: WombatMode, cfg: &WombatConfig) -> WombatReport {
-    assert!(cfg.procs.is_multiple_of(2), "pairwise exchange needs an even count");
+    assert!(
+        cfg.procs.is_multiple_of(2),
+        "pairwise exchange needs an even count"
+    );
     let t = cfg.threads;
     let num_vcis = match mode {
         WombatMode::SingleWindow => t,
@@ -137,8 +140,7 @@ pub fn run_wombat(mode: WombatMode, cfg: &WombatConfig) -> WombatReport {
             let tid = th.tid();
             let mut boundary = vec![0u8; patch];
             for iter in 0..cfg.iters {
-                let stamp: u64 =
-                    ((iter as u64) << 32) | ((me as u64) << 16) | tid as u64;
+                let stamp: u64 = ((iter as u64) << 32) | ((me as u64) << 16) | tid as u64;
                 boundary[..8].copy_from_slice(&stamp.to_le_bytes());
                 match mode {
                     WombatMode::SingleWindow => {

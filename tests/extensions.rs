@@ -38,7 +38,11 @@ fn endpoints_and_plain_comm_traffic_coexist() {
 
 #[test]
 fn endpoint_collective_while_partitioned_traffic_flows() {
-    let u = Universe::builder().nodes(2).threads_per_proc(2).num_vcis(2).build();
+    let u = Universe::builder()
+        .nodes(2)
+        .threads_per_proc(2)
+        .num_vcis(2)
+        .build();
     u.run(|env| {
         let world = env.world();
         let mut setup = env.single_thread();
@@ -53,7 +57,9 @@ fn endpoint_collective_while_partitioned_traffic_flows() {
             }
             let eps = &eps;
             let sums = env.parallel(|th| {
-                eps[th.tid()].ep_allreduce(th, &[1.0], ReduceOp::Sum).unwrap()[0]
+                eps[th.tid()]
+                    .ep_allreduce(th, &[1.0], ReduceOp::Sum)
+                    .unwrap()[0]
             });
             assert!(sums.iter().all(|&s| s == 4.0));
             sreq.wait(&mut setup).unwrap();
@@ -62,7 +68,9 @@ fn endpoint_collective_while_partitioned_traffic_flows() {
             rreq.start(&mut setup).unwrap();
             let eps = &eps;
             let sums = env.parallel(|th| {
-                eps[th.tid()].ep_allreduce(th, &[1.0], ReduceOp::Sum).unwrap()[0]
+                eps[th.tid()]
+                    .ep_allreduce(th, &[1.0], ReduceOp::Sum)
+                    .unwrap()[0]
             });
             assert!(sums.iter().all(|&s| s == 4.0));
             let data = rreq.wait(&mut setup).unwrap();
@@ -87,8 +95,10 @@ fn window_driven_through_endpoint_vcis() {
             env.parallel(|th| {
                 let vci = eps[th.tid()].vci_index();
                 let off = th.tid() * 32;
-                win.put_on_vci(th, vci, 1, off, &[th.tid() as u8 + 1; 8]).unwrap();
-                win.accumulate_on_vci(th, vci, 1, 64, &[1.0], ReduceOp::Sum).unwrap();
+                win.put_on_vci(th, vci, 1, off, &[th.tid() as u8 + 1; 8])
+                    .unwrap();
+                win.accumulate_on_vci(th, vci, 1, 64, &[1.0], ReduceOp::Sum)
+                    .unwrap();
                 win.flush(th, 1).unwrap();
             });
         }
@@ -115,7 +125,8 @@ fn partitioned_streams_in_both_directions() {
             sreq.start(&mut th).unwrap();
             rreq.start(&mut th).unwrap();
             sreq.pready(&mut th, 0, &[me as u8 * 10 + iter; 8]).unwrap();
-            sreq.pready(&mut th, 1, &[me as u8 * 10 + iter + 100; 8]).unwrap();
+            sreq.pready(&mut th, 1, &[me as u8 * 10 + iter + 100; 8])
+                .unwrap();
             let data = rreq.wait(&mut th).unwrap();
             assert_eq!(data[0], peer as u8 * 10 + iter);
             assert_eq!(data[8], peer as u8 * 10 + iter + 100);
@@ -133,7 +144,10 @@ fn split_communicators_isolate_collectives() {
         let world = env.world();
         let mut th = env.single_thread();
         let color = (env.rank() % 2) as i64;
-        let half = world.split(&mut th, color, env.rank() as i64).unwrap().unwrap();
+        let half = world
+            .split(&mut th, color, env.rank() as i64)
+            .unwrap()
+            .unwrap();
         assert_eq!(half.size(), 2);
         let sum = half
             .allreduce(&mut th, &[env.rank() as f64], ReduceOp::Sum)

@@ -13,7 +13,12 @@ use rankmpi_workloads::vasp::{expected_sum, run_vasp, VaspConfig, VaspMode};
 
 fn halo_cfg() -> HaloConfig {
     HaloConfig {
-        geo: Geometry { px: 2, py: 2, tx: 3, ty: 3 },
+        geo: Geometry {
+            px: 2,
+            py: 2,
+            tx: 3,
+            ty: 3,
+        },
         iters: 4,
         elems_per_face: 32,
         nine_point: false,
@@ -111,7 +116,11 @@ fn nwchem_atomicity_is_mechanism_independent() {
         ..NwchemConfig::default()
     };
     let want = expected_checksum(&cfg);
-    for mode in [RmaMode::OrderedSingle, RmaMode::RelaxedHashed, RmaMode::Endpoints] {
+    for mode in [
+        RmaMode::OrderedSingle,
+        RmaMode::RelaxedHashed,
+        RmaMode::Endpoints,
+    ] {
         let rep = run_nwchem(mode, &cfg);
         assert_eq!(rep.checksum, want, "{mode:?}");
     }

@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use rankmpi_core::coll::{bytes_to_f64s, f64s_to_bytes};
-use rankmpi_core::matching::{Incoming, MatchPattern, MatchingEngine, PostedRecv};
+use rankmpi_core::matching::{EngineKind, Incoming, MatchPattern, PostedRecv};
 use rankmpi_core::request::ReqState;
 use rankmpi_core::tag::{bits_for, default_tag_hash, TagLayout, TagPlacement, TAG_UB};
 use rankmpi_fabric::{Header, Packet};
@@ -78,58 +78,60 @@ proptest! {
         prop_assert_eq!(r.busy_total(), Nanos(total));
     }
 
-    /// The matching engine conserves messages and preserves per-channel FIFO
+    /// Every matching engine conserves messages and preserves per-channel FIFO
     /// under arbitrary interleavings of posts and arrivals.
     #[test]
     fn matching_conserves_and_orders(
         ops in proptest::collection::vec((any::<bool>(), 0u32..3, 0i64..3), 1..120)
     ) {
-        let mut e = MatchingEngine::new();
-        let mut sent: Vec<u64> = Vec::new();     // seq of every arrival
-        let mut matched: Vec<(i64, u64)> = Vec::new(); // (channel key, seq)
-        let mut seq = 0u64;
-        let mut arrival_clock = 0u64;
-        for (is_post, src, tag) in ops {
-            let key = (src as i64) << 8 | tag;
-            if is_post {
-                let recv = PostedRecv {
-                    pattern: MatchPattern { context_id: 1, src: src as i64, tag },
-                    req: ReqState::detached(),
-                    posted_at: Nanos::ZERO,
-                };
-                if let (Some(pkt), _) = e.post_recv(recv) {
-                    matched.push((key, pkt.header.seq));
-                }
-            } else {
-                arrival_clock += 10;
-                let pkt = Packet {
-                    header: Header {
-                        kind: 1,
-                        context_id: 1,
-                        src,
-                        dst: 0,
-                        tag,
-                        seq,
-                        aux: 0,
-                        aux2: 0,
-                    },
-                    payload: Bytes::new(),
-                    arrive_at: Nanos(arrival_clock),
-                };
-                sent.push(seq);
-                seq += 1;
-                if let Incoming::Matched { packet, .. } = e.incoming(pkt) {
-                    matched.push((key, packet.header.seq));
+        for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+            let mut e = kind.new_engine();
+            let mut sent: Vec<u64> = Vec::new();     // seq of every arrival
+            let mut matched: Vec<(i64, u64)> = Vec::new(); // (channel key, seq)
+            let mut seq = 0u64;
+            let mut arrival_clock = 0u64;
+            for &(is_post, src, tag) in &ops {
+                let key = (src as i64) << 8 | tag;
+                if is_post {
+                    let recv = PostedRecv {
+                        pattern: MatchPattern { context_id: 1, src: src as i64, tag },
+                        req: ReqState::detached(),
+                        posted_at: Nanos::ZERO,
+                    };
+                    if let (Some(pkt), _) = e.post_recv(recv) {
+                        matched.push((key, pkt.header.seq));
+                    }
+                } else {
+                    arrival_clock += 10;
+                    let pkt = Packet {
+                        header: Header {
+                            kind: 1,
+                            context_id: 1,
+                            src,
+                            dst: 0,
+                            tag,
+                            seq,
+                            aux: 0,
+                            aux2: 0,
+                        },
+                        payload: Bytes::new(),
+                        arrive_at: Nanos(arrival_clock),
+                    };
+                    sent.push(seq);
+                    seq += 1;
+                    if let Incoming::Matched { packet, .. } = e.incoming(pkt) {
+                        matched.push((key, packet.header.seq));
+                    }
                 }
             }
-        }
-        // Conservation: matched + still-queued == sent.
-        prop_assert_eq!(matched.len() + e.unexpected_len(), sent.len());
-        // Per-channel FIFO: within one (src, tag) channel, matched seqs rise.
-        let mut per_chan: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
-        for (key, s) in matched {
-            if let Some(prev) = per_chan.insert(key, s) {
-                prop_assert!(s > prev, "channel {} matched {} after {}", key, s, prev);
+            // Conservation: matched + still-queued == sent.
+            prop_assert_eq!(matched.len() + e.unexpected_len(), sent.len());
+            // Per-channel FIFO: within one (src, tag) channel, matched seqs rise.
+            let mut per_chan: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
+            for (key, s) in matched {
+                if let Some(prev) = per_chan.insert(key, s) {
+                    prop_assert!(s > prev, "[{}] channel {} matched {} after {}", kind.name(), key, s, prev);
+                }
             }
         }
     }

@@ -11,7 +11,11 @@ fn per_channel_order_holds_under_heavy_threading() {
     // 4 threads per side, each thread a logical channel by tag; every channel
     // must deliver its 50 messages in order even though all of them share one
     // VCI (worst-case interleaving).
-    let u = Universe::builder().nodes(2).threads_per_proc(4).num_vcis(1).build();
+    let u = Universe::builder()
+        .nodes(2)
+        .threads_per_proc(4)
+        .num_vcis(1)
+        .build();
     u.run(|env| {
         let world = env.world();
         env.parallel(|th| {
@@ -42,7 +46,12 @@ fn wildcard_receives_drain_multiple_senders() {
         if env.rank() < senders {
             for i in 0..per_sender {
                 world
-                    .send(&mut th, sink, (env.rank() * 100 + i) as i64, &[env.rank() as u8])
+                    .send(
+                        &mut th,
+                        sink,
+                        (env.rank() * 100 + i) as i64,
+                        &[env.rank() as u8],
+                    )
                     .unwrap();
             }
         } else {
