@@ -190,6 +190,64 @@ fn bench_engine_ablation(_c: &mut Criterion) {
     );
 }
 
+/// Wall-clock nanoseconds per pingpong iteration (2 ranks, 1 thread each,
+/// blocking send/recv round trip) — the hot path the `obs` feature must not
+/// tax when disabled.
+fn pingpong_wall_ns_per_iter(iters: usize) -> f64 {
+    let u = Universe::builder().nodes(2).build();
+    let start = std::time::Instant::now();
+    u.run(|env| {
+        let world = env.world();
+        let mut th = env.single_thread();
+        let peer = 1 - env.rank();
+        for i in 0..iters {
+            let tag = (i % 512) as i64;
+            if env.rank() == 0 {
+                world.send(&mut th, peer, tag, b"pingpong").unwrap();
+                world.recv(&mut th, peer as i64, tag).unwrap();
+            } else {
+                world.recv(&mut th, peer as i64, tag).unwrap();
+                world.send(&mut th, peer, tag, b"pingpong").unwrap();
+            }
+        }
+    });
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Median-of-repeats pingpong timing, written to the summary JSON. The file
+/// name carries the tracer state (`micro_hotpaths` vs `micro_hotpaths_obs`)
+/// so feature-off and feature-on runs can sit side by side and be diffed:
+/// the feature-off number must stay within 2% of the pre-obs baseline.
+fn bench_pingpong_overhead(_c: &mut Criterion) {
+    let iters = 2_000;
+    pingpong_wall_ns_per_iter(iters); // warmup
+    let mut runs: Vec<f64> = (0..5).map(|_| pingpong_wall_ns_per_iter(iters)).collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = runs[runs.len() / 2];
+    println!(
+        "\npingpong hot path: {median:.0} ns/iter wall (obs compiled: {})",
+        rankmpi_obs::COMPILED
+    );
+    let name = if rankmpi_obs::COMPILED {
+        "micro_hotpaths_pingpong_obs"
+    } else {
+        "micro_hotpaths_pingpong"
+    };
+    write_bench_json(
+        name,
+        &Json::obj([
+            ("bench", Json::str("micro_hotpaths")),
+            ("obs_compiled", Json::Bool(rankmpi_obs::COMPILED)),
+            ("pingpong_iters", Json::int(iters as u64)),
+            ("pingpong_ns_per_iter_median", Json::Num(median)),
+            (
+                "pingpong_ns_per_iter_runs",
+                Json::Arr(runs.into_iter().map(Json::Num).collect()),
+            ),
+        ]),
+    );
+}
+
 fn bench_resource(c: &mut Criterion) {
     c.bench_function("resource_acquire", |b| {
         let r = Resource::new();
@@ -236,6 +294,7 @@ criterion_group!(
     benches,
     bench_matching,
     bench_engine_ablation,
+    bench_pingpong_overhead,
     bench_resource,
     bench_lock,
     bench_tags

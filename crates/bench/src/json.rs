@@ -120,15 +120,57 @@ pub fn render(v: &Json) -> String {
 }
 
 /// Snapshot one VCI's matching-engine counters as a JSON object:
-/// `engine`, `posted_len`, `unexpected_len`, `matched`, `polls`.
+/// `engine`, `posted_len`, `unexpected_len`, `matched`, `polls`, plus the
+/// engine-lock series (`lock_acquires`, `lock_acquires_contended`,
+/// `lock_hold_ns`).
 pub fn engine_counters(vci: &Vci) -> Json {
+    let hold = vci.lock_hold_stats();
     Json::obj([
         ("engine", Json::str(vci.engine_kind().name())),
         ("posted_len", Json::int(vci.posted_depth() as u64)),
         ("unexpected_len", Json::int(vci.unexpected_depth() as u64)),
         ("matched", Json::int(vci.matched())),
         ("polls", Json::int(vci.polls())),
+        ("lock_acquires", Json::int(vci.lock_acquires())),
+        (
+            "lock_acquires_contended",
+            Json::int(vci.lock_acquires_contended()),
+        ),
+        ("lock_hold_ns", Json::int(hold.sum())),
     ])
+}
+
+/// Convert one metrics-registry [`Sample`](rankmpi_obs::registry::Sample)
+/// into a JSON object (`key`, `name`, and the value's fields).
+fn sample_json(s: &rankmpi_obs::registry::Sample) -> Json {
+    let mut fields = vec![
+        ("key".to_string(), Json::str(s.key())),
+        ("name".to_string(), Json::str(s.name.clone())),
+    ];
+    match &s.value {
+        rankmpi_obs::registry::Value::Count(n) => {
+            fields.push(("count".to_string(), Json::int(*n)));
+        }
+        rankmpi_obs::registry::Value::Stats {
+            count,
+            sum,
+            min,
+            max,
+        } => {
+            fields.push(("count".to_string(), Json::int(*count)));
+            fields.push(("sum".to_string(), Json::int(*sum)));
+            fields.push(("min".to_string(), min.map(Json::int).unwrap_or(Json::Null)));
+            fields.push(("max".to_string(), max.map(Json::int).unwrap_or(Json::Null)));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Snapshot the global metrics registry as a JSON array, keeping only series
+/// whose name starts with `prefix` (empty prefix = everything).
+pub fn registry_samples(prefix: &str) -> Json {
+    let samples = rankmpi_obs::registry::global().snapshot_prefix(prefix);
+    Json::Arr(samples.iter().map(sample_json).collect())
 }
 
 /// Write `BENCH_<name>.json` into `RANKMPI_BENCH_DIR` (default: the current

@@ -105,6 +105,7 @@ impl Communicator {
     /// Dissemination barrier across the communicator.
     pub fn barrier(&self, th: &mut ThreadCtx) -> Result<()> {
         let guard = self.coll_enter()?;
+        let entered_at = th.clock.now();
         let p = self.size();
         let r = self.rank();
         let mut phase = 0u32;
@@ -117,6 +118,13 @@ impl Communicator {
             dist <<= 1;
             phase += 1;
         }
+        rankmpi_obs::trace::busy(
+            "coll",
+            "barrier",
+            entered_at,
+            th.clock.now(),
+            rankmpi_obs::trace::ResId::NONE,
+        );
         Ok(())
     }
 
@@ -124,7 +132,16 @@ impl Communicator {
     /// everyone receives the broadcast payload.
     pub fn bcast(&self, th: &mut ThreadCtx, root: usize, data: Option<&[u8]>) -> Result<Bytes> {
         let guard = self.coll_enter()?;
-        self.bcast_guarded(th, &guard, 0, root, data)
+        let entered_at = th.clock.now();
+        let out = self.bcast_guarded(th, &guard, 0, root, data);
+        rankmpi_obs::trace::busy(
+            "coll",
+            "bcast",
+            entered_at,
+            th.clock.now(),
+            rankmpi_obs::trace::ResId::NONE,
+        );
+        out
     }
 
     /// Broadcast body reusable inside composite collectives (phase-offset so
@@ -241,6 +258,7 @@ impl Communicator {
         op: ReduceOp,
     ) -> Result<Vec<f64>> {
         let guard = self.coll_enter()?;
+        let entered_at = th.clock.now();
         let reduced = self.reduce_guarded(th, &guard, 0, 0, contribution, op)?;
         let out = self.bcast_guarded(
             th,
@@ -249,6 +267,13 @@ impl Communicator {
             0,
             reduced.as_ref().map(|v| f64s_to_bytes(v)).as_deref(),
         )?;
+        rankmpi_obs::trace::busy(
+            "coll",
+            "allreduce",
+            entered_at,
+            th.clock.now(),
+            rankmpi_obs::trace::ResId::NONE,
+        );
         Ok(bytes_to_f64s(&out))
     }
 

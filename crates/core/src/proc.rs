@@ -111,6 +111,7 @@ impl ProcShared {
         let id = v.len();
         v.push(Vci::new(
             id,
+            self.rank,
             &self.nic,
             &self.shm_nic,
             Arc::clone(&self.notify),
@@ -221,6 +222,9 @@ impl ThreadCtx {
 
     /// Build a context for thread `tid` of `proc`.
     pub fn new(tid: usize, proc: Arc<ProcShared>, universe: Arc<UniverseShared>) -> Self {
+        // Stamp the OS thread's trace identity so spans recorded from this
+        // context carry the simulated (rank, tid).
+        rankmpi_obs::trace::set_actor(proc.rank() as u32, tid as u32);
         ThreadCtx {
             clock: Clock::new(),
             tid,

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use rankmpi_fabric::Header;
+use rankmpi_obs::trace as obs;
 
 use crate::comm::Communicator;
 use crate::error::{Error, Result};
@@ -65,6 +66,7 @@ impl Communicator {
     ) -> Result<Request> {
         self.check_rank(dst)?;
         let _mpi = th.enter_mpi();
+        let entered_at = th.clock.now();
         let costs = th.proc().costs().clone();
         // Eager-protocol copy out of the user buffer.
         th.clock.advance(costs.copy_cost(data.len()));
@@ -92,6 +94,8 @@ impl Communicator {
             header,
             Bytes::copy_from_slice(data),
         );
+
+        obs::busy("pt2pt", "send", entered_at, th.clock.now(), svci.res_id());
 
         let req = ReqState::new(Arc::clone(th.proc().notify()));
         req.complete(
@@ -136,11 +140,13 @@ impl Communicator {
         pattern: MatchPattern,
     ) -> Result<Request> {
         let _mpi = th.enter_mpi();
+        let entered_at = th.clock.now();
         let costs = th.proc().costs().clone();
         th.clock.advance(costs.request_setup);
         let vci = th.proc().vci(vci_idx);
         let req = ReqState::new(Arc::clone(th.proc().notify()));
         vci.post_recv(&mut th.clock, pattern, Arc::clone(&req));
+        obs::busy("pt2pt", "recv", entered_at, th.clock.now(), vci.res_id());
         Ok(if req.is_complete() {
             Request::ready(req)
         } else {

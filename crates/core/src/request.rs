@@ -142,6 +142,7 @@ impl Request {
     /// Block until complete; returns status and payload, advancing `clock` to
     /// the virtual completion time.
     pub fn wait(&self, clock: &mut rankmpi_vtime::Clock) -> (Status, Bytes) {
+        let entered_at = clock.now();
         if let Some(vci) = &self.progress_vci {
             let state = Arc::clone(&self.state);
             // Drive progress with a scratch clock while blocked: the matching
@@ -160,6 +161,12 @@ impl Request {
             debug_assert!(self.state.is_complete());
         }
         clock.wait_until(self.state.finish_at());
+        let res = self
+            .progress_vci
+            .as_ref()
+            .map(|v| v.res_id())
+            .unwrap_or(rankmpi_obs::trace::ResId::NONE);
+        rankmpi_obs::trace::wait("pt2pt", "req_wait", entered_at, clock.now(), res);
         self.state.take_result()
     }
 

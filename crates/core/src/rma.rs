@@ -251,9 +251,17 @@ impl Window {
         data: &[u8],
     ) -> Result<()> {
         self.check_bounds(offset, data.len())?;
+        let entered_at = th.clock.now();
         let apply_at = self.issue(th, vci_idx, target, data.len(), false);
         self.targets[target].apply_put(offset, data);
         self.note_pending(target, vci_idx, apply_at);
+        rankmpi_obs::trace::busy(
+            "rma",
+            "put",
+            entered_at,
+            th.clock.now(),
+            th.proc().vci(vci_idx).res_id(),
+        );
         Ok(())
     }
 
@@ -279,6 +287,7 @@ impl Window {
         len: usize,
     ) -> Result<Vec<u8>> {
         self.check_bounds(offset, len)?;
+        let entered_at = th.clock.now();
         // Request: an 8-byte descriptor travels out; data travels back.
         let apply_at = self.issue(th, vci_idx, target, 8, false);
         let profile = th.universe().profile().clone();
@@ -287,6 +296,13 @@ impl Window {
         let data = self.targets[target].apply_get(offset, len);
         self.note_pending(target, vci_idx, ready);
         th.clock.wait_until(ready);
+        rankmpi_obs::trace::busy(
+            "rma",
+            "get",
+            entered_at,
+            th.clock.now(),
+            th.proc().vci(vci_idx).res_id(),
+        );
         Ok(data)
     }
 

@@ -14,7 +14,9 @@ use bytes::Bytes;
 use rankmpi_fabric::{
     transmit, Header, HwContext, Mailbox, NetworkProfile, Nic, Notify, Packet, TxInfo,
 };
-use rankmpi_vtime::{Clock, ContentionLock, Counter, Nanos};
+use rankmpi_obs::trace as obs;
+use rankmpi_obs::{labels, registry};
+use rankmpi_vtime::{Accumulator, Clock, ContentionLock, Counter, Nanos};
 
 use crate::costs::CoreCosts;
 use crate::matching::{
@@ -120,6 +122,8 @@ enum ChargeTo<'a> {
 #[derive(Debug)]
 pub struct Vci {
     id: usize,
+    /// Rank of the owning process (trace/metrics identity only).
+    rank: usize,
     profile: NetworkProfile,
     costs: CoreCosts,
     /// NIC hardware context backing this VCI for inter-node traffic.
@@ -136,8 +140,15 @@ pub struct Vci {
     engine_time: rankmpi_vtime::Resource,
     /// Direct-packet dispatcher shared by all VCIs of the owning process.
     direct: Arc<DirectRegistry>,
-    polls: Counter,
-    matched: Counter,
+    polls: Arc<Counter>,
+    matched: Arc<Counter>,
+    /// Registry series: clock-charged engine-lock acquisitions.
+    acquires: Arc<Counter>,
+    /// Registry series: acquisitions that paid more than the uncontended base
+    /// (another thread was fighting for this VCI's lock).
+    acquires_contended: Arc<Counter>,
+    /// Registry series: virtual time the engine lock was held, per section.
+    hold_ns: Arc<Accumulator>,
 }
 
 impl Vci {
@@ -146,8 +157,10 @@ impl Vci {
     /// `direct`. `engine_kind` selects the matching structure (see
     /// [`EngineKind`]); the `rankmpi_matching` Info hint can change it later
     /// via [`Vci::set_engine_kind`].
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: usize,
+        rank: usize,
         nic: &Nic,
         shm_nic: &Nic,
         notify: Arc<Notify>,
@@ -155,8 +168,11 @@ impl Vci {
         direct: Arc<DirectRegistry>,
         engine_kind: EngineKind,
     ) -> Arc<Self> {
+        let reg = registry::global();
+        let l = || labels! {"rank" => rank, "vci" => id};
         Arc::new(Vci {
             id,
+            rank,
             profile: nic.profile().clone(),
             costs,
             ctx: nic.alloc_context(),
@@ -165,9 +181,58 @@ impl Vci {
             engine: ContentionLock::new(engine_kind.new_engine()),
             engine_time: rankmpi_vtime::Resource::new(),
             direct,
-            polls: Counter::new(),
-            matched: Counter::new(),
+            polls: reg.insert_counter("vci.polls", l()),
+            matched: reg.insert_counter("vci.matched", l()),
+            acquires: reg.insert_counter("vci.lock_acquires", l()),
+            acquires_contended: reg.insert_counter("vci.lock_acquires_contended", l()),
+            hold_ns: reg.insert_accum("vci.lock_hold_ns", l()),
         })
+    }
+
+    /// Trace resource id for this VCI (`vci:rank.id`).
+    pub fn res_id(&self) -> obs::ResId {
+        obs::ResId::new("vci", self.rank as u64, self.id as u64)
+    }
+
+    /// Rank of the owning process.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Acquire the engine lock with contention classification: counts the
+    /// acquisition, flags it contended when it paid more than the uncontended
+    /// base, and records the fight as a wait span.
+    fn lock_engine<'a>(
+        &'a self,
+        clock: &mut Clock,
+    ) -> rankmpi_vtime::lock::ContentionGuard<'a, Box<dyn MatchEngine>> {
+        let before = clock.now();
+        let guard = self.engine.lock(clock);
+        self.acquires.incr();
+        let base = self.engine.costs().acquire_base;
+        if clock.now().saturating_sub(before) > base {
+            self.acquires_contended.incr();
+            obs::wait(
+                "vci",
+                "engine_acquire",
+                before + base,
+                clock.now(),
+                self.res_id(),
+            );
+        }
+        guard
+    }
+
+    /// Release the engine lock, recording how long it was held (virtually).
+    fn release_engine(
+        &self,
+        guard: rankmpi_vtime::lock::ContentionGuard<'_, Box<dyn MatchEngine>>,
+        clock: &mut Clock,
+        locked_at: Nanos,
+    ) {
+        self.hold_ns
+            .record(clock.now().saturating_sub(locked_at).as_ns());
+        guard.release(clock);
     }
 
     /// The matching-engine kind this VCI currently runs.
@@ -273,7 +338,8 @@ impl Vci {
     /// completed immediately (completion time accounts for arrival, matching
     /// work and the eager copy); otherwise the receive is queued.
     pub fn post_recv(&self, clock: &mut Clock, pattern: MatchPattern, req: Arc<ReqState>) {
-        let mut eng = self.engine.lock(clock);
+        let mut eng = self.lock_engine(clock);
+        let locked_at = clock.now();
         let posted = PostedRecv {
             pattern,
             req,
@@ -281,10 +347,11 @@ impl Vci {
         };
         let (matched, work) = eng.post_recv(posted.clone());
         let done = self.charge_match(ChargeTo::Caller(clock), &work);
+        obs::busy("match", "match_post", locked_at, done, self.engine_res_id());
         if let Some(pkt) = matched {
             self.complete_match(done, &posted.req, pkt);
         }
-        eng.release(clock);
+        self.release_engine(eng, clock, locked_at);
     }
 
     /// Drain this VCI's mailbox and run the matching engine. Returns the
@@ -294,6 +361,7 @@ impl Vci {
     /// Packets of kind [`KIND_DIRECT`] are not matched; they are dispatched
     /// through the process's [`DirectRegistry`].
     pub fn progress(&self, clock: &mut Clock) -> usize {
+        let entered_at = clock.now();
         self.polls.incr();
         if self.mailbox.is_empty() {
             clock.advance(self.costs.match_base / 4); // cheap empty poll
@@ -323,6 +391,9 @@ impl Vci {
         }
         drop(eng);
         clock.advance(self.costs.match_base / 4); // the poll's own CPU cost
+        if n > 0 {
+            obs::busy("vci", "progress", entered_at, clock.now(), self.res_id());
+        }
         n
     }
 
@@ -338,6 +409,7 @@ impl Vci {
         intra_node: bool,
         bytes: usize,
     ) -> Nanos {
+        let entered_at = clock.now();
         if intra_node {
             clock.advance(self.costs.shm_gap);
             let occ = self.costs.shm_occupancy(bytes);
@@ -354,7 +426,16 @@ impl Vci {
         );
         gate.release(clock);
         dst.ctx.note_rx();
-        injected + self.profile.wire_latency() + self.profile.rx_gap
+        let arrive = injected + self.profile.wire_latency() + self.profile.rx_gap;
+        obs::busy(
+            "fabric",
+            "raw_tx",
+            entered_at,
+            clock.now(),
+            self.ctx.res_id(),
+        );
+        obs::busy("fabric", "wire", injected, arrive, obs::ResId::NONE);
+        arrive
     }
 
     fn handle_incoming(&self, eng: &mut dyn MatchEngine, pkt: Packet) {
@@ -385,8 +466,23 @@ impl Vci {
                 clock.advance(cost);
                 clock.now()
             }
-            ChargeTo::EngineAt(ready) => self.engine_time.acquire(ready, cost).end,
+            ChargeTo::EngineAt(ready) => {
+                let acq = self.engine_time.acquire(ready, cost);
+                obs::busy(
+                    "match",
+                    "engine_work",
+                    acq.start,
+                    acq.end,
+                    self.engine_res_id(),
+                );
+                acq.end
+            }
         }
+    }
+
+    /// Trace resource id for this VCI's matching engine (`engine:rank.id`).
+    fn engine_res_id(&self) -> obs::ResId {
+        obs::ResId::new("engine", self.rank as u64, self.id as u64)
     }
 
     /// Complete `req` with `pkt`, with its matching work finished at `done`:
@@ -410,10 +506,11 @@ impl Vci {
     /// it. Drains the mailbox first (progress), like a real `MPI_Iprobe`.
     pub fn iprobe(&self, clock: &mut Clock, pattern: &MatchPattern) -> Option<Status> {
         self.progress(clock);
-        let eng = self.engine.lock(clock);
+        let eng = self.lock_engine(clock);
+        let locked_at = clock.now();
         let (st, work) = eng.probe(pattern);
         self.charge_match(ChargeTo::Caller(clock), &work);
-        eng.release(clock);
+        self.release_engine(eng, clock, locked_at);
         st
     }
 
@@ -423,7 +520,8 @@ impl Vci {
     /// race for the probed message.
     pub fn mprobe(&self, clock: &mut Clock, pattern: &MatchPattern) -> Option<(Status, Bytes)> {
         self.progress(clock);
-        let mut eng = self.engine.lock(clock);
+        let mut eng = self.lock_engine(clock);
+        let locked_at = clock.now();
         // Reuse the posted-receive matching path with a throwaway request,
         // keeping its handle so a miss retracts exactly this probe — other
         // threads may have posted receives in the meantime.
@@ -449,7 +547,7 @@ impl Vci {
                 None
             }
         };
-        eng.release(clock);
+        self.release_engine(eng, clock, locked_at);
         out
     }
 
@@ -476,6 +574,22 @@ impl Vci {
     /// Total contention on the VCI lock (virtual time spent acquiring).
     pub fn lock_contention(&self) -> Nanos {
         self.engine.contended_total()
+    }
+
+    /// Clock-charged engine-lock acquisitions on this VCI.
+    pub fn lock_acquires(&self) -> u64 {
+        self.acquires.get()
+    }
+
+    /// Acquisitions that paid more than the uncontended base cost — i.e.
+    /// entries that actually fought another thread for this VCI.
+    pub fn lock_acquires_contended(&self) -> u64 {
+        self.acquires_contended.get()
+    }
+
+    /// Virtual lock-hold-time statistics for this VCI's engine lock.
+    pub fn lock_hold_stats(&self) -> &Accumulator {
+        &self.hold_ns
     }
 
     /// Access the costs model this VCI uses.
@@ -556,6 +670,7 @@ mod tests {
         let shm = Arc::new(Nic::new(0, NetworkProfile::ideal()));
         let v = Vci::new(
             id,
+            0,
             &nic,
             &shm,
             Arc::new(Notify::new()),
@@ -820,6 +935,55 @@ mod tests {
             },
         );
         assert_eq!(rv, Some(5));
+    }
+
+    #[test]
+    fn single_thread_lock_use_is_never_contended() {
+        let (v, _n, _s) = test_vci(0);
+        let mut c = Clock::new();
+        let pat = MatchPattern {
+            context_id: 1,
+            src: 0,
+            tag: 0,
+        };
+        for _ in 0..2_000 {
+            v.iprobe(&mut c, &pat);
+        }
+        assert_eq!(v.lock_acquires(), 2_000);
+        assert_eq!(
+            v.lock_acquires_contended(),
+            0,
+            "one thread can never observe a waiter on its own VCI lock"
+        );
+        assert_eq!(v.lock_hold_stats().count(), 2_000);
+    }
+
+    #[test]
+    fn two_threads_on_one_vci_report_contended_acquires() {
+        let (v, _n, _s) = test_vci(0);
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut c = Clock::new();
+                    let pat = MatchPattern {
+                        context_id: 1,
+                        src: 0,
+                        tag: 0,
+                    };
+                    barrier.wait();
+                    for _ in 0..20_000 {
+                        v.iprobe(&mut c, &pat);
+                    }
+                });
+            }
+        });
+        assert_eq!(v.lock_acquires(), 40_000);
+        assert!(
+            v.lock_acquires_contended() > 0,
+            "two threads hammering one VCI must collide on its lock at least once"
+        );
+        assert!(v.lock_contention() > Nanos::ZERO);
     }
 
     #[test]

@@ -115,6 +115,7 @@ impl Endpoint {
     ) -> Result<Request> {
         self.check_ep(dst_ep)?;
         Self::check_tag(tag)?;
+        let entered_at = th.clock.now();
         let costs = th.proc().costs().clone();
         th.clock.advance(costs.copy_cost(data.len()));
 
@@ -151,6 +152,7 @@ impl Endpoint {
             },
             Bytes::new(),
         );
+        rankmpi_obs::trace::busy("ep", "ep_send", entered_at, th.clock.now(), svci.res_id());
         Ok(Request::ready(req))
     }
 
@@ -181,6 +183,7 @@ impl Endpoint {
         if tag != ANY_TAG {
             Self::check_tag(tag)?;
         }
+        let entered_at = th.clock.now();
         let costs = th.proc().costs().clone();
         th.clock.advance(costs.request_setup);
         let vci = self.proc.vci(self.vci_idx);
@@ -191,6 +194,7 @@ impl Endpoint {
             tag,
         };
         vci.post_recv(&mut th.clock, pattern, Arc::clone(&req));
+        rankmpi_obs::trace::busy("ep", "ep_recv", entered_at, th.clock.now(), vci.res_id());
         Ok(if req.is_complete() {
             Request::ready(req)
         } else {

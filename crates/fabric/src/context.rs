@@ -19,6 +19,7 @@ use crate::NetworkProfile;
 /// [`gate`]: HwContext::lock_gate
 #[derive(Debug)]
 pub struct HwContext {
+    node: usize,
     id: usize,
     gate: ContentionLock<()>,
     time: Resource,
@@ -30,9 +31,10 @@ pub struct HwContext {
 }
 
 impl HwContext {
-    /// Create context `id` with the lock costs of `profile`.
-    pub fn new(id: usize, profile: &NetworkProfile) -> Self {
+    /// Create context `id` on `node` with the lock costs of `profile`.
+    pub fn new(node: usize, id: usize, profile: &NetworkProfile) -> Self {
         HwContext {
+            node,
             id,
             gate: ContentionLock::with_costs((), profile.context_lock),
             time: Resource::new(),
@@ -43,9 +45,25 @@ impl HwContext {
         }
     }
 
+    /// Node this context's NIC belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
     /// Context id within its NIC.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Trace resource id for this context (`hwctx:node.id`).
+    pub fn res_id(&self) -> rankmpi_obs::trace::ResId {
+        rankmpi_obs::trace::ResId::new("hwctx", self.node as u64, self.id as u64)
+    }
+
+    /// Uncontended gate acquisition cost (used by instrumentation to
+    /// classify contended entries).
+    pub fn gate_acquire_base(&self) -> Nanos {
+        self.gate.costs().acquire_base
     }
 
     /// Register a logical channel on this context. Returns the new owner count.
@@ -119,7 +137,7 @@ mod tests {
     use super::*;
 
     fn ctx() -> HwContext {
-        HwContext::new(0, &NetworkProfile::omni_path())
+        HwContext::new(0, 0, &NetworkProfile::omni_path())
     }
 
     #[test]

@@ -3,6 +3,9 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use rankmpi_obs::labels;
+use rankmpi_obs::registry;
+use rankmpi_vtime::Counter;
 
 use crate::{HwContext, NetworkProfile};
 
@@ -19,6 +22,11 @@ pub struct Nic {
     node: usize,
     profile: NetworkProfile,
     state: Mutex<NicState>,
+    /// Registry series: channels that got a dedicated context.
+    alloc_dedicated: Arc<Counter>,
+    /// Registry series: channels that fell back to sharing (pool exhausted —
+    /// the Lesson 3 oversubscription event).
+    alloc_shared: Arc<Counter>,
 }
 
 #[derive(Debug)]
@@ -33,6 +41,8 @@ struct NicState {
 impl Nic {
     /// NIC for `node` with the context pool of `profile`.
     pub fn new(node: usize, profile: NetworkProfile) -> Self {
+        let reg = registry::global();
+        let fabric = profile.name;
         Nic {
             node,
             profile,
@@ -41,6 +51,16 @@ impl Nic {
                 share_cursor: 0,
                 allocations: 0,
             }),
+            // The fabric label separates a node's wire NIC from its shm NIC,
+            // which would otherwise replace the same registry series.
+            alloc_dedicated: reg.insert_counter(
+                "nic.alloc_dedicated",
+                labels! {"node" => node, "fabric" => fabric},
+            ),
+            alloc_shared: reg.insert_counter(
+                "nic.alloc_shared",
+                labels! {"node" => node, "fabric" => fabric},
+            ),
         }
     }
 
@@ -62,16 +82,29 @@ impl Nic {
         let mut st = self.state.lock();
         st.allocations += 1;
         let ctx = if st.contexts.len() < self.profile.max_hw_contexts {
-            let ctx = Arc::new(HwContext::new(st.contexts.len(), &self.profile));
+            let ctx = Arc::new(HwContext::new(self.node, st.contexts.len(), &self.profile));
             st.contexts.push(Arc::clone(&ctx));
+            self.alloc_dedicated.incr();
             ctx
         } else {
             let i = st.share_cursor % st.contexts.len();
             st.share_cursor += 1;
+            self.alloc_shared.incr();
             Arc::clone(&st.contexts[i])
         };
         ctx.add_owner();
         ctx
+    }
+
+    /// Channels that received a dedicated context.
+    pub fn dedicated_allocs(&self) -> u64 {
+        self.alloc_dedicated.get()
+    }
+
+    /// Channels that fell back to sharing an existing context (pool
+    /// exhaustion events).
+    pub fn shared_allocs(&self) -> u64 {
+        self.alloc_shared.get()
     }
 
     /// Number of distinct hardware contexts currently in use.

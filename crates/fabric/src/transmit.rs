@@ -1,6 +1,7 @@
 //! The injection path: from send descriptor to remote mailbox.
 
 use bytes::Bytes;
+use rankmpi_obs::trace as obs;
 use rankmpi_vtime::{Clock, Nanos};
 
 use crate::{Header, HwContext, Mailbox, NetworkProfile, Packet};
@@ -55,9 +56,20 @@ pub fn transmit(
     header: Header,
     payload: Bytes,
 ) -> TxInfo {
+    let entered_at = clock.now();
     clock.advance(profile.send_overhead);
 
+    let before_gate = clock.now();
     let gate = src.lock_gate(clock);
+    // Anything past the uncontended base is time spent fighting for the
+    // shared context's software gate.
+    obs::wait(
+        "fabric",
+        "gate_acquire",
+        before_gate + src.gate_acquire_base(),
+        clock.now(),
+        src.res_id(),
+    );
     clock.advance(profile.doorbell);
 
     let bytes = payload.len();
@@ -75,6 +87,9 @@ pub fn transmit(
         arrive_at,
     });
     gate.release(clock);
+
+    obs::busy("fabric", "transmit", entered_at, clock.now(), src.res_id());
+    obs::busy("fabric", "wire", injected_at, arrive_at, obs::ResId::NONE);
 
     TxInfo {
         local_complete: clock.now(),

@@ -1,0 +1,379 @@
+//! Virtual-time critical-path reconstruction and per-resource contention
+//! breakdown.
+//!
+//! A finished [`Trace`] is a set of closed intervals per (rank, thread), each
+//! tagged busy/wait and optionally bound to a shared resource (a VCI's
+//! engine lock, a NIC hardware context). From that this pass derives:
+//!
+//! * the **makespan** and the thread that determines it;
+//! * a greedy walk back along that thread's spans — the *critical path* —
+//!   splitting it into busy work vs waiting, attributed per resource;
+//! * a **per-resource table**: busy/wait totals, span counts, and the set of
+//!   distinct ranks using each resource — which directly reproduces the
+//!   paper's Fig. 4-style "who shares which hardware context" comm map and
+//!   the Lesson 3 oversubscription attribution.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use rankmpi_vtime::Nanos;
+
+use crate::trace::{ResId, Span, SpanKind, Trace};
+
+/// Aggregated use of one shared resource across the whole trace.
+#[derive(Debug, Clone)]
+pub struct ResourceUse {
+    /// The resource.
+    pub res: ResId,
+    /// Total busy (occupancy) time attributed to it.
+    pub busy: Nanos,
+    /// Total time threads spent waiting on it.
+    pub wait: Nanos,
+    /// Number of spans touching it.
+    pub spans: usize,
+    /// Distinct ranks that used it, sorted.
+    pub ranks: Vec<u32>,
+}
+
+impl ResourceUse {
+    /// Whether more than one rank used this resource (a shared hardware
+    /// context, in Fig. 4 terms).
+    pub fn is_shared(&self) -> bool {
+        self.ranks.len() > 1
+    }
+}
+
+/// One hop of the reconstructed critical path.
+#[derive(Debug, Clone)]
+pub struct CritSegment {
+    /// Layer of the span on the path.
+    pub cat: &'static str,
+    /// Operation name.
+    pub name: &'static str,
+    /// Interval start.
+    pub start: Nanos,
+    /// Interval end.
+    pub end: Nanos,
+    /// Busy or wait.
+    pub kind: SpanKind,
+    /// Resource bound, if any.
+    pub res: ResId,
+}
+
+/// Totals for one span category (layer).
+#[derive(Debug, Clone, Default)]
+pub struct CatTotals {
+    /// Total busy time in this category.
+    pub busy: Nanos,
+    /// Total wait time in this category.
+    pub wait: Nanos,
+    /// Number of spans.
+    pub spans: usize,
+}
+
+/// The output of [`analyze`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Largest span end over the whole trace.
+    pub makespan: Nanos,
+    /// Number of distinct (rank, thread) actors seen.
+    pub threads: usize,
+    /// Number of spans analyzed.
+    pub spans: usize,
+    /// Spans dropped by ring overflow (carried from the trace).
+    pub dropped: u64,
+    /// Per-resource aggregate, sorted by descending `busy + wait`.
+    pub resources: Vec<ResourceUse>,
+    /// Per-category totals, keyed by layer name.
+    pub by_cat: BTreeMap<&'static str, CatTotals>,
+    /// The (rank, thread) whose last span ends at the makespan.
+    pub critical_actor: (u32, u32),
+    /// The reconstructed path on that thread, in time order.
+    pub critical: Vec<CritSegment>,
+    /// Resources used by more than one rank: `(label, ranks)`.
+    pub shared: Vec<(String, Vec<u32>)>,
+}
+
+/// Analyze a trace. Works on any span set (empty traces yield an empty
+/// report) and never panics on malformed nesting.
+pub fn analyze(trace: &Trace) -> Report {
+    let spans = &trace.spans;
+    let makespan = spans.iter().map(|s| s.end).max().unwrap_or(Nanos::ZERO);
+
+    let mut actors: Vec<(u32, u32)> = spans.iter().map(|s| (s.pid, s.tid)).collect();
+    actors.sort_unstable();
+    actors.dedup();
+
+    // Per-resource aggregation.
+    let mut res_map: BTreeMap<ResId, ResourceUse> = BTreeMap::new();
+    let mut by_cat: BTreeMap<&'static str, CatTotals> = BTreeMap::new();
+    for s in spans {
+        let cat = by_cat.entry(s.cat).or_default();
+        cat.spans += 1;
+        match s.kind {
+            SpanKind::Busy => cat.busy += s.dur(),
+            SpanKind::Wait => cat.wait += s.dur(),
+        }
+        if s.res.is_none() {
+            continue;
+        }
+        let e = res_map.entry(s.res).or_insert_with(|| ResourceUse {
+            res: s.res,
+            busy: Nanos::ZERO,
+            wait: Nanos::ZERO,
+            spans: 0,
+            ranks: Vec::new(),
+        });
+        e.spans += 1;
+        match s.kind {
+            SpanKind::Busy => e.busy += s.dur(),
+            SpanKind::Wait => e.wait += s.dur(),
+        }
+        if !e.ranks.contains(&s.pid) {
+            e.ranks.push(s.pid);
+        }
+    }
+    let mut resources: Vec<ResourceUse> = res_map.into_values().collect();
+    for r in &mut resources {
+        r.ranks.sort_unstable();
+    }
+    resources.sort_by_key(|r| std::cmp::Reverse((r.busy + r.wait).as_ns()));
+
+    let shared: Vec<(String, Vec<u32>)> = resources
+        .iter()
+        .filter(|r| r.is_shared())
+        .map(|r| (r.res.label(), r.ranks.clone()))
+        .collect();
+
+    // Critical actor: the thread owning the latest-ending span.
+    let critical_actor = spans
+        .iter()
+        .max_by_key(|s| s.end)
+        .map(|s| (s.pid, s.tid))
+        .unwrap_or((0, 0));
+    let critical = walk_critical(spans, critical_actor);
+
+    Report {
+        makespan,
+        threads: actors.len(),
+        spans: spans.len(),
+        dropped: trace.dropped,
+        resources,
+        by_cat,
+        critical_actor,
+        critical,
+        shared,
+    }
+}
+
+/// Greedy backward walk over one thread's spans: start from the span with the
+/// latest end; repeatedly jump to the latest-ending span that finishes at or
+/// before the current one starts. Nested spans (a `transmit` inside a `send`)
+/// are skipped in favor of the outermost covering interval, which is what
+/// "where did the time go" wants.
+fn walk_critical(spans: &[Span], actor: (u32, u32)) -> Vec<CritSegment> {
+    let mut own: Vec<&Span> = spans.iter().filter(|s| (s.pid, s.tid) == actor).collect();
+    own.sort_by_key(|s| (s.end, s.start));
+    let mut path = Vec::new();
+    let Some(mut cur) = own.last().copied() else {
+        return path;
+    };
+    loop {
+        path.push(CritSegment {
+            cat: cur.cat,
+            name: cur.name,
+            start: cur.start,
+            end: cur.end,
+            kind: cur.kind,
+            res: cur.res,
+        });
+        let prev = own
+            .iter()
+            .rev()
+            .find(|s| s.end <= cur.start && !std::ptr::eq(**s, cur));
+        match prev {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+impl Report {
+    /// Time on the critical path spent waiting (by segment kind).
+    pub fn critical_wait(&self) -> Nanos {
+        self.critical
+            .iter()
+            .filter(|c| c.kind == SpanKind::Wait)
+            .fold(Nanos::ZERO, |a, c| a + c.end.saturating_sub(c.start))
+    }
+
+    /// Render the human-readable contention breakdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path: makespan {} over {} threads, {} spans ({} dropped)",
+            fmt_ns(self.makespan),
+            self.threads,
+            self.spans,
+            self.dropped
+        );
+        let _ = writeln!(
+            out,
+            "  critical actor rank {} thread {}: {} segments, {} waiting",
+            self.critical_actor.0,
+            self.critical_actor.1,
+            self.critical.len(),
+            fmt_ns(self.critical_wait())
+        );
+        let _ = writeln!(out, "  per-layer totals:");
+        for (cat, t) in &self.by_cat {
+            let _ = writeln!(
+                out,
+                "    {:<10} busy {:>12}  wait {:>12}  spans {:>7}",
+                cat,
+                fmt_ns(t.busy),
+                fmt_ns(t.wait),
+                t.spans
+            );
+        }
+        let _ = writeln!(out, "  per-resource contention:");
+        for r in self.resources.iter().take(16) {
+            let _ = writeln!(
+                out,
+                "    {:<14} busy {:>12}  wait {:>12}  spans {:>7}  ranks {:?}{}",
+                r.res.label(),
+                fmt_ns(r.busy),
+                fmt_ns(r.wait),
+                r.spans,
+                r.ranks,
+                if r.is_shared() { "  [shared]" } else { "" }
+            );
+        }
+        if self.resources.len() > 16 {
+            let _ = writeln!(out, "    ... {} more resources", self.resources.len() - 16);
+        }
+        if !self.shared.is_empty() {
+            let _ = writeln!(out, "  comm map (resources shared across ranks):");
+            for (label, ranks) in &self.shared {
+                let _ = writeln!(out, "    {label} <- ranks {ranks:?}");
+            }
+        }
+        out
+    }
+
+    /// Print [`render`](Self::render) to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+fn fmt_ns(n: Nanos) -> String {
+    let ns = n.as_ns();
+    if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{ResId, Span, SpanKind};
+
+    #[allow(clippy::too_many_arguments)]
+    fn sp(
+        cat: &'static str,
+        name: &'static str,
+        start: u64,
+        end: u64,
+        pid: u32,
+        tid: u32,
+        res: ResId,
+        kind: SpanKind,
+    ) -> Span {
+        Span {
+            cat,
+            name,
+            start: Nanos(start),
+            end: Nanos(end),
+            pid,
+            tid,
+            res,
+            kind,
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let r = analyze(&Trace::default());
+        assert_eq!(r.makespan, Nanos::ZERO);
+        assert!(r.critical.is_empty());
+        assert!(r.resources.is_empty());
+    }
+
+    #[test]
+    fn attributes_contention_per_resource_and_finds_shared() {
+        let hw = ResId::new("hwctx", 0, 0);
+        let vci = ResId::new("vci", 1, 0);
+        let tr = Trace {
+            spans: vec![
+                sp("fabric", "tx", 0, 100, 0, 0, hw, SpanKind::Busy),
+                sp("fabric", "tx", 50, 150, 1, 0, hw, SpanKind::Busy),
+                sp("vci", "engine", 0, 40, 1, 0, vci, SpanKind::Busy),
+                sp("vci", "acq", 40, 70, 1, 0, vci, SpanKind::Wait),
+            ],
+            dropped: 0,
+        };
+        let r = analyze(&tr);
+        assert_eq!(r.makespan, Nanos(150));
+        assert_eq!(r.threads, 2);
+        let hwr = r.resources.iter().find(|u| u.res == hw).unwrap();
+        assert_eq!(hwr.busy, Nanos(200));
+        assert!(hwr.is_shared());
+        assert_eq!(hwr.ranks, vec![0, 1]);
+        let vcir = r.resources.iter().find(|u| u.res == vci).unwrap();
+        assert_eq!(vcir.wait, Nanos(30));
+        assert!(!vcir.is_shared());
+        assert_eq!(r.shared.len(), 1);
+        assert_eq!(r.shared[0].0, "hwctx:0.0");
+        // Render never panics and mentions sharing.
+        assert!(r.render().contains("[shared]"));
+    }
+
+    #[test]
+    fn critical_path_walks_outermost_intervals_backward() {
+        let tr = Trace {
+            spans: vec![
+                // Thread (0,0): send [0,100] containing transmit [20,80],
+                // then a wait [100,300], then recv [300,400] (makespan).
+                sp("pt2pt", "send", 0, 100, 0, 0, ResId::NONE, SpanKind::Busy),
+                sp(
+                    "fabric",
+                    "transmit",
+                    20,
+                    80,
+                    0,
+                    0,
+                    ResId::NONE,
+                    SpanKind::Busy,
+                ),
+                sp("req", "wait", 100, 300, 0, 0, ResId::NONE, SpanKind::Wait),
+                sp("pt2pt", "recv", 300, 400, 0, 0, ResId::NONE, SpanKind::Busy),
+                // Another thread finishing earlier.
+                sp("pt2pt", "send", 0, 50, 0, 1, ResId::NONE, SpanKind::Busy),
+            ],
+            dropped: 0,
+        };
+        let r = analyze(&tr);
+        assert_eq!(r.critical_actor, (0, 0));
+        let names: Vec<&str> = r.critical.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["send", "wait", "recv"]);
+        assert_eq!(r.critical_wait(), Nanos(200));
+    }
+}

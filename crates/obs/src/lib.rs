@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! `rankmpi-obs`: the observability subsystem.
+//!
+//! Every quantitative claim of the source paper is an *observability* result:
+//! the authors could see where time went per VCI, per hardware context, and
+//! per matching queue. This crate gives the reproduction the same eyes, in
+//! three pieces:
+//!
+//! 1. [`trace`] — a span/event tracer stamped in **virtual time**. Hot paths
+//!    across the stack (send/recv posting, match attempts, VCI lock holds,
+//!    hardware-context occupancy, wire segments, partitioned transfers,
+//!    collective phases) record [`trace::Span`]s into per-thread ring buffers
+//!    whose writer path is lock-free. The whole recording path is guarded by
+//!    the compile-time constant [`COMPILED`]: without the `enabled` cargo
+//!    feature every recording call is an empty inline function the optimizer
+//!    deletes, so benches built feature-off are unaffected.
+//! 2. [`registry`] — a labeled metrics registry that unifies the scattered
+//!    counters of the stack (VCI polls/matches, lock acquisitions, NIC
+//!    context-pool sharing, matching work) behind one typed interface. The
+//!    registry is *always* compiled: its cost is the same relaxed atomics the
+//!    hand-rolled counters already paid.
+//! 3. [`critpath`] — an analysis pass over a finished [`trace::Trace`] that
+//!    reconstructs the virtual-time critical path and emits a per-resource
+//!    contention breakdown (which ranks share which hardware context, where
+//!    engine locks serialized, how much time the slowest thread waited).
+//!
+//! Traces export as Chrome trace-event JSON ([`chrome`]) loadable in
+//! Perfetto / `chrome://tracing`; [`json`] is the dependency-free JSON
+//! value/parser/renderer backing that export and its tests.
+
+pub mod chrome;
+pub mod critpath;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+/// Whether the span tracer's recording path was compiled in (cargo feature
+/// `enabled`, reached from the workspace as feature `obs` on the consuming
+/// crates).
+///
+/// Instrumentation sites call [`trace::span`] and friends unconditionally;
+/// those functions start with `if !COMPILED { return; }`, so with the feature
+/// off the calls — including the construction of their arguments — constant-
+/// fold to nothing. This is the zero-cost-when-off guarantee the benches rely
+/// on.
+pub const COMPILED: bool = cfg!(feature = "enabled");

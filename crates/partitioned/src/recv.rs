@@ -142,6 +142,7 @@ impl PrecvRequest {
         if part >= self.sink.partitions() {
             return Err(Error::InvalidState("partition index out of range"));
         }
+        let entered_at = th.clock.now();
         // Shared-request access (Lesson 14).
         self.contend(th);
         // Progress the VCI this partition's packets land on.
@@ -151,6 +152,13 @@ impl PrecvRequest {
         match self.sink.partition_ready(part) {
             Some(ready) => {
                 th.clock.wait_until(ready);
+                rankmpi_obs::trace::busy(
+                    "part",
+                    "parrived",
+                    entered_at,
+                    th.clock.now(),
+                    vci.res_id(),
+                );
                 Ok(true)
             }
             None => Ok(false),
@@ -169,6 +177,7 @@ impl PrecvRequest {
         if !self.active.load(Ordering::Acquire) {
             return Err(Error::InvalidState("wait before start"));
         }
+        let entered_at = th.clock.now();
         self.contend(th);
         let nv = th.proc().num_vcis().min(th.universe().num_vcis());
         let notify = th.proc().notify().clone();
@@ -187,6 +196,13 @@ impl PrecvRequest {
         th.clock.wait_until(finish);
         let data = self.sink.read_all();
         th.clock.advance(th.proc().costs().match_base); // completion bookkeeping
+        rankmpi_obs::trace::wait(
+            "part",
+            "precv_wait",
+            entered_at,
+            th.clock.now(),
+            rankmpi_obs::trace::ResId::NONE,
+        );
         self.sink.complete_iteration(th.clock.now());
         self.my_iter.fetch_add(1, Ordering::AcqRel);
         self.active.store(false, Ordering::Release);

@@ -143,6 +143,7 @@ impl PsendRequest {
                 got: data.len(),
             });
         }
+        let entered_at = th.clock.now();
         // Shared-request access (Lesson 14): threads contend here.
         let g = self.shared.lock(&mut th.clock);
         g.release(&mut th.clock);
@@ -176,6 +177,7 @@ impl PsendRequest {
             header,
             Bytes::copy_from_slice(data),
         );
+        rankmpi_obs::trace::busy("part", "pready", entered_at, th.clock.now(), svci.res_id());
         self.ready_count.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
@@ -193,6 +195,7 @@ impl PsendRequest {
                 "wait before every partition was marked ready",
             ));
         }
+        let entered_at = th.clock.now();
         self.contend(th);
         let (_route_id, sink) = self.resolve_route(th)?;
         let iter = self.iteration.load(Ordering::Acquire);
@@ -209,6 +212,13 @@ impl PsendRequest {
         // partition's landing.
         th.clock
             .wait_until(sink.last_ready() + th.universe().profile().latency);
+        rankmpi_obs::trace::wait(
+            "part",
+            "psend_wait",
+            entered_at,
+            th.clock.now(),
+            rankmpi_obs::trace::ResId::NONE,
+        );
         self.iteration.fetch_add(1, Ordering::AcqRel);
         self.active.store(false, Ordering::Release);
         Ok(())

@@ -110,6 +110,12 @@ impl<T> ContentionLock<T> {
         }
     }
 
+    /// The cost parameters this lock charges (instrumentation uses
+    /// `acquire_base` to distinguish contended from uncontended entries).
+    pub fn costs(&self) -> LockCosts {
+        self.costs
+    }
+
     /// Total virtual time all threads spent acquiring (latency + collision
     /// shifts at release).
     pub fn contended_total(&self) -> Nanos {

@@ -102,6 +102,15 @@ impl Accumulator {
         let c = self.count();
         (c > 0).then(|| self.sum() as f64 / c as f64)
     }
+
+    /// Clear back to the empty state (not atomic across fields; callers must
+    /// quiesce recorders first, as between benchmark repetitions).
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
 }
 
 impl Default for Accumulator {

@@ -244,6 +244,21 @@ pub fn run_halo(mech: HaloMechanism, cfg: &HaloConfig) -> HaloReport {
     }
 }
 
+/// Run the halo exchange with the span tracer active, returning the report
+/// plus the captured trace.
+///
+/// With the `obs` feature disabled the returned trace is empty (the tracer
+/// compiles away — see [`rankmpi_obs::COMPILED`]).
+pub fn run_halo_traced(
+    mech: HaloMechanism,
+    cfg: &HaloConfig,
+) -> (HaloReport, rankmpi_obs::trace::Trace) {
+    rankmpi_obs::trace::session_start();
+    let rep = run_halo(mech, cfg);
+    let trace = rankmpi_obs::trace::session_stop();
+    (rep, trace)
+}
+
 /// Per-thread exchange loop shared by the comm-map and tag mechanisms.
 /// `comm_of(dir)` picks the communicator; `tag_of(dir, src_tid, dst_tid)`
 /// picks the tag.

@@ -2,9 +2,17 @@
 //! design for MPI+threads communication, with resource and timing reports.
 //!
 //! Run with: `cargo run --release --example stencil_halo`
+//!
+//! With the observability layer compiled in
+//! (`cargo run --release --example stencil_halo --features obs`) each
+//! mechanism additionally drops a Chrome trace-event file
+//! (`TRACE_stencil_halo_<mechanism>.json`, loadable in Perfetto /
+//! `chrome://tracing`) and prints the virtual-time critical path with its
+//! per-resource contention breakdown.
 
+use rankmpi_obs::{chrome, critpath};
 use rankmpi_vtime::Nanos;
-use rankmpi_workloads::stencil::halo::{run_halo, HaloConfig, HaloMechanism};
+use rankmpi_workloads::stencil::halo::{run_halo_traced, HaloConfig, HaloMechanism};
 use rankmpi_workloads::stencil::maps::Geometry;
 
 fn main() {
@@ -32,6 +40,7 @@ fn main() {
         "mechanism", "time/iter", "channels", "hw contexts", "gate contention"
     );
 
+    let mut traces = Vec::new();
     for mech in [
         HaloMechanism::SingleComm,
         HaloMechanism::CommMapListing1,
@@ -42,7 +51,7 @@ fn main() {
         HaloMechanism::Endpoints,
         HaloMechanism::Partitioned,
     ] {
-        let rep = run_halo(mech, &cfg);
+        let (rep, trace) = run_halo_traced(mech, &cfg);
         println!(
             "{:<38} {:>12} {:>10} {:>12} {:>16}",
             rep.mechanism,
@@ -51,6 +60,29 @@ fn main() {
             rep.hw_contexts_used,
             rep.gate_contention.to_string(),
         );
+        traces.push((mech, trace));
+    }
+
+    if rankmpi_obs::COMPILED {
+        println!();
+        for (mech, trace) in &traces {
+            let slug = format!("{mech:?}").to_lowercase();
+            match chrome::write_trace(&format!("stencil_halo_{slug}"), trace) {
+                Ok(p) => println!(
+                    "{:<38} {} spans -> {}",
+                    mech.label(),
+                    trace.spans.len(),
+                    p.display()
+                ),
+                Err(e) => eprintln!("could not write trace for {}: {e}", mech.label()),
+            }
+        }
+        // Critical path of the mechanism the paper spends the most ink on:
+        // the single shared communicator, where every span contends on one
+        // VCI and one hardware context.
+        let (mech, trace) = &traces[0];
+        println!("\ncritical path — {} :", mech.label());
+        critpath::analyze(trace).print();
     }
 
     println!(

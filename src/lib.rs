@@ -14,7 +14,10 @@
 //! - [`endpoints`]: user-visible MPI Endpoints ("Rankpoints");
 //! - [`partitioned`]: MPI 4.0 partitioned communication;
 //! - [`workloads`]: the paper's application kernels (stencils, event
-//!   runtime, graph exchange, RMA matmul, multithreaded allreduce).
+//!   runtime, graph exchange, RMA matmul, multithreaded allreduce);
+//! - [`obs`]: the observability layer — virtual-time span tracer (Chrome
+//!   trace export), metrics registry, and critical-path analysis. Recording
+//!   compiles in only under the `obs` cargo feature.
 //!
 //! See `examples/quickstart.rs` for a first program and the `rankmpi-bench`
 //! crate for the harness that regenerates every figure and table of the
@@ -23,6 +26,7 @@
 pub use rankmpi_core as core;
 pub use rankmpi_endpoints as endpoints;
 pub use rankmpi_fabric as fabric;
+pub use rankmpi_obs as obs;
 pub use rankmpi_partitioned as partitioned;
 pub use rankmpi_vtime as vtime;
 pub use rankmpi_workloads as workloads;
