@@ -1,0 +1,101 @@
+//! Coverage exporter for the conformance infrastructure.
+//!
+//! Runs a representative exploration plus a faulted differential sweep in
+//! one process, then writes `BENCH_check_coverage.json` (honors
+//! `RANKMPI_BENCH_DIR`): explored-schedule and decision counters, the
+//! fault-injection counters (`fault.*` registry series), and the sweep's
+//! totals. CI runs this in the `check` job so schedule/fault coverage is a
+//! tracked artifact, not a side effect.
+
+use rankmpi_bench::json::{registry_samples, render, write_bench_json, Json};
+use rankmpi_check::oracle::differential_run_faulted;
+use rankmpi_check::{base_seed, explore, ExploreConfig, Task};
+use rankmpi_fabric::FaultPlan;
+use rankmpi_vtime::sched::{yield_point, SchedPoint};
+use rankmpi_vtime::{Clock, ContentionLock, VirtualBarrier};
+use std::sync::Arc;
+
+/// A small but representative task set: three threads contending on one
+/// `ContentionLock` and meeting at a `VirtualBarrier` — every yield-point
+/// kind in `rankmpi-vtime` fires.
+fn contention_tasks() -> Vec<Task> {
+    let lock = Arc::new(ContentionLock::new(0u64));
+    let barrier = Arc::new(VirtualBarrier::new(3));
+    (0..3u64)
+        .map(|id| {
+            let lock = Arc::clone(&lock);
+            let barrier = Arc::clone(&barrier);
+            Box::new(move || {
+                let mut clock = Clock::new();
+                for _ in 0..4 {
+                    let mut g = lock.lock(&mut clock);
+                    *g += id + 1;
+                    g.release(&mut clock);
+                    yield_point(SchedPoint::Custom("between"));
+                }
+                barrier.wait(&mut clock);
+            }) as Task
+        })
+        .collect()
+}
+
+fn main() {
+    let seed = base_seed();
+
+    let cfg = ExploreConfig {
+        depth: 4,
+        max_exhaustive: 200,
+        random_samples: 32,
+        ..ExploreConfig::with_seed(seed)
+    };
+    let cov = explore("check_coverage_contention", &cfg, contention_tasks);
+
+    // Faulted differential sweep: 32 derived seeds under a chaos plan.
+    let mut delivered = 0u64;
+    let mut ops = 0u64;
+    let (mut delays, mut dups, mut nacks, mut reorders) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..32u64 {
+        let plan = FaultPlan::chaos(seed ^ (0xFA_u64 << 32) ^ i);
+        let stats = differential_run_faulted(seed.wrapping_add(i), 300, &plan);
+        ops += stats.ops as u64;
+        delivered += stats.delivered as u64;
+        if let Some(r) = stats.fault_report {
+            delays += r.delays;
+            dups += r.dups_injected;
+            nacks += r.nacks;
+            reorders += r.reorders;
+        }
+    }
+
+    let out = Json::obj([
+        ("bench", Json::str("check_coverage")),
+        ("base_seed", Json::int(seed)),
+        (
+            "exploration",
+            Json::obj([
+                ("schedules", Json::int(cov.schedules)),
+                ("decisions", Json::int(cov.decisions)),
+            ]),
+        ),
+        (
+            "faulted_differential",
+            Json::obj([
+                ("sweep_seeds", Json::int(32)),
+                ("ops", Json::int(ops)),
+                ("delivered", Json::int(delivered)),
+                ("delays", Json::int(delays)),
+                ("duplicates", Json::int(dups)),
+                ("nacks", Json::int(nacks)),
+                ("reorders", Json::int(reorders)),
+            ]),
+        ),
+        ("registry_check", registry_samples("check.")),
+        ("registry_fault", registry_samples("fault.")),
+    ]);
+    println!("{}", render(&out));
+    if let Ok(dir) = std::env::var("RANKMPI_BENCH_DIR") {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    // write_bench_json announces the output path itself.
+    write_bench_json("check_coverage", &out);
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! Deterministic schedule exploration and the semantics conformance suite.
+//!
+//! Every lesson the simulator reproduces is ultimately a claim about
+//! *semantics under concurrency*: per-`(comm, src, tag)` non-overtaking,
+//! `ANY_SOURCE`/`ANY_TAG` wildcard order, request completion monotonicity,
+//! `Parrived` never true before `Pready`, RMA epoch visibility. Ordinary
+//! tests only exercise the interleavings the OS scheduler happens to
+//! produce; this crate makes interleavings an enumerable, replayable input:
+//!
+//! - [`sched`]: a deterministic scheduler built on
+//!   [`rankmpi_vtime::sched`]'s yield points — it serializes a set of tasks
+//!   so exactly one runs between yield points, with every choice among
+//!   runnable tasks recorded;
+//! - [`explore`]: schedule exploration — exhaustive DFS over choice
+//!   prefixes up to a bounded depth, then seeded-random sampling — with
+//!   failing runs reported as a compact replayable schedule string
+//!   (`RANKMPI_SCHED='s7:1.0.2' …`);
+//! - [`oracle`]: the linear-vs-bucketed differential driver shared by the
+//!   conformance suite and the workspace's `engine_differential` test,
+//!   including a variant that routes arrivals through a fault-injecting
+//!   [`Mailbox`](rankmpi_fabric::Mailbox) (see
+//!   [`rankmpi_fabric::fault`]).
+//!
+//! The conformance tests themselves live in this crate's `tests/`
+//! directory (`conformance_*.rs`) and honor two environment knobs used by
+//! CI's seed matrix: `RANKMPI_CHECK_SEED` (base seed, default 0) and
+//! `RANKMPI_CHECK_ENGINE` (`linear`, `bucketed`, or unset for both).
+
+pub mod explore;
+pub mod oracle;
+pub mod sched;
+
+pub use explore::{explore, Coverage, ExploreConfig};
+pub use sched::{run_tasks, RunOutcome, Schedule, Task};
+
+use rankmpi_core::matching::EngineKind;
+
+/// The base seed of this run: `RANKMPI_CHECK_SEED` if set, else 0. CI runs
+/// the conformance suite once per seed of its matrix.
+pub fn base_seed() -> u64 {
+    std::env::var("RANKMPI_CHECK_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// The matching engines under test: restricted by `RANKMPI_CHECK_ENGINE`
+/// (`linear` or `bucketed`), both when unset.
+pub fn engines_under_test() -> Vec<EngineKind> {
+    match std::env::var("RANKMPI_CHECK_ENGINE").ok().as_deref() {
+        Some("linear") => vec![EngineKind::Linear],
+        Some("bucketed") => vec![EngineKind::Bucketed],
+        _ => vec![EngineKind::Linear, EngineKind::Bucketed],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_default_to_both() {
+        // Do not mutate the env here (tests share the process); just check
+        // the unset default shape.
+        if std::env::var("RANKMPI_CHECK_ENGINE").is_err() {
+            assert_eq!(engines_under_test().len(), 2);
+        }
+    }
+}

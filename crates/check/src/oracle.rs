@@ -1,0 +1,459 @@
+//! The linear-vs-bucketed differential oracle.
+//!
+//! Promoted from the workspace's `tests/engine_differential.rs` so the
+//! conformance suite, the fault-sweep tests, and the original test binary
+//! all share one driver. Both engines are fed identical operation streams
+//! and must produce identical event logs, queue depths, and drain order —
+//! that equivalence is the oracle: any semantic divergence between the two
+//! independently written engines is a bug in at least one of them.
+//!
+//! [`differential_run`] feeds seeded-random posts/arrivals/probes/cancels
+//! directly. [`differential_run_faulted`] first routes every arrival
+//! through a fault-injecting [`Mailbox`] (delays, legal reorders,
+//! duplicate-then-dedup, NACK retries — see [`rankmpi_fabric::fault`]) and
+//! delivers the mailbox's drain order to both engines, checking that
+//! per-channel arrival monotonicity survives the faults.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rankmpi_core::matching::{
+    EngineKind, Incoming, MatchEngine, MatchPattern, PostedRecv, ANY_SOURCE, ANY_TAG,
+};
+use rankmpi_core::request::ReqState;
+use rankmpi_fabric::{FaultPlan, FaultReport, Header, Mailbox, Packet};
+use rankmpi_vtime::Nanos;
+
+/// One observable outcome of one matching-engine operation.
+#[derive(Debug, PartialEq, Eq, Clone)]
+pub enum DiffEvent {
+    /// A posted receive matched a queued unexpected packet immediately.
+    PostMatched {
+        /// Driver-assigned id of the posted receive.
+        post_id: usize,
+        /// Sequence number of the matched packet.
+        pkt_seq: u64,
+    },
+    /// A posted receive found no packet and was queued.
+    PostQueued {
+        /// Driver-assigned id of the posted receive.
+        post_id: usize,
+    },
+    /// An arriving packet matched a queued posted receive.
+    ArriveMatched {
+        /// Id of the receive it matched.
+        post_id: usize,
+        /// Sequence number of the packet.
+        pkt_seq: u64,
+    },
+    /// An arriving packet matched nothing and joined the unexpected queue.
+    ArriveQueued {
+        /// Sequence number of the packet.
+        pkt_seq: u64,
+    },
+    /// A probe observed `(source, tag, len)` — or nothing.
+    Probe {
+        /// The probed packet's envelope, if any packet matched.
+        hit: Option<(usize, i64, usize)>,
+    },
+    /// A cancel attempt on a posted receive.
+    Cancel {
+        /// Id of the receive.
+        post_id: usize,
+        /// Whether the engine still held it.
+        found: bool,
+    },
+}
+
+/// Drives one matching engine and records what it observably does.
+pub struct DiffDriver {
+    /// The engine under test.
+    pub engine: Box<dyn MatchEngine>,
+    /// Pending posted receives in posting order: `(post_id, request)`.
+    pub live: Vec<(usize, Arc<ReqState>)>,
+    /// Everything the engine observably did, in order.
+    pub log: Vec<DiffEvent>,
+}
+
+impl DiffDriver {
+    /// A fresh driver around a fresh engine of `kind`.
+    pub fn new(kind: EngineKind) -> Self {
+        DiffDriver {
+            engine: kind.new_engine(),
+            live: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    fn take_id(&mut self, req: &Arc<ReqState>) -> usize {
+        let i = self
+            .live
+            .iter()
+            .position(|(_, r)| Arc::ptr_eq(r, req))
+            .expect("matched request must be live");
+        self.live.remove(i).0
+    }
+
+    /// Post a receive with `pattern`; logs whether it matched immediately.
+    pub fn post(&mut self, post_id: usize, pattern: MatchPattern, now: Nanos) {
+        let req = ReqState::detached();
+        let posted = PostedRecv {
+            pattern,
+            req: Arc::clone(&req),
+            posted_at: now,
+        };
+        let (m, _work) = self.engine.post_recv(posted);
+        match m {
+            Some(pkt) => self.log.push(DiffEvent::PostMatched {
+                post_id,
+                pkt_seq: pkt.header.seq,
+            }),
+            None => {
+                self.live.push((post_id, req));
+                self.log.push(DiffEvent::PostQueued { post_id });
+            }
+        }
+    }
+
+    /// Deliver an arriving packet; logs whether it matched a posted receive.
+    pub fn arrive(&mut self, pkt: Packet) {
+        let seq = pkt.header.seq;
+        match self.engine.incoming(pkt) {
+            Incoming::Matched { recv, packet, .. } => {
+                let post_id = self.take_id(&recv.req);
+                self.log.push(DiffEvent::ArriveMatched {
+                    post_id,
+                    pkt_seq: packet.header.seq,
+                });
+            }
+            Incoming::Queued { .. } => self.log.push(DiffEvent::ArriveQueued { pkt_seq: seq }),
+        }
+    }
+
+    /// Probe for `pattern`; logs the observed envelope.
+    pub fn probe(&mut self, pattern: &MatchPattern) {
+        let (st, _work) = self.engine.probe(pattern);
+        self.log.push(DiffEvent::Probe {
+            hit: st.map(|s| (s.source, s.tag, s.len)),
+        });
+    }
+
+    /// Cancel the `index`-th live posted receive.
+    pub fn cancel(&mut self, index: usize) {
+        let (post_id, req) = (self.live[index].0, Arc::clone(&self.live[index].1));
+        let found = self.engine.cancel(&req);
+        if found {
+            self.live.remove(index);
+        }
+        self.log.push(DiffEvent::Cancel { post_id, found });
+    }
+
+    /// Ids of the live posted receives, in posting order.
+    pub fn live_ids(&self) -> Vec<usize> {
+        self.live.iter().map(|(id, _)| *id).collect()
+    }
+}
+
+/// A random match pattern over a small envelope space, with 20% wildcard
+/// source and tag.
+pub fn random_pattern(rng: &mut StdRng) -> MatchPattern {
+    let src = if rng.gen_bool(0.2) {
+        ANY_SOURCE
+    } else {
+        rng.gen_range(0i64..4)
+    };
+    let tag = if rng.gen_bool(0.2) {
+        ANY_TAG
+    } else {
+        rng.gen_range(0i64..4)
+    };
+    MatchPattern {
+        context_id: rng.gen_range(1u32..3),
+        src,
+        tag,
+    }
+}
+
+/// A random packet over the same envelope space as [`random_pattern`].
+pub fn random_packet(rng: &mut StdRng, seq: u64, arrive_at: Nanos) -> Packet {
+    fixed_packet(
+        rng.gen_range(1u32..3),
+        rng.gen_range(0u32..4),
+        rng.gen_range(0i64..4),
+        seq,
+        arrive_at,
+    )
+}
+
+/// A packet with every envelope field pinned.
+pub fn fixed_packet(ctx: u32, src: u32, tag: i64, seq: u64, at: Nanos) -> Packet {
+    Packet {
+        header: Header {
+            kind: 1,
+            context_id: ctx,
+            src,
+            dst: 0,
+            tag,
+            seq,
+            aux: 0,
+            aux2: 0,
+        },
+        payload: Bytes::from_static(b"diff"),
+        arrive_at: at,
+    }
+}
+
+/// What a differential run covered and concluded.
+#[derive(Debug, Clone)]
+pub struct DiffStats {
+    /// Operations driven through both engines.
+    pub ops: usize,
+    /// Packets delivered (post-fault for the faulted variant).
+    pub delivered: usize,
+    /// Shared event log length.
+    pub events: usize,
+    /// Fault counters, when a [`FaultPlan`] was in play.
+    pub fault_report: Option<FaultReport>,
+}
+
+/// Assert the two drivers are observably identical right now.
+pub fn assert_equivalent(lin: &DiffDriver, buc: &DiffDriver, context: &str) {
+    assert_eq!(
+        lin.log.last(),
+        buc.log.last(),
+        "engines diverged ({context})"
+    );
+    assert_eq!(
+        lin.live_ids(),
+        buc.live_ids(),
+        "live sets diverged ({context})"
+    );
+}
+
+/// Final whole-run equivalence: full logs, queue depths, drain order, and
+/// match conservation (no packet matched twice).
+pub fn assert_final_equivalence(mut lin: DiffDriver, mut buc: DiffDriver, context: &str) {
+    assert_eq!(lin.log, buc.log, "event logs diverged ({context})");
+    assert_eq!(
+        lin.engine.posted_len(),
+        buc.engine.posted_len(),
+        "{context}"
+    );
+    assert_eq!(
+        lin.engine.unexpected_len(),
+        buc.engine.unexpected_len(),
+        "{context}"
+    );
+
+    // Drain order is part of the contract: posting order for receives,
+    // arrival order for unexpected packets.
+    let (lp, lu) = lin.engine.drain();
+    let (bp, bu) = buc.engine.drain();
+    let posted_ids = |posted: &[PostedRecv], d: &DiffDriver| -> Vec<usize> {
+        posted
+            .iter()
+            .map(|p| {
+                d.live
+                    .iter()
+                    .find(|(_, r)| Arc::ptr_eq(r, &p.req))
+                    .expect("drained request must be live")
+                    .0
+            })
+            .collect()
+    };
+    assert_eq!(posted_ids(&lp, &lin), posted_ids(&bp, &buc), "{context}");
+    let seqs = |u: &[Packet]| u.iter().map(|p| p.header.seq).collect::<Vec<_>>();
+    assert_eq!(seqs(&lu), seqs(&bu), "{context}");
+
+    // Match conservation on the shared log: no packet matched twice.
+    let mut matched_seqs: Vec<u64> = Vec::new();
+    for ev in &lin.log {
+        if let DiffEvent::ArriveMatched { pkt_seq, .. } | DiffEvent::PostMatched { pkt_seq, .. } =
+            ev
+        {
+            matched_seqs.push(*pkt_seq);
+        }
+    }
+    let mut dedup = matched_seqs.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(
+        dedup.len(),
+        matched_seqs.len(),
+        "a packet matched twice ({context})"
+    );
+}
+
+/// Drive both engines with `steps` seeded-random operations, asserting
+/// observational equivalence after every step and in full at the end.
+pub fn differential_run(seed: u64, steps: usize) -> DiffStats {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0000 ^ seed);
+    let mut lin = DiffDriver::new(EngineKind::Linear);
+    let mut buc = DiffDriver::new(EngineKind::Bucketed);
+    let mut seq = 0u64;
+    let mut now = Nanos::ZERO;
+    let mut next_post_id = 0usize;
+    let mut delivered = 0usize;
+
+    for step in 0..steps {
+        now += Nanos(rng.gen_range(1u64..50));
+        match rng.gen_range(0u32..10) {
+            // Posts and arrivals dominate; probes and cancels season.
+            0..=3 => {
+                let p = random_pattern(&mut rng);
+                lin.post(next_post_id, p, now);
+                buc.post(next_post_id, p, now);
+                next_post_id += 1;
+            }
+            4..=7 => {
+                let pkt = random_packet(&mut rng, seq, now);
+                seq += 1;
+                delivered += 1;
+                lin.arrive(pkt.clone());
+                buc.arrive(pkt);
+            }
+            8 => {
+                let p = random_pattern(&mut rng);
+                lin.probe(&p);
+                buc.probe(&p);
+            }
+            _ => {
+                if !lin.live.is_empty() {
+                    let i = rng.gen_range(0..lin.live.len());
+                    lin.cancel(i);
+                    buc.cancel(i);
+                }
+            }
+        }
+        assert_equivalent(&lin, &buc, &format!("seed {seed}, step {step}"));
+    }
+
+    let stats = DiffStats {
+        ops: steps,
+        delivered,
+        events: lin.log.len(),
+        fault_report: None,
+    };
+    assert_final_equivalence(lin, buc, &format!("seed {seed}"));
+    stats
+}
+
+/// Like [`differential_run`], but every arrival first passes through a
+/// fault-injecting [`Mailbox`] armed with `plan`; both engines see the
+/// mailbox's (identical) post-fault drain order. Additionally asserts the
+/// fault layer's legality contract on the delivered stream: per-
+/// `(context_id, src)` channel virtual arrival stamps stay monotone and no
+/// duplicate `(src, seq)` survives dedup.
+pub fn differential_run_faulted(seed: u64, steps: usize, plan: &FaultPlan) -> DiffStats {
+    let mut rng = StdRng::seed_from_u64(0xFA17_0000 ^ seed);
+    let mut lin = DiffDriver::new(EngineKind::Linear);
+    let mut buc = DiffDriver::new(EngineKind::Bucketed);
+    let mailbox = Mailbox::new(Arc::new(rankmpi_fabric::Notify::new()));
+    mailbox.arm_faults(plan.clone());
+
+    let mut seq = 0u64;
+    let mut now = Nanos::ZERO;
+    let mut next_post_id = 0usize;
+    let mut delivered = 0usize;
+    let mut floors: HashMap<(u32, u32), Nanos> = HashMap::new();
+    let mut seen: std::collections::HashSet<(u32, u64)> = std::collections::HashSet::new();
+    let mut drained = Vec::new();
+
+    let mut deliver = |lin: &mut DiffDriver,
+                       buc: &mut DiffDriver,
+                       drained: &mut Vec<Packet>,
+                       delivered: &mut usize| {
+        for pkt in drained.drain(..) {
+            let chan = (pkt.header.context_id, pkt.header.src);
+            let floor = floors.entry(chan).or_insert(Nanos::ZERO);
+            assert!(
+                pkt.arrive_at >= *floor,
+                "fault injection broke channel monotonicity on {chan:?}"
+            );
+            *floor = pkt.arrive_at;
+            assert!(
+                seen.insert((pkt.header.src, pkt.header.seq)),
+                "duplicate (src, seq) survived mailbox dedup"
+            );
+            *delivered += 1;
+            lin.arrive(pkt.clone());
+            buc.arrive(pkt);
+        }
+    };
+
+    for step in 0..steps {
+        now += Nanos(rng.gen_range(1u64..50));
+        match rng.gen_range(0u32..10) {
+            0..=3 => {
+                let p = random_pattern(&mut rng);
+                lin.post(next_post_id, p, now);
+                buc.post(next_post_id, p, now);
+                next_post_id += 1;
+            }
+            4..=7 => {
+                let pkt = random_packet(&mut rng, seq, now);
+                seq += 1;
+                mailbox.push(pkt);
+                // Drain opportunistically so arrivals interleave with posts
+                // the way a progress loop would see them.
+                if rng.gen_bool(0.5) {
+                    mailbox.drain_into(&mut drained);
+                    deliver(&mut lin, &mut buc, &mut drained, &mut delivered);
+                }
+            }
+            8 => {
+                let p = random_pattern(&mut rng);
+                lin.probe(&p);
+                buc.probe(&p);
+            }
+            _ => {
+                if !lin.live.is_empty() {
+                    let i = rng.gen_range(0..lin.live.len());
+                    lin.cancel(i);
+                    buc.cancel(i);
+                }
+            }
+        }
+        assert_equivalent(&lin, &buc, &format!("faulted seed {seed}, step {step}"));
+    }
+
+    mailbox.drain_into(&mut drained);
+    deliver(&mut lin, &mut buc, &mut drained, &mut delivered);
+
+    let report = mailbox.fault_report();
+    let stats = DiffStats {
+        ops: steps,
+        delivered,
+        events: lin.log.len(),
+        fault_report: report,
+    };
+    assert_final_equivalence(lin, buc, &format!("faulted seed {seed}"));
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_differential_smoke() {
+        let stats = differential_run(1, 200);
+        assert_eq!(stats.ops, 200);
+        assert!(stats.events >= stats.delivered);
+    }
+
+    #[test]
+    fn faulted_differential_smoke() {
+        let stats = differential_run_faulted(1, 200, &FaultPlan::chaos(0xC0FFEE));
+        assert_eq!(stats.ops, 200);
+        let rep = stats.fault_report.expect("chaos plan must be armed");
+        assert!(
+            rep.delays + rep.dups_injected + rep.nacks + rep.reorders > 0,
+            "chaos plan injected nothing over 200 steps"
+        );
+        assert_eq!(rep.dups_injected, rep.dups_dropped, "dedup must be exact");
+    }
+}

@@ -1,0 +1,432 @@
+//! A deterministic scheduler over [`rankmpi_vtime::sched`] yield points.
+//!
+//! [`run_tasks`] takes a set of closures ("tasks"), runs each on its own OS
+//! thread, and serializes them: exactly one task executes at a time, and
+//! control only changes hands at yield points (lock acquire/release, clock
+//! advance, barrier arrive/wait, mailbox push/drain, notify poll — see
+//! [`SchedPoint`](rankmpi_vtime::sched::SchedPoint)). Whenever more than one
+//! task is runnable, the scheduler makes a *choice*; every choice is
+//! recorded, so the full decision list of any run is itself a schedule that
+//! replays that run exactly.
+//!
+//! A [`Schedule`] is `seed` + `prefix`: the first `prefix.len()` choices are
+//! forced, the rest are drawn from a seeded RNG. The compact rendering
+//! (`s7:1.0.2`) is what failure reports print and what `RANKMPI_SCHED`
+//! accepts for replay.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rankmpi_vtime::sched as vsched;
+
+/// A schedulable task: a closure run on its own thread under the scheduler.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A replayable schedule: `prefix` forces the first choices (as indices into
+/// the sorted runnable-task list at each choice point), `seed` drives every
+/// choice past the prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Seed for choices beyond `prefix`.
+    pub seed: u64,
+    /// Forced choice indices, in choice-point order.
+    pub prefix: Vec<u32>,
+}
+
+impl Schedule {
+    /// A purely random schedule: empty prefix, all choices from `seed`.
+    pub fn random(seed: u64) -> Self {
+        Schedule {
+            seed,
+            prefix: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.seed)?;
+        for (i, c) in self.prefix.iter().enumerate() {
+            write!(f, "{}{}", if i == 0 { ':' } else { '.' }, c)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let body = s
+            .trim()
+            .strip_prefix('s')
+            .ok_or_else(|| format!("schedule must start with 's': {s:?}"))?;
+        let (seed_str, prefix_str) = match body.split_once(':') {
+            Some((a, b)) => (a, Some(b)),
+            None => (body, None),
+        };
+        let seed: u64 = seed_str
+            .parse()
+            .map_err(|e| format!("bad schedule seed {seed_str:?}: {e}"))?;
+        let mut prefix = Vec::new();
+        if let Some(p) = prefix_str {
+            for tok in p.split('.').filter(|t| !t.is_empty()) {
+                prefix.push(
+                    tok.parse()
+                        .map_err(|e| format!("bad schedule choice {tok:?}: {e}"))?,
+                );
+            }
+        }
+        Ok(Schedule { seed, prefix })
+    }
+}
+
+/// What one scheduled run did.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Every choice made: `(chosen_index, num_runnable)` per choice point.
+    /// `decisions.iter().map(|d| d.0)` is a prefix that replays this run.
+    pub decisions: Vec<(u32, u32)>,
+    /// Total yield points crossed (scheduling steps).
+    pub steps: u64,
+    /// Panic message of the first task that failed, if any.
+    pub panic: Option<String>,
+}
+
+impl RunOutcome {
+    /// The schedule that deterministically replays this run (its full
+    /// decision list as a forced prefix).
+    pub fn replay(&self, seed: u64) -> Schedule {
+        Schedule {
+            seed,
+            prefix: self.decisions.iter().map(|d| d.0).collect(),
+        }
+    }
+}
+
+/// Thrown (via `panic_any`) into parked tasks once a run aborts, so their
+/// threads unwind instead of waiting forever. Not a test failure by itself.
+struct AbortRun;
+
+struct State {
+    finished: Vec<bool>,
+    current: usize,
+    steps: u64,
+    decisions: Vec<(u32, u32)>,
+    prefix: Vec<u32>,
+    rng: StdRng,
+    abort: bool,
+    panic: Option<String>,
+}
+
+struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    n: usize,
+    step_cap: u64,
+}
+
+impl Scheduler {
+    fn new(n: usize, schedule: &Schedule, step_cap: u64) -> Self {
+        let mut st = State {
+            finished: vec![false; n],
+            current: 0,
+            steps: 0,
+            decisions: Vec::new(),
+            prefix: schedule.prefix.clone(),
+            rng: StdRng::seed_from_u64(schedule.seed),
+            abort: false,
+            panic: None,
+        };
+        // The first task to run is itself a choice point.
+        if let Some(first) = Self::choose(&mut st, n) {
+            st.current = first;
+        }
+        Scheduler {
+            state: Mutex::new(st),
+            cv: Condvar::new(),
+            n,
+            step_cap,
+        }
+    }
+
+    /// Pick the next task among the runnable ones, recording the decision.
+    /// Choice points with a single runnable task record nothing (they are
+    /// forced), which keeps prefixes short and robust to refactors.
+    fn choose(st: &mut State, n: usize) -> Option<usize> {
+        let runnable: Vec<usize> = (0..n).filter(|&i| !st.finished[i]).collect();
+        match runnable.len() {
+            0 => None,
+            1 => Some(runnable[0]),
+            k => {
+                let d = st.decisions.len();
+                let idx = if d < st.prefix.len() {
+                    // Clamp hand-written prefixes; exploration-generated ones
+                    // are always in range.
+                    (st.prefix[d] as usize).min(k - 1)
+                } else {
+                    st.rng.gen_range(0..k)
+                };
+                st.decisions.push((idx as u32, k as u32));
+                Some(runnable[idx])
+            }
+        }
+    }
+
+    /// Called by task `me` at every yield point: maybe hand off, then block
+    /// until scheduled again.
+    fn yield_now(&self, me: usize) {
+        let mut st = self.state.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortRun);
+        }
+        st.steps += 1;
+        if st.steps > self.step_cap {
+            st.abort = true;
+            if st.panic.is_none() {
+                st.panic = Some(format!(
+                    "scheduler step cap {} exceeded (livelock or runaway spin)",
+                    self.step_cap
+                ));
+            }
+            self.cv.notify_all();
+            drop(st);
+            std::panic::panic_any(AbortRun);
+        }
+        match Self::choose(&mut st, self.n) {
+            Some(next) if next != me => {
+                st.current = next;
+                self.cv.notify_all();
+                while st.current != me && !st.abort {
+                    self.cv.wait(&mut st);
+                }
+                if st.abort {
+                    drop(st);
+                    std::panic::panic_any(AbortRun);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Block until task `me` is first scheduled. Returns false if the run
+    /// aborted before `me` ever ran.
+    fn wait_first_turn(&self, me: usize) -> bool {
+        let mut st = self.state.lock();
+        while st.current != me && !st.abort && !st.finished[me] {
+            self.cv.wait(&mut st);
+        }
+        !st.abort
+    }
+
+    /// Task `me` finished (normally, or with `panic_msg`). Hands the torch
+    /// to the next runnable task.
+    fn done(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = self.state.lock();
+        st.finished[me] = true;
+        if let Some(m) = panic_msg {
+            if st.panic.is_none() {
+                st.panic = Some(m);
+            }
+            st.abort = true;
+        } else if st.current == me {
+            if let Some(next) = Self::choose(&mut st, self.n) {
+                st.current = next;
+            }
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// The per-thread [`SchedHook`](vsched::SchedHook) a worker installs: every
+/// yield point funnels into [`Scheduler::yield_now`].
+struct TaskHook {
+    sched: Arc<Scheduler>,
+    me: usize,
+}
+
+impl vsched::SchedHook for TaskHook {
+    fn reached(&self, _point: vsched::SchedPoint) {
+        self.sched.yield_now(self.me);
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
+    if payload.downcast_ref::<AbortRun>().is_some() {
+        return None; // collateral unwind of a parked task, not a failure
+    }
+    Some(match payload.downcast_ref::<&str>() {
+        Some(s) => (*s).to_string(),
+        None => match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "non-string panic payload".to_string(),
+        },
+    })
+}
+
+fn worker(sched: Arc<Scheduler>, me: usize, task: Task) {
+    let hook = Arc::new(TaskHook {
+        sched: Arc::clone(&sched),
+        me,
+    });
+    let _guard = vsched::install_thread_hook(hook as Arc<dyn vsched::SchedHook>);
+    if !sched.wait_first_turn(me) {
+        sched.done(me, None);
+        return;
+    }
+    let result = catch_unwind(AssertUnwindSafe(task));
+    sched.done(me, result.err().and_then(panic_message));
+}
+
+/// Run `tasks` to completion under `schedule`, serialized at yield points.
+///
+/// Tasks run on real threads but only one makes progress at a time; the
+/// returned [`RunOutcome`] records every scheduling decision, so
+/// `outcome.replay(schedule.seed)` reproduces the run exactly. `step_cap`
+/// bounds total yield points as a livelock backstop.
+///
+/// Tasks must synchronize only through the library's cooperative primitives
+/// (`ContentionLock`, `VirtualBarrier`, `Notify`, mailboxes) — a raw
+/// blocking wait between tasks would deadlock the serialized scheduler.
+pub fn run_tasks(tasks: Vec<Task>, schedule: &Schedule, step_cap: u64) -> RunOutcome {
+    assert!(!tasks.is_empty(), "run_tasks needs at least one task");
+    let sched = Arc::new(Scheduler::new(tasks.len(), schedule, step_cap));
+    std::thread::scope(|scope| {
+        for (i, task) in tasks.into_iter().enumerate() {
+            let sched = Arc::clone(&sched);
+            let builder = std::thread::Builder::new().name(format!("check-task-{i}"));
+            builder
+                .spawn_scoped(scope, move || worker(sched, i, task))
+                .expect("spawn scheduler worker");
+        }
+    });
+    let st = sched.state.lock();
+    RunOutcome {
+        decisions: st.decisions.clone(),
+        steps: st.steps,
+        panic: st.panic.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+    use rankmpi_vtime::sched::{yield_point, SchedPoint};
+
+    fn log_tasks(log: Arc<PMutex<Vec<usize>>>, yields: usize, n: usize) -> Vec<Task> {
+        (0..n)
+            .map(|id| {
+                let log = Arc::clone(&log);
+                Box::new(move || {
+                    for _ in 0..yields {
+                        log.lock().push(id);
+                        yield_point(SchedPoint::Custom("test"));
+                    }
+                }) as Task
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_schedule_replays_identically() {
+        let mut logs = Vec::new();
+        for _ in 0..2 {
+            let log = Arc::new(PMutex::new(Vec::new()));
+            let out = run_tasks(
+                log_tasks(Arc::clone(&log), 5, 3),
+                &Schedule::random(42),
+                10_000,
+            );
+            assert!(out.panic.is_none());
+            logs.push((out.decisions, log.lock().clone()));
+        }
+        assert_eq!(logs[0], logs[1]);
+    }
+
+    #[test]
+    fn replay_prefix_reproduces_a_random_run() {
+        let log1 = Arc::new(PMutex::new(Vec::new()));
+        let out = run_tasks(
+            log_tasks(Arc::clone(&log1), 5, 3),
+            &Schedule::random(7),
+            10_000,
+        );
+        // Replay under a *different* seed but the full decision prefix: the
+        // interleaving must match exactly.
+        let replay = out.replay(999);
+        let log2 = Arc::new(PMutex::new(Vec::new()));
+        let out2 = run_tasks(log_tasks(Arc::clone(&log2), 5, 3), &replay, 10_000);
+        assert_eq!(*log1.lock(), *log2.lock());
+        assert_eq!(out.decisions, out2.decisions);
+    }
+
+    #[test]
+    fn different_seeds_reach_different_interleavings() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..16 {
+            let log = Arc::new(PMutex::new(Vec::new()));
+            run_tasks(
+                log_tasks(Arc::clone(&log), 4, 3),
+                &Schedule::random(seed),
+                10_000,
+            );
+            seen.insert(log.lock().clone());
+        }
+        assert!(seen.len() > 1, "16 seeds all produced one interleaving");
+    }
+
+    #[test]
+    fn task_panic_is_reported_and_other_tasks_unwind() {
+        let tasks: Vec<Task> = vec![
+            Box::new(|| {
+                yield_point(SchedPoint::Custom("a"));
+                panic!("deliberate failure");
+            }),
+            Box::new(|| loop {
+                yield_point(SchedPoint::Custom("spin"));
+            }),
+        ];
+        let out = run_tasks(tasks, &Schedule::random(3), 10_000);
+        assert_eq!(out.panic.as_deref(), Some("deliberate failure"));
+    }
+
+    #[test]
+    fn step_cap_stops_livelock() {
+        let tasks: Vec<Task> = vec![Box::new(|| loop {
+            yield_point(SchedPoint::Custom("spin"));
+        })];
+        let out = run_tasks(tasks, &Schedule::random(0), 100);
+        let msg = out.panic.expect("step cap must abort the run");
+        assert!(msg.contains("step cap"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn schedule_strings_round_trip() {
+        for s in [
+            Schedule::random(0),
+            Schedule {
+                seed: 7,
+                prefix: vec![1, 0, 2],
+            },
+        ] {
+            let rendered = s.to_string();
+            assert_eq!(rendered.parse::<Schedule>().unwrap(), s);
+        }
+        assert_eq!(
+            Schedule {
+                seed: 7,
+                prefix: vec![1, 0, 2]
+            }
+            .to_string(),
+            "s7:1.0.2"
+        );
+        assert!("x7".parse::<Schedule>().is_err());
+        assert!("s7:z".parse::<Schedule>().is_err());
+    }
+}

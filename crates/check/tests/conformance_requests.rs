@@ -1,0 +1,163 @@
+//! Request-lifecycle conformance: completion is monotone and stable.
+//!
+//! Once a request reports complete it must stay complete, its completion
+//! time must never change, and its payload must be handed out exactly once
+//! — under explored schedules at the `ReqState` level and under fault
+//! injection at the whole-universe level.
+
+use std::sync::Arc;
+
+use rankmpi_check::{base_seed, engines_under_test, explore, ExploreConfig, Task};
+use rankmpi_core::request::ReqState;
+use rankmpi_core::Universe;
+use rankmpi_fabric::FaultPlan;
+use rankmpi_vtime::sched::{yield_point, SchedPoint};
+use rankmpi_vtime::Nanos;
+
+/// One completer and two observers race over a `ReqState` across every
+/// explored interleaving: no observer may ever see completion regress, and
+/// `finish_at` must be frozen from the first completed observation on.
+#[test]
+fn completion_is_monotone_under_explored_schedules() {
+    let cfg = ExploreConfig {
+        depth: 5,
+        max_exhaustive: 120,
+        random_samples: 8,
+        ..ExploreConfig::with_seed(base_seed() ^ 0x4E9)
+    };
+    explore("request_completion_monotone", &cfg, || {
+        let req = ReqState::detached();
+        let completer: Task = {
+            let req = Arc::clone(&req);
+            Box::new(move || {
+                yield_point(SchedPoint::Custom("pre-complete"));
+                req.complete(
+                    Nanos(1234),
+                    rankmpi_core::Status {
+                        source: 3,
+                        tag: 9,
+                        len: 2,
+                    },
+                    bytes::Bytes::from_static(b"ok"),
+                );
+                yield_point(SchedPoint::Custom("post-complete"));
+            })
+        };
+        let observer = |req: Arc<ReqState>| -> Task {
+            Box::new(move || {
+                let mut seen_complete = false;
+                let mut frozen_finish = Nanos::ZERO;
+                for _ in 0..8 {
+                    yield_point(SchedPoint::Custom("observe"));
+                    let complete = req.is_complete();
+                    if seen_complete {
+                        assert!(complete, "request completion regressed");
+                        assert_eq!(
+                            req.finish_at(),
+                            frozen_finish,
+                            "finish_at changed after completion"
+                        );
+                    } else if complete {
+                        seen_complete = true;
+                        frozen_finish = req.finish_at();
+                        assert_eq!(frozen_finish, Nanos(1234));
+                    }
+                }
+            })
+        };
+        vec![
+            completer,
+            observer(Arc::clone(&req)),
+            observer(Arc::clone(&req)),
+        ]
+    });
+}
+
+/// Nonblocking `test` polls under fault injection: completion observed via
+/// `test` is final, payloads are intact, and completed requests report
+/// `is_complete` forever after.
+#[test]
+fn test_polls_are_monotone_under_faults() {
+    for kind in engines_under_test() {
+        for s in 0..3u64 {
+            let plan = FaultPlan::chaos(base_seed() ^ 0x7E57 ^ (s << 4));
+            let u = Universe::builder()
+                .nodes(2)
+                .matching(kind)
+                .fault_plan(plan)
+                .build();
+            u.run(|env| {
+                let world = env.world();
+                let mut th = env.single_thread();
+                const N: usize = 12;
+                if env.rank() == 0 {
+                    for i in 0..N {
+                        world.send(&mut th, 1, i as i64, &[i as u8; 8]).unwrap();
+                    }
+                } else {
+                    let reqs: Vec<_> = (0..N)
+                        .map(|i| world.irecv(&mut th, 0, i as i64).unwrap())
+                        .collect();
+                    let mut done = [false; N];
+                    let mut results = vec![None; N];
+                    while done.iter().any(|d| !d) {
+                        for (i, r) in reqs.iter().enumerate() {
+                            if done[i] {
+                                // Monotone: completion never regresses, even
+                                // while other requests still progress.
+                                assert!(r.is_complete(), "request {i} un-completed");
+                                continue;
+                            }
+                            if let Some((st, data)) = r.test(&mut th.clock) {
+                                assert_eq!(st.source, 0);
+                                assert_eq!(st.tag, i as i64);
+                                results[i] = Some(data);
+                                done[i] = true;
+                            }
+                        }
+                    }
+                    for (i, data) in results.into_iter().enumerate() {
+                        assert_eq!(&data.unwrap()[..], &[i as u8; 8]);
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Completion virtual times are internally consistent: a request completed
+/// later in the same channel never finishes at an earlier virtual time than
+/// one it must follow (send order on one `(src, tag)` stream).
+#[test]
+fn completion_times_follow_channel_order() {
+    for kind in engines_under_test() {
+        let u = Universe::builder()
+            .nodes(2)
+            .matching(kind)
+            .fault_plan(FaultPlan::chaos(base_seed() ^ 0xC10C))
+            .build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            const N: usize = 16;
+            if env.rank() == 0 {
+                for i in 0..N {
+                    world.send(&mut th, 1, 5, &[i as u8]).unwrap();
+                }
+            } else {
+                let mut last_finish = Nanos::ZERO;
+                for i in 0..N {
+                    let r = world.irecv(&mut th, 0, 5).unwrap();
+                    let (_st, data) = r.wait(&mut th.clock);
+                    assert_eq!(data[0], i as u8, "channel order broken");
+                    let f = r.state().finish_at();
+                    assert!(
+                        f >= last_finish,
+                        "completion time regressed on one channel: {f:?} after {last_finish:?}"
+                    );
+                    last_finish = f;
+                }
+            }
+        });
+    }
+}

@@ -506,12 +506,15 @@ mod tests {
             let world = env.world();
             let mut th = env.single_thread();
             if env.rank() == 1 {
+                // The sender is blocked on our go-signal, so this improbe is
+                // a guaranteed miss — no timing assumption.
                 assert!(world.improbe(&mut th, 0, 7).unwrap().is_none());
+                world.send(&mut th, 0, 1, b"go").unwrap();
                 let (st, data) = world.recv(&mut th, 0, 7).unwrap();
                 assert_eq!(st.tag, 7);
                 assert_eq!(&data[..], b"x");
             } else {
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                world.recv(&mut th, 1, 1).unwrap();
                 world.send(&mut th, 1, 7, b"x").unwrap();
             }
         });

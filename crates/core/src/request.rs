@@ -213,13 +213,21 @@ mod tests {
 
     #[test]
     fn completion_wakes_blocked_thread() {
+        use std::sync::atomic::{AtomicBool, Ordering};
         let r = ReqState::detached();
         let r2 = Arc::clone(&r);
+        // The progress callback flags that the waiter is inside
+        // block_until_complete, so completion deterministically happens
+        // while it is blocked — no timing assumption.
+        let polling = Arc::new(AtomicBool::new(false));
+        let polling2 = Arc::clone(&polling);
         let t = std::thread::spawn(move || {
-            r2.block_until_complete(|| {});
+            r2.block_until_complete(|| polling2.store(true, Ordering::SeqCst));
             r2.finish_at()
         });
-        std::thread::sleep(Duration::from_millis(20));
+        while !polling.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
         r.complete(
             Nanos(123),
             Status {

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rankmpi_fabric::{NetworkProfile, Nic};
+use rankmpi_fabric::{FaultPlan, NetworkProfile, Nic};
 
 use crate::costs::CoreCosts;
 use crate::matching::EngineKind;
@@ -254,6 +254,7 @@ pub struct UniverseBuilder {
     matching: EngineKind,
     profile: NetworkProfile,
     costs: CoreCosts,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for UniverseBuilder {
@@ -267,6 +268,7 @@ impl Default for UniverseBuilder {
             matching: EngineKind::default(),
             profile: NetworkProfile::omni_path(),
             costs: CoreCosts::default(),
+            fault_plan: None,
         }
     }
 }
@@ -324,6 +326,16 @@ impl UniverseBuilder {
         self
     }
 
+    /// Arm deterministic fabric fault injection on every VCI mailbox.
+    ///
+    /// Each `(rank, vci)` mailbox receives an independently derived seed, so
+    /// the plan perturbs every channel differently but reproducibly (see
+    /// [`FaultPlan::derive`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Materialize the universe: nodes, NICs, processes, VCI pools.
     pub fn build(self) -> Universe {
         assert!(self.nodes > 0 && self.procs_per_node > 0 && self.threads_per_proc > 0);
@@ -359,6 +371,15 @@ impl UniverseBuilder {
                 )
             })
             .collect();
+        if let Some(plan) = &self.fault_plan {
+            for proc in &procs {
+                for v in 0..proc.num_vcis() {
+                    proc.vci(v)
+                        .mailbox()
+                        .arm_faults(plan.derive(proc.rank() as u64, v as u64));
+                }
+            }
+        }
         let shared = UniverseShared {
             profile: self.profile,
             costs: self.costs,

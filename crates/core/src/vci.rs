@@ -960,28 +960,36 @@ mod tests {
 
     #[test]
     fn two_threads_on_one_vci_report_contended_acquires() {
+        // Deterministic version of the old "hammer 20k iprobes and hope for
+        // a real collision" test: the rankmpi-check scheduler serializes the
+        // two threads at yield points, so a schedule that parks one thread
+        // between its claimant registration and its lock acquisition makes
+        // the other observe a waiter — reproducibly, from a fixed seed.
+        use rankmpi_check::{run_tasks, Schedule, Task};
         let (v, _n, _s) = test_vci(0);
-        let barrier = std::sync::Barrier::new(2);
-        std::thread::scope(|s| {
-            for _ in 0..2 {
-                s.spawn(|| {
+        const PER_TASK: usize = 40;
+        let tasks: Vec<Task> = (0..2)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                Box::new(move || {
                     let mut c = Clock::new();
                     let pat = MatchPattern {
                         context_id: 1,
                         src: 0,
                         tag: 0,
                     };
-                    barrier.wait();
-                    for _ in 0..20_000 {
+                    for _ in 0..PER_TASK {
                         v.iprobe(&mut c, &pat);
                     }
-                });
-            }
-        });
-        assert_eq!(v.lock_acquires(), 40_000);
+                }) as Task
+            })
+            .collect();
+        let out = run_tasks(tasks, &Schedule::random(3), 500_000);
+        assert!(out.panic.is_none(), "scheduled run failed: {:?}", out.panic);
+        assert_eq!(v.lock_acquires(), 2 * PER_TASK as u64);
         assert!(
             v.lock_acquires_contended() > 0,
-            "two threads hammering one VCI must collide on its lock at least once"
+            "interleaved schedule must make the threads collide on the VCI lock"
         );
         assert!(v.lock_contention() > Nanos::ZERO);
     }

@@ -1,0 +1,276 @@
+//! Deterministic packet-level fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] armed on a [`Mailbox`](crate::Mailbox) perturbs arriving
+//! packets the way a lossy-but-reliable transport would: extra latency,
+//! transient NACK/retransmit rounds, duplicate deliveries (deduplicated
+//! before they reach the matching engine, as a reliable transport must), and
+//! cross-channel reordering of the real delivery queue. The perturbations
+//! stay inside MPI's transport contract:
+//!
+//! - **per-channel FIFO survives**: within one `(context_id, src)` channel,
+//!   virtual arrival times remain monotone (delays propagate head-of-line,
+//!   like retransmission on an in-order transport) and real queue order is
+//!   never swapped between packets of the same channel;
+//! - **no loss**: every pushed packet is eventually delivered exactly once —
+//!   duplicates are injected *and* dropped by the mailbox's dedup filter.
+//!
+//! Every per-packet decision derives from `hash(seed, src, seq)`, never from
+//! arrival order or wall-clock state, so a fault plan perturbs a run the
+//! same way under every thread schedule — which is what lets
+//! `rankmpi-check` sweep schedules and fault seeds independently.
+//!
+//! Injected faults are recorded as `obs` spans (category `"fault"`) and
+//! aggregated into the always-compiled metrics registry under the
+//! `fault.*` prefix, so traces show them and bench JSON can export them.
+
+use std::sync::Arc;
+
+use rankmpi_obs::{labels, registry};
+use rankmpi_vtime::{Counter, Nanos};
+
+/// Configuration of deterministic fault injection for one mailbox.
+///
+/// Probabilities are in `[0, 1]`; a default plan injects nothing. Build with
+/// the chainable setters, or start from [`FaultPlan::chaos`] for a moderate
+/// everything-on mix.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed all per-packet decisions derive from (mixed with `src`/`seq`).
+    pub seed: u64,
+    /// Probability a packet's arrival is delayed.
+    pub delay_prob: f64,
+    /// Maximum extra virtual latency of a delay (uniform in `[1, max]` ns).
+    pub delay_max: Nanos,
+    /// Probability a packet is delivered twice (the copy is deduplicated
+    /// before it can reach a matching engine).
+    pub duplicate_prob: f64,
+    /// Probability a packet is transiently NACKed and retransmitted.
+    pub nack_prob: f64,
+    /// Extra virtual latency of one NACK/retransmit round.
+    pub nack_delay: Nanos,
+    /// Probability a packet is reordered past the previously queued packet
+    /// (applied only across different `(context_id, src)` channels).
+    pub reorder_prob: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            delay_prob: 0.0,
+            delay_max: Nanos(2_000),
+            duplicate_prob: 0.0,
+            nack_prob: 0.0,
+            nack_delay: Nanos(3_000),
+            reorder_prob: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with `seed` and no faults enabled.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A moderate everything-on mix: ~15% delays, ~10% duplicates, ~10%
+    /// NACKs, ~20% cross-channel reorders.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .delays(0.15, Nanos(2_000))
+            .duplicates(0.10)
+            .nacks(0.10, Nanos(3_000))
+            .reorders(0.20)
+    }
+
+    /// Enable arrival delays: probability `prob`, up to `max` extra ns.
+    pub fn delays(mut self, prob: f64, max: Nanos) -> Self {
+        self.delay_prob = prob;
+        self.delay_max = max;
+        self
+    }
+
+    /// Enable duplicate-then-dedup deliveries with probability `prob`.
+    pub fn duplicates(mut self, prob: f64) -> Self {
+        self.duplicate_prob = prob;
+        self
+    }
+
+    /// Enable transient NACK/retransmit rounds: probability `prob`, each
+    /// costing `delay` extra ns.
+    pub fn nacks(mut self, prob: f64, delay: Nanos) -> Self {
+        self.nack_prob = prob;
+        self.nack_delay = delay;
+        self
+    }
+
+    /// Enable cross-channel reordering of the real delivery queue with
+    /// probability `prob`.
+    pub fn reorders(mut self, prob: f64) -> Self {
+        self.reorder_prob = prob;
+        self
+    }
+
+    /// Derive a distinct-seed copy of this plan (e.g. one per `(rank, vci)`
+    /// mailbox) so that mailboxes perturb independently.
+    pub fn derive(&self, a: u64, b: u64) -> Self {
+        let mut p = self.clone();
+        p.seed = splitmix(self.seed ^ splitmix(a.rotate_left(32) ^ b));
+        p
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn any_enabled(&self) -> bool {
+        self.delay_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.nack_prob > 0.0
+            || self.reorder_prob > 0.0
+    }
+
+    /// A uniform value in `[0, 1)` for decision `salt` on packet
+    /// `(src, seq)`. Depends only on the plan seed and the packet identity,
+    /// never on arrival order, so decisions are schedule-independent.
+    pub(crate) fn unit(&self, src: u32, seq: u64, salt: u64) -> f64 {
+        let z = splitmix(self.seed ^ splitmix(((src as u64) << 40) ^ seq ^ salt.rotate_left(17)));
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Counts of injected faults on one mailbox (readable snapshot via
+/// [`Mailbox::fault_report`](crate::Mailbox::fault_report)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Packets whose arrival was delayed.
+    pub delays: u64,
+    /// Total extra virtual latency injected (delays + NACK rounds), ns.
+    pub delay_ns: u64,
+    /// Duplicate copies injected.
+    pub dups_injected: u64,
+    /// Duplicate copies dropped by the dedup filter.
+    pub dups_dropped: u64,
+    /// Transient NACK/retransmit rounds.
+    pub nacks: u64,
+    /// Cross-channel queue reorders performed.
+    pub reorders: u64,
+}
+
+/// Per-mailbox fault counters, mirrored into the global metrics registry
+/// (`fault.delays`, `fault.dups_injected`, `fault.dups_dropped`,
+/// `fault.nacks`, `fault.reorders`, `fault.delay_ns`).
+#[derive(Debug)]
+pub(crate) struct FaultCounters {
+    pub delays: Counter,
+    pub delay_ns: Counter,
+    pub dups_injected: Counter,
+    pub dups_dropped: Counter,
+    pub nacks: Counter,
+    pub reorders: Counter,
+    reg: [Arc<Counter>; 6],
+}
+
+impl FaultCounters {
+    pub fn new() -> Self {
+        let reg = registry::global();
+        let c = |name| reg.counter(name, labels! {"layer" => "fabric"});
+        FaultCounters {
+            delays: Counter::new(),
+            delay_ns: Counter::new(),
+            dups_injected: Counter::new(),
+            dups_dropped: Counter::new(),
+            nacks: Counter::new(),
+            reorders: Counter::new(),
+            reg: [
+                c("fault.delays"),
+                c("fault.delay_ns"),
+                c("fault.dups_injected"),
+                c("fault.dups_dropped"),
+                c("fault.nacks"),
+                c("fault.reorders"),
+            ],
+        }
+    }
+
+    pub fn bump_delay(&self, extra_ns: u64) {
+        self.delays.incr();
+        self.delay_ns.add(extra_ns);
+        self.reg[0].incr();
+        self.reg[1].add(extra_ns);
+    }
+
+    pub fn bump_dup_injected(&self) {
+        self.dups_injected.incr();
+        self.reg[2].incr();
+    }
+
+    pub fn bump_dup_dropped(&self) {
+        self.dups_dropped.incr();
+        self.reg[3].incr();
+    }
+
+    pub fn bump_nack(&self, extra_ns: u64) {
+        self.nacks.incr();
+        self.delay_ns.add(extra_ns);
+        self.reg[4].incr();
+        self.reg[1].add(extra_ns);
+    }
+
+    pub fn bump_reorder(&self) {
+        self.reorders.incr();
+        self.reg[5].incr();
+    }
+
+    pub fn report(&self) -> FaultReport {
+        FaultReport {
+            delays: self.delays.get(),
+            delay_ns: self.delay_ns.get(),
+            dups_injected: self.dups_injected.get(),
+            dups_dropped: self.dups_dropped.get(),
+            nacks: self.nacks.get(),
+            reorders: self.reorders.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_depend_only_on_identity() {
+        let p = FaultPlan::chaos(7);
+        for src in 0..4u32 {
+            for seq in 0..64u64 {
+                for salt in 0..4u64 {
+                    assert_eq!(p.unit(src, seq, salt), p.unit(src, seq, salt));
+                }
+            }
+        }
+        // Distinct identities decorrelate.
+        assert_ne!(p.unit(0, 1, 0), p.unit(1, 0, 0));
+    }
+
+    #[test]
+    fn derive_changes_seed_but_not_rates() {
+        let p = FaultPlan::chaos(1);
+        let d = p.derive(3, 5);
+        assert_ne!(p.seed, d.seed);
+        assert_eq!(p.delay_prob, d.delay_prob);
+        assert_eq!(d.derive(3, 5).seed, p.derive(3, 5).derive(3, 5).seed);
+    }
+
+    #[test]
+    fn default_plan_is_inert() {
+        assert!(!FaultPlan::new(9).any_enabled());
+        assert!(FaultPlan::chaos(9).any_enabled());
+    }
+}

@@ -24,6 +24,7 @@
 //!   destination [`Mailbox`] with its virtual arrival stamp.
 
 pub mod context;
+pub mod fault;
 pub mod mailbox;
 pub mod nic;
 pub mod packet;
@@ -31,6 +32,7 @@ pub mod profile;
 pub mod transmit;
 
 pub use context::HwContext;
+pub use fault::{FaultPlan, FaultReport};
 pub use mailbox::{Mailbox, Notify};
 pub use nic::Nic;
 pub use packet::{Header, Packet};

@@ -2,6 +2,7 @@
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::sched::{self, SchedPoint};
 use crate::{Clock, Nanos};
 
 /// Per-participant cost of a barrier episode, modeled after tree barriers on
@@ -76,27 +77,50 @@ impl VirtualBarrier {
 
     /// Arrive at the barrier; blocks (for real) until all `n` arrive, then sets
     /// the caller's clock to the joined release time.
+    ///
+    /// Under a [`sched`](crate::sched) hook, waiting is cooperative: the
+    /// thread polls the generation with a yield point per poll instead of
+    /// sleeping on the condvar, so a deterministic scheduler can run the
+    /// remaining participants to their arrivals.
     pub fn wait(&self, clock: &mut Clock) {
-        let mut st = self.state.lock();
-        let my_gen = st.generation;
-        st.max_now = st.max_now.max(clock.now());
-        st.arrived += 1;
-        if st.arrived == self.n {
-            st.release_at = st.max_now + self.episode_cost();
-            st.arrived = 0;
-            st.max_now = Nanos::ZERO;
-            st.generation += 1;
-            let release = st.release_at;
-            drop(st);
-            self.cv.notify_all();
-            clock.wait_until(release);
-        } else {
-            while st.generation == my_gen {
-                self.cv.wait(&mut st);
+        sched::yield_point(SchedPoint::BarrierArrive);
+        let my_gen = {
+            let mut st = self.state.lock();
+            let my_gen = st.generation;
+            st.max_now = st.max_now.max(clock.now());
+            st.arrived += 1;
+            if st.arrived == self.n {
+                st.release_at = st.max_now + self.episode_cost();
+                st.arrived = 0;
+                st.max_now = Nanos::ZERO;
+                st.generation += 1;
+                let release = st.release_at;
+                drop(st);
+                self.cv.notify_all();
+                clock.wait_until(release);
+                return;
             }
-            let release = st.release_at;
-            drop(st);
-            clock.wait_until(release);
+            if !sched::armed() {
+                while st.generation == my_gen {
+                    self.cv.wait(&mut st);
+                }
+                let release = st.release_at;
+                drop(st);
+                clock.wait_until(release);
+                return;
+            }
+            my_gen
+        };
+        // Cooperative wait: poll with yield points, no condvar sleep.
+        loop {
+            sched::yield_point(SchedPoint::BarrierWait);
+            let st = self.state.lock();
+            if st.generation != my_gen {
+                let release = st.release_at;
+                drop(st);
+                clock.wait_until(release);
+                return;
+            }
         }
     }
 

@@ -43,9 +43,13 @@ impl Clock {
     }
 
     /// Advance by a modeled CPU/overhead cost.
+    ///
+    /// A yield point: under a [`sched`](crate::sched) hook, every modeled
+    /// cost is a place the deterministic scheduler may switch tasks.
     #[inline]
     pub fn advance(&mut self, d: Nanos) {
         self.now += d;
+        crate::sched::yield_point(crate::sched::SchedPoint::ClockAdvance);
     }
 
     /// Jump forward to `t` if `t` is later; records the skipped span as waiting.

@@ -31,13 +31,18 @@
 //! - [`VirtualBarrier`]: a barrier that joins the virtual clocks of all
 //!   participants (used by stencil iterations and partitioned-request completion);
 //! - [`stats`]: lightweight atomic counters/accumulators used for byte and
-//!   collision accounting in the experiments.
+//!   collision accounting in the experiments;
+//! - [`sched`]: optional per-thread scheduling hooks that turn every clock
+//!   advance, lock acquire/release, and barrier arrival into an explicit,
+//!   replayable yield point (the foundation of `rankmpi-check`'s
+//!   deterministic schedule exploration).
 
 pub mod barrier;
 pub mod clock;
 pub mod lock;
 pub mod nanos;
 pub mod resource;
+pub mod sched;
 pub mod stats;
 
 pub use barrier::VirtualBarrier;

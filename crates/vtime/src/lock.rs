@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, MutexGuard};
 
+use crate::sched::{self, SchedPoint};
 use crate::{Clock, Nanos, Resource};
 
 /// Cost parameters for a [`ContentionLock`].
@@ -95,7 +96,7 @@ impl<T> ContentionLock<T> {
 
         // Real exclusion first: once we hold the mutex, the section's virtual
         // placement is computed single-threaded at release.
-        let guard = self.inner.lock();
+        let guard = self.acquire_inner();
 
         let acquire_cost = self.costs.acquire_base + self.costs.per_waiter * waiters_before;
         clock.advance(acquire_cost);
@@ -130,6 +131,24 @@ impl<T> ContentionLock<T> {
     /// Access the protected value without cost accounting (setup/teardown
     /// paths that are outside the modeled critical path).
     pub fn lock_unmodeled(&self) -> MutexGuard<'_, T> {
+        self.acquire_inner()
+    }
+
+    /// Take the real mutex. Under a [`sched`] hook the acquisition is
+    /// cooperative — a `try_lock` spin with a yield point between attempts —
+    /// so the deterministic scheduler can run the current holder (whose
+    /// critical section may itself contain yield points) to its release
+    /// instead of deadlocking on a parked task.
+    fn acquire_inner(&self) -> MutexGuard<'_, T> {
+        if sched::armed() {
+            sched::yield_point(SchedPoint::LockAcquire);
+            loop {
+                if let Some(g) = self.inner.try_lock() {
+                    return g;
+                }
+                sched::yield_point(SchedPoint::LockAcquire);
+            }
+        }
         self.inner.lock()
     }
 }
@@ -153,12 +172,18 @@ impl<'a, T> ContentionGuard<'a, T> {
         let acq = self.lock.sections.acquire(self.entered_at, busy);
         let shift = acq.start.saturating_sub(self.entered_at);
         if shift > Nanos::ZERO {
-            clock.advance(shift);
             self.lock
                 .contended_total
                 .fetch_add(shift.as_ns(), Ordering::Relaxed);
         }
-        // `claimants` decremented in Drop.
+        // `claimants` decremented in Drop; release the real mutex before
+        // advancing the clock so the collision-shift yield point fires with
+        // the critical section already over.
+        drop(self);
+        if shift > Nanos::ZERO {
+            clock.advance(shift);
+        }
+        sched::yield_point(SchedPoint::LockRelease);
     }
 }
 

@@ -32,6 +32,20 @@ impl<T: ?Sized> Mutex<T> {
             inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
         }
     }
+
+    /// Acquire without blocking: `Some(guard)` if the lock was free,
+    /// `None` if another thread holds it. Ignores poison like [`lock`].
+    ///
+    /// [`lock`]: Mutex::lock
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T: Default> Default for Mutex<T> {
@@ -222,6 +236,17 @@ mod tests {
         let m = Mutex::new(1u32);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn try_lock_fails_only_while_held() {
+        let m = Mutex::new(7u32);
+        {
+            let g = m.try_lock().expect("free lock must be acquirable");
+            assert_eq!(*g, 7);
+            assert!(m.try_lock().is_none(), "held lock must refuse");
+        }
+        assert!(m.try_lock().is_some());
     }
 
     #[test]

@@ -208,3 +208,111 @@ fn allreduce_matches_sequential_reduction() {
         }
     }
 }
+
+// Heavier end-to-end properties get their own block with a small case count:
+// each case spins up a full universe (real threads), so 64 cases would
+// dominate the suite's wall clock for no extra coverage.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Partitioned roundtrip: any partition count / size and ANY pready order
+    /// delivers every partition's payload intact, exactly once.
+    #[test]
+    fn partitioned_roundtrip_any_order(
+        parts in 1usize..=8,
+        part_bytes in 1usize..=32,
+        order_seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        use rankmpi_core::{Info, Universe};
+        use rankmpi_partitioned::{precv_init, psend_init};
+
+        let u = Universe::builder().nodes(2).num_vcis(2).build();
+        let ok = u.run(move |env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                let sreq =
+                    psend_init(&world, &mut th, 1, 11, parts, part_bytes, &Info::new()).unwrap();
+                sreq.start(&mut th).unwrap();
+                let mut order: Vec<usize> = (0..parts).collect();
+                order.shuffle(&mut StdRng::seed_from_u64(order_seed));
+                for &p in &order {
+                    let fill = (p as u8).wrapping_mul(31).wrapping_add(order_seed as u8);
+                    sreq.pready(&mut th, p, &vec![fill; part_bytes]).unwrap();
+                }
+                sreq.wait(&mut th).unwrap();
+                true
+            } else {
+                let rreq =
+                    precv_init(&world, &mut th, 0, 11, parts, part_bytes, &Info::new()).unwrap();
+                rreq.start(&mut th).unwrap();
+                let data = rreq.wait(&mut th).unwrap();
+                assert_eq!(data.len(), parts * part_bytes);
+                for p in 0..parts {
+                    let fill = (p as u8).wrapping_mul(31).wrapping_add(order_seed as u8);
+                    assert!(
+                        data[p * part_bytes..(p + 1) * part_bytes]
+                            .iter()
+                            .all(|&b| b == fill),
+                        "partition {p} corrupted (parts={parts}, bytes={part_bytes})"
+                    );
+                }
+                true
+            }
+        });
+        prop_assert!(ok.iter().all(|&x| x));
+    }
+
+    /// Endpoint fan-out: with a random endpoint count, every sender thread
+    /// reaches every receiver endpoint and nothing cross-matches.
+    #[test]
+    fn endpoint_fanout_delivers_everything(eps_n in 1usize..=4, salt in 0u8..32) {
+        use rankmpi_core::{Info, Universe, ANY_SOURCE, ANY_TAG};
+        use rankmpi_endpoints::comm_create_endpoints;
+
+        let u = Universe::builder()
+            .nodes(2)
+            .threads_per_proc(eps_n)
+            .num_vcis(eps_n)
+            .build();
+        let totals = u.run(move |env| {
+            let world = env.world();
+            let mut setup = env.single_thread();
+            let eps = comm_create_endpoints(&world, &mut setup, eps_n, &Info::new()).unwrap();
+            let eps = &eps;
+            let got = env.parallel(|th| {
+                let tid = th.tid();
+                let ep = &eps[tid];
+                let peer_proc = 1 - env.rank();
+                if env.rank() == 0 {
+                    // Fan out: this thread sends one message to EVERY peer
+                    // endpoint, tagged with (sender, receiver).
+                    for j in 0..eps_n {
+                        let dst = ep.topology().ep_rank(peer_proc, j);
+                        let tag = (tid * 10 + j) as i64;
+                        ep.send(th, dst, tag, &[tid as u8, j as u8, salt]).unwrap();
+                    }
+                    0usize
+                } else {
+                    // Fan in: one message from every sender thread.
+                    let mut seen = vec![false; eps_n];
+                    for _ in 0..eps_n {
+                        let (st, d) = ep.recv(th, ANY_SOURCE, ANY_TAG).unwrap();
+                        let (from, to) = (d[0] as usize, d[1] as usize);
+                        assert_eq!(to, tid, "message for endpoint {to} leaked to {tid}");
+                        assert_eq!(st.tag, (from * 10 + to) as i64);
+                        assert_eq!(d[2], salt);
+                        assert!(!seen[from], "duplicate delivery from thread {from}");
+                        seen[from] = true;
+                    }
+                    seen.iter().filter(|&&s| s).count()
+                }
+            });
+            got.iter().sum::<usize>()
+        });
+        prop_assert_eq!(totals[1], eps_n * eps_n);
+    }
+}

@@ -165,21 +165,22 @@ fn requests_can_be_tested_nonblockingly() {
         let world = env.world();
         let mut th = env.single_thread();
         if env.rank() == 0 {
-            // Delay the send so the receiver's first tests fail.
-            std::thread::sleep(std::time::Duration::from_millis(20));
+            // Hold the send until the receiver has provably tested once, so
+            // its first poll is a guaranteed miss — no timing assumption.
+            world.recv(&mut th, 1, 1).unwrap();
             world.send(&mut th, 1, 3, b"late").unwrap();
         } else {
             let req = world.irecv(&mut th, 0, 3).unwrap();
-            let mut polls = 0u64;
+            // The sender is still blocked on our go-signal: this must miss.
+            assert!(req.test(&mut th.clock).is_none());
+            world.send(&mut th, 0, 1, b"go").unwrap();
             let data = loop {
                 if let Some((_st, data)) = req.test(&mut th.clock) {
                     break data;
                 }
-                polls += 1;
                 std::thread::yield_now();
             };
             assert_eq!(&data[..], b"late");
-            assert!(polls > 0, "the receiver should have polled at least once");
         }
     });
 }
