@@ -1,10 +1,10 @@
 //! Communicators: context ids, groups, duplication, splitting, and the
 //! Info-hint-driven VCI policies of MPI 4.0.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
-use crate::error::{Error, Result};
+use crate::error::{Errhandler, Error, Result};
 use crate::group::Group;
 use crate::info::{keys, Info};
 use crate::proc::{ProcShared, ThreadCtx};
@@ -48,6 +48,10 @@ pub struct Communicator {
     coll_active: Arc<AtomicBool>,
     /// Collective sequence number (isolates successive collectives' traffic).
     coll_seq: Arc<AtomicU64>,
+    /// Error handler ([`Errhandler::as_u8`] encoding) shared by all clones of
+    /// this communicator on this process — matching `MPI_Comm_set_errhandler`
+    /// scope. Children get a fresh handle inheriting the current value.
+    errhandler: Arc<AtomicU8>,
 }
 
 impl Communicator {
@@ -66,6 +70,7 @@ impl Communicator {
             info: Info::new(),
             coll_active: Arc::new(AtomicBool::new(false)),
             coll_seq: Arc::new(AtomicU64::new(0)),
+            errhandler: Arc::new(AtomicU8::new(Errhandler::default().as_u8())),
         }
     }
 
@@ -93,6 +98,7 @@ impl Communicator {
             info,
             coll_active: Arc::new(AtomicBool::new(false)),
             coll_seq: Arc::new(AtomicU64::new(0)),
+            errhandler: Arc::new(AtomicU8::new(Errhandler::default().as_u8())),
         }
     }
 
@@ -146,6 +152,31 @@ impl Communicator {
         self.group.global(local)
     }
 
+    /// Attach an error handler (`MPI_Comm_set_errhandler`). Affects every
+    /// clone of this communicator on this process; communicators created
+    /// later via `dup`/`split` inherit the value current at creation.
+    pub fn set_errhandler(&self, h: Errhandler) {
+        self.errhandler.store(h.as_u8(), Ordering::Relaxed);
+    }
+
+    /// The error handler currently in effect.
+    pub fn errhandler(&self) -> Errhandler {
+        Errhandler::from_u8(self.errhandler.load(Ordering::Relaxed))
+    }
+
+    /// Dispatch a fabric-level error through the communicator's handler:
+    /// `ErrorsReturn` hands it to the caller, the (default) fatal handler
+    /// aborts with a diagnostic — MPI's `MPI_ERRORS_ARE_FATAL`.
+    pub(crate) fn handle_error<T>(&self, err: Error) -> Result<T> {
+        match self.errhandler() {
+            Errhandler::ErrorsReturn => Err(err),
+            Errhandler::ErrorsAreFatal => panic!(
+                "fatal MPI error on communicator {} (rank {}): {err}",
+                self.ctx_id, self.my_rank
+            ),
+        }
+    }
+
     /// Duplicate the communicator (collective). The child inherits this
     /// communicator's Info.
     pub fn dup(&self, th: &mut ThreadCtx) -> Result<Communicator> {
@@ -167,6 +198,22 @@ impl Communicator {
                 self.proc.vci(v).set_engine_kind(kind);
             }
         }
+        // `rankmpi_resil_*` hints reconfigure the reliability protocol on
+        // every VCI of the block. On a loss-free fabric there is no resil
+        // layer and the hints are inert (hints, not directives) — but the
+        // values are still validated.
+        for &v in block.iter() {
+            match self.proc.vci(v).mailbox().resil() {
+                Some(r) => {
+                    if let Some(cfg) = info.resil_config(r.config())? {
+                        r.set_config(cfg);
+                    }
+                }
+                None => {
+                    info.resil_config(Default::default())?;
+                }
+            }
+        }
         let child = Communicator {
             universe: Arc::clone(&self.universe),
             proc: Arc::clone(&self.proc),
@@ -178,6 +225,10 @@ impl Communicator {
             info,
             coll_active: Arc::new(AtomicBool::new(false)),
             coll_seq: Arc::new(AtomicU64::new(0)),
+            // MPI semantics: a new communicator starts with the parent's
+            // current handler, but set_errhandler on one never affects the
+            // other — hence the fresh Arc seeded with the inherited value.
+            errhandler: Arc::new(AtomicU8::new(self.errhandler.load(Ordering::Relaxed))),
         };
         // Communicator creation is collective and synchronizing.
         self.barrier(th)?;
@@ -220,6 +271,7 @@ impl Communicator {
             info: Info::new(),
             coll_active: Arc::new(AtomicBool::new(false)),
             coll_seq: Arc::new(AtomicU64::new(0)),
+            errhandler: Arc::new(AtomicU8::new(self.errhandler.load(Ordering::Relaxed))),
         }))
     }
 
@@ -447,6 +499,39 @@ mod tests {
         assert_eq!(ctxs[0], ctxs[1]);
         let (a, b, c) = ctxs[0];
         assert!(a != b && b != c && a != c);
+    }
+
+    #[test]
+    fn resil_hints_reconfigure_the_block_on_dup() {
+        use crate::universe::Universe;
+        use rankmpi_fabric::FaultPlan;
+        let u = Universe::builder()
+            .nodes(2)
+            .fault_plan(FaultPlan::lossy(9))
+            .build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let info = Info::new().set(keys::RESIL_MAX_RETRIES, "5");
+            let c = world.dup_with_info(&mut th, info).unwrap();
+            let r = c.proc().vci(c.vci_block()[0]).mailbox().resil().unwrap();
+            assert_eq!(r.config().max_retries, 5);
+        });
+    }
+
+    #[test]
+    fn bad_resil_hint_is_an_error_even_on_a_lossless_fabric() {
+        use crate::universe::Universe;
+        let u = Universe::builder().nodes(1).build();
+        u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let info = Info::new().set(keys::RESIL_WINDOW, "0");
+            assert!(matches!(
+                world.dup_with_info(&mut th, info),
+                Err(Error::BadInfoValue { .. })
+            ));
+        });
     }
 
     #[test]

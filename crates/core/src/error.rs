@@ -1,18 +1,24 @@
-//! Library error type.
+//! Library error type and MPI-style error handlers.
 
 use std::fmt;
 
 /// Convenient result alias.
-pub type Result<T> = std::result::Result<T, Error>;
+pub type Result<T> = std::result::Result<T, RankMpiError>;
+
+/// Backwards-compatible alias for [`RankMpiError`].
+pub type Error = RankMpiError;
 
 /// Errors surfaced by the library.
 ///
 /// Several of these encode *semantic* limitations the paper dwells on: a
 /// wildcard receive cannot be matched when the communicator's mapping policy
 /// spreads matching across multiple VCIs by tag bits (Lessons 7 and 15), and a
-/// tag layout can run out of bits (Lesson 9).
+/// tag layout can run out of bits (Lesson 9). The `Timeout` /
+/// `RetriesExhausted` / `LinkDown` family surfaces fabric-level loss that the
+/// reliability protocol could not hide — under `Errhandler::ErrorsReturn`
+/// these reach the application instead of aborting it.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Error {
+pub enum RankMpiError {
     /// Rank outside the communicator's group.
     InvalidRank {
         /// The offending rank.
@@ -77,52 +83,116 @@ pub enum Error {
     },
     /// Operation is invalid in the current object state.
     InvalidState(&'static str),
+    /// A bounded wait (`Request::wait_timeout`, `recv_timeout`) expired
+    /// before the operation completed.
+    Timeout {
+        /// Real time waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
+    /// The reliability layer gave up on a message after exhausting its retry
+    /// budget (persistent wire drops).
+    RetriesExhausted {
+        /// Sending process rank.
+        src: u32,
+        /// Total transmission attempts made (first send + retransmits).
+        attempts: u32,
+    },
+    /// The reliability layer gave up on a message because the link stayed
+    /// down across every retry (link flap outlasted the retry budget).
+    LinkDown {
+        /// Sending process rank.
+        src: u32,
+    },
 }
 
-impl fmt::Display for Error {
+impl fmt::Display for RankMpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::InvalidRank { rank, size } => {
+            RankMpiError::InvalidRank { rank, size } => {
                 write!(
                     f,
                     "rank {rank} out of range for communicator of size {size}"
                 )
             }
-            Error::TagOutOfRange { tag } => write!(f, "tag {tag} out of range"),
-            Error::TagBitsOverflow {
+            RankMpiError::TagOutOfRange { tag } => write!(f, "tag {tag} out of range"),
+            RankMpiError::TagBitsOverflow {
                 requested,
                 available,
             } => write!(
                 f,
                 "tag layout needs {requested} bits but only {available} are available"
             ),
-            Error::WildcardUnsupported { reason } => {
+            RankMpiError::WildcardUnsupported { reason } => {
                 write!(f, "wildcard receive unsupported: {reason}")
             }
-            Error::MissingAssertion { hint } => {
+            RankMpiError::MissingAssertion { hint } => {
                 write!(f, "VCI policy requires info assertion `{hint}`")
             }
-            Error::ConcurrentCollective { context_id } => write!(
+            RankMpiError::ConcurrentCollective { context_id } => write!(
                 f,
                 "concurrent collectives on communicator with context id {context_id}"
             ),
-            Error::WindowOutOfBounds { offset, len, size } => write!(
+            RankMpiError::WindowOutOfBounds { offset, len, size } => write!(
                 f,
                 "RMA access [{offset}, {}) outside window of {size} bytes",
                 offset + len
             ),
-            Error::LengthMismatch { expected, got } => {
+            RankMpiError::LengthMismatch { expected, got } => {
                 write!(f, "buffer length mismatch: expected {expected}, got {got}")
             }
-            Error::BadInfoValue { key, value } => {
+            RankMpiError::BadInfoValue { key, value } => {
                 write!(f, "bad info value for `{key}`: `{value}`")
             }
-            Error::InvalidState(s) => write!(f, "invalid state: {s}"),
+            RankMpiError::InvalidState(s) => write!(f, "invalid state: {s}"),
+            RankMpiError::Timeout { waited_ms } => {
+                write!(f, "operation timed out after {waited_ms} ms")
+            }
+            RankMpiError::RetriesExhausted { src, attempts } => write!(
+                f,
+                "message from rank {src} lost: retries exhausted after {attempts} attempts"
+            ),
+            RankMpiError::LinkDown { src } => {
+                write!(f, "message from rank {src} lost: link down")
+            }
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for RankMpiError {}
+
+/// MPI-style error handler attached to communicators and windows.
+///
+/// Mirrors `MPI_ERRORS_ARE_FATAL` / `MPI_ERRORS_RETURN`: with the (default)
+/// fatal handler a fabric-level failure that reaches a blocking operation
+/// aborts the run with a diagnostic; with `ErrorsReturn` the operation
+/// returns the [`RankMpiError`] to the caller, which can retry, reroute, or
+/// shut down cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Errhandler {
+    /// Abort (panic) on errors reaching a blocking call — `MPI_ERRORS_ARE_FATAL`.
+    #[default]
+    ErrorsAreFatal,
+    /// Return errors to the caller — `MPI_ERRORS_RETURN`.
+    ErrorsReturn,
+}
+
+impl Errhandler {
+    /// Stable integer encoding (for lock-free storage in an `AtomicU8`).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Errhandler::ErrorsAreFatal => 0,
+            Errhandler::ErrorsReturn => 1,
+        }
+    }
+
+    /// Decode [`Errhandler::as_u8`]; unknown values map to the fatal default.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => Errhandler::ErrorsReturn,
+            _ => Errhandler::ErrorsAreFatal,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -151,5 +221,30 @@ mod tests {
             Error::TagOutOfRange { tag: 1 },
             Error::TagOutOfRange { tag: 2 }
         );
+    }
+
+    #[test]
+    fn resilience_errors_name_the_source() {
+        let e = RankMpiError::RetriesExhausted {
+            src: 3,
+            attempts: 17,
+        };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("17"));
+        assert!(RankMpiError::LinkDown { src: 1 }
+            .to_string()
+            .contains("link down"));
+        assert!(RankMpiError::Timeout { waited_ms: 250 }
+            .to_string()
+            .contains("250"));
+    }
+
+    #[test]
+    fn errhandler_roundtrips_through_u8() {
+        assert_eq!(Errhandler::default(), Errhandler::ErrorsAreFatal);
+        for h in [Errhandler::ErrorsAreFatal, Errhandler::ErrorsReturn] {
+            assert_eq!(Errhandler::from_u8(h.as_u8()), h);
+        }
+        assert_eq!(Errhandler::from_u8(200), Errhandler::ErrorsAreFatal);
     }
 }

@@ -28,6 +28,15 @@ pub mod keys {
     /// Implementation hint: which matching engine the communicator's VCIs run
     /// (`linear` or `bucketed`).
     pub const RANKMPI_MATCHING: &str = "rankmpi_matching";
+    /// Reliability hint: retransmissions per packet before the library gives
+    /// up and surfaces `RetriesExhausted`/`LinkDown`.
+    pub const RESIL_MAX_RETRIES: &str = "rankmpi_resil_max_retries";
+    /// Reliability hint: base retransmission timeout in virtual nanoseconds
+    /// (doubles per retry up to an 16× cap).
+    pub const RESIL_RTO_NS: &str = "rankmpi_resil_rto_ns";
+    /// Reliability hint: per-channel sliding-window size (unacked packets in
+    /// flight before the sender stalls).
+    pub const RESIL_WINDOW: &str = "rankmpi_resil_window";
 }
 
 /// An MPI Info object: an ordered map of string hints.
@@ -124,6 +133,39 @@ impl Info {
         }
     }
 
+    /// Apply the `rankmpi_resil_*` hints on top of `base`, returning the
+    /// adjusted reliability config — or `None` when no reliability hint is
+    /// set (leave the channel's current config alone).
+    pub fn resil_config(
+        &self,
+        base: rankmpi_fabric::ResilConfig,
+    ) -> Result<Option<rankmpi_fabric::ResilConfig>> {
+        let retries = self.get_usize(keys::RESIL_MAX_RETRIES)?;
+        let rto = self.get_usize(keys::RESIL_RTO_NS)?;
+        let window = self.get_usize(keys::RESIL_WINDOW)?;
+        if retries.is_none() && rto.is_none() && window.is_none() {
+            return Ok(None);
+        }
+        let mut cfg = base;
+        if let Some(r) = retries {
+            cfg.max_retries = r as u32;
+        }
+        if let Some(ns) = rto {
+            cfg.rto_base = rankmpi_vtime::Nanos(ns as u64);
+            cfg.rto_cap = rankmpi_vtime::Nanos((ns as u64).saturating_mul(16));
+        }
+        if let Some(w) = window {
+            if w == 0 {
+                return Err(Error::BadInfoValue {
+                    key: keys::RESIL_WINDOW.to_string(),
+                    value: "0".to_string(),
+                });
+            }
+            cfg.window = w;
+        }
+        Ok(Some(cfg))
+    }
+
     /// Iterate over all hints.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
@@ -176,6 +218,24 @@ mod tests {
             bad.matching_engine(),
             Err(Error::BadInfoValue { .. })
         ));
+    }
+
+    #[test]
+    fn resil_hints_override_the_base_config() {
+        use rankmpi_fabric::ResilConfig;
+        let base = ResilConfig::default();
+        assert_eq!(Info::new().resil_config(base).unwrap(), None);
+        let info = Info::new()
+            .set(keys::RESIL_MAX_RETRIES, "3")
+            .set(keys::RESIL_RTO_NS, "1000")
+            .set(keys::RESIL_WINDOW, "8");
+        let cfg = info.resil_config(base).unwrap().unwrap();
+        assert_eq!(cfg.max_retries, 3);
+        assert_eq!(cfg.rto_base, rankmpi_vtime::Nanos(1000));
+        assert_eq!(cfg.rto_cap, rankmpi_vtime::Nanos(16_000));
+        assert_eq!(cfg.window, 8);
+        let bad = Info::new().set(keys::RESIL_WINDOW, "0");
+        assert!(bad.resil_config(base).is_err());
     }
 
     #[test]

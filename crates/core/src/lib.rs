@@ -70,7 +70,7 @@ pub mod vci;
 
 pub use coll::ReduceOp;
 pub use comm::{CollMode, Communicator};
-pub use error::{Error, Result};
+pub use error::{Errhandler, Error, RankMpiError, Result};
 pub use group::Group;
 pub use info::Info;
 pub use matching::{EngineKind, MatchPattern, Status, ANY_SOURCE, ANY_TAG};

@@ -38,7 +38,7 @@ impl Communicator {
     pub fn isend(&self, th: &mut ThreadCtx, dst: usize, tag: i64, data: &[u8]) -> Result<Request> {
         self.check_rank(dst)?;
         self.check_tag(tag)?;
-        let (svci, dvci) = select_vcis(self.policy(), self.vci_block(), self.context_id(), tag);
+        let (svci, dvci) = select_vcis(self.policy(), self.vci_block(), self.context_id(), tag)?;
         self.isend_on_vcis(th, svci, dvci, self.context_id(), dst, tag, data)
     }
 
@@ -127,9 +127,39 @@ impl Communicator {
     }
 
     /// Blocking receive; returns the matched status and payload.
+    ///
+    /// If the matching message was lost on the fabric (reliability layer
+    /// gave up), the communicator's [`Errhandler`](crate::Errhandler)
+    /// decides: the default aborts; `ErrorsReturn` surfaces the
+    /// `RetriesExhausted`/`LinkDown` error here.
     pub fn recv(&self, th: &mut ThreadCtx, src: i64, tag: i64) -> Result<(Status, Bytes)> {
         let req = self.irecv(th, src, tag)?;
-        Ok(req.wait(&mut th.clock))
+        match req.wait_outcome(&mut th.clock) {
+            Ok(out) => Ok(out),
+            Err(e) => self.handle_error(e),
+        }
+    }
+
+    /// Blocking receive with a bound on *real* waiting time. Returns
+    /// `Err(Timeout)` if nothing matched within `timeout` (always returned,
+    /// regardless of the error handler — a timeout is the caller's own
+    /// bound, not a fabric failure); fabric-loss errors go through the
+    /// communicator's [`Errhandler`](crate::Errhandler) like [`recv`].
+    ///
+    /// [`recv`]: Communicator::recv
+    pub fn recv_timeout(
+        &self,
+        th: &mut ThreadCtx,
+        src: i64,
+        tag: i64,
+        timeout: std::time::Duration,
+    ) -> Result<(Status, Bytes)> {
+        let req = self.irecv(th, src, tag)?;
+        match req.wait_timeout(&mut th.clock, timeout) {
+            Ok(out) => Ok(out),
+            Err(e @ Error::Timeout { .. }) => Err(e),
+            Err(e) => self.handle_error(e),
+        }
     }
 
     /// Nonblocking receive posted to an explicit VCI (endpoints/internal).
@@ -229,9 +259,12 @@ impl Communicator {
     ) -> Result<(Status, Bytes)> {
         let recv = self.irecv(th, src, recv_tag)?;
         let send = self.isend(th, dst, send_tag, data)?;
-        let out = recv.wait(&mut th.clock);
+        let out = match recv.wait_outcome(&mut th.clock) {
+            Ok(out) => Ok(out),
+            Err(e) => self.handle_error(e),
+        };
         send.wait(&mut th.clock);
-        Ok(out)
+        out
     }
 
     fn check_recv_args(&self, src: i64, tag: i64) -> Result<()> {

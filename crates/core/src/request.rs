@@ -2,13 +2,14 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rankmpi_fabric::Notify;
 use rankmpi_vtime::Nanos;
 
+use crate::error::RankMpiError;
 use crate::matching::Status;
 
 /// Shared completion state of one request.
@@ -17,11 +18,15 @@ use crate::matching::Status;
 /// has logically finished the operation, and `finish_at` records the *virtual*
 /// time of completion. A waiting thread blocks (for real) on the flag, then
 /// advances its virtual clock to `finish_at`.
+///
+/// A request can complete with an error (`fail`): the reliability layer uses
+/// this when a message's retries are exhausted, so the receiver's wait
+/// returns instead of hanging on a packet that will never arrive.
 #[derive(Debug)]
 pub struct ReqState {
     complete: AtomicBool,
     finish_at: AtomicU64,
-    result: Mutex<Option<(Status, Bytes)>>,
+    result: Mutex<Option<Result<(Status, Bytes), RankMpiError>>>,
     notify: Arc<Notify>,
 }
 
@@ -43,10 +48,21 @@ impl ReqState {
 
     /// Complete the request at virtual time `finish_at` and wake waiters.
     pub fn complete(&self, finish_at: Nanos, status: Status, data: Bytes) {
+        self.settle(finish_at, Ok((status, data)));
+    }
+
+    /// Complete the request *with an error* at virtual time `finish_at` and
+    /// wake waiters. Used when the fabric's reliability layer gives up on the
+    /// message this request was matched against.
+    pub fn fail(&self, finish_at: Nanos, err: RankMpiError) {
+        self.settle(finish_at, Err(err));
+    }
+
+    fn settle(&self, finish_at: Nanos, outcome: Result<(Status, Bytes), RankMpiError>) {
         {
             let mut r = self.result.lock();
             debug_assert!(r.is_none(), "request completed twice");
-            *r = Some((status, data));
+            *r = Some(outcome);
         }
         self.finish_at.store(finish_at.as_ns(), Ordering::Release);
         self.complete.store(true, Ordering::Release);
@@ -64,8 +80,21 @@ impl ReqState {
         Nanos(self.finish_at.load(Ordering::Acquire))
     }
 
-    /// Take the completion payload. Panics if not complete or taken twice.
+    /// Take the completion payload. Panics if not complete, taken twice, or
+    /// the request completed with an error (use [`take_outcome`] for the
+    /// non-panicking path).
+    ///
+    /// [`take_outcome`]: ReqState::take_outcome
     pub fn take_result(&self) -> (Status, Bytes) {
+        match self.take_outcome() {
+            Ok(r) => r,
+            Err(e) => panic!("request failed: {e}"),
+        }
+    }
+
+    /// Take the completion outcome — `Ok((status, payload))` or the error the
+    /// request failed with. Panics if not complete or taken twice.
+    pub fn take_outcome(&self) -> Result<(Status, Bytes), RankMpiError> {
         self.result
             .lock()
             .take()
@@ -89,6 +118,26 @@ impl ReqState {
             }
             self.notify.wait_past(seen, Duration::from_millis(1));
         }
+    }
+
+    /// Like [`block_until_complete`] but gives up after `timeout` of *real*
+    /// time. Returns `true` if the request completed, `false` on expiry.
+    ///
+    /// [`block_until_complete`]: ReqState::block_until_complete
+    pub fn block_until_complete_for(&self, timeout: Duration, mut progress: impl FnMut()) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.is_complete() {
+            let seen = self.notify.version();
+            progress();
+            if self.is_complete() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.notify.wait_past(seen, Duration::from_millis(1));
+        }
+        true
     }
 }
 
@@ -126,7 +175,11 @@ impl Request {
     }
 
     /// Nonblocking completion test. On completion advances `clock` to the
-    /// completion time and returns the status/payload.
+    /// completion time and returns the status/payload. Panics if the request
+    /// completed with an error (fatal semantics; see [`wait_outcome`] for the
+    /// returning path).
+    ///
+    /// [`wait_outcome`]: Request::wait_outcome
     pub fn test(&self, clock: &mut rankmpi_vtime::Clock) -> Option<(Status, Bytes)> {
         if let Some(vci) = &self.progress_vci {
             vci.progress(clock);
@@ -140,8 +193,26 @@ impl Request {
     }
 
     /// Block until complete; returns status and payload, advancing `clock` to
-    /// the virtual completion time.
+    /// the virtual completion time. Panics if the request completed with an
+    /// error — the `MPI_ERRORS_ARE_FATAL` behavior. Use [`wait_outcome`] (or
+    /// a communicator with `Errhandler::ErrorsReturn`) to receive the error.
+    ///
+    /// [`wait_outcome`]: Request::wait_outcome
     pub fn wait(&self, clock: &mut rankmpi_vtime::Clock) -> (Status, Bytes) {
+        match self.wait_outcome(clock) {
+            Ok(r) => r,
+            Err(e) => panic!("request failed: {e}"),
+        }
+    }
+
+    /// Block until complete; returns the outcome — `Ok((status, payload))` or
+    /// the [`RankMpiError`] the library completed the request with (e.g.
+    /// `RetriesExhausted` when the reliability layer gave up on the matching
+    /// message). `clock` advances to the virtual completion time either way.
+    pub fn wait_outcome(
+        &self,
+        clock: &mut rankmpi_vtime::Clock,
+    ) -> Result<(Status, Bytes), RankMpiError> {
         let entered_at = clock.now();
         if let Some(vci) = &self.progress_vci {
             let state = Arc::clone(&self.state);
@@ -167,7 +238,46 @@ impl Request {
             .map(|v| v.res_id())
             .unwrap_or(rankmpi_obs::trace::ResId::NONE);
         rankmpi_obs::trace::wait("pt2pt", "req_wait", entered_at, clock.now(), res);
-        self.state.take_result()
+        self.state.take_outcome()
+    }
+
+    /// Bounded wait: like [`wait_outcome`] but gives up after `timeout` of
+    /// *real* time, returning `Err(RankMpiError::Timeout)`. On expiry the
+    /// request is left pending — a later `wait`/`wait_timeout` can still
+    /// complete it.
+    ///
+    /// [`wait_outcome`]: Request::wait_outcome
+    pub fn wait_timeout(
+        &self,
+        clock: &mut rankmpi_vtime::Clock,
+        timeout: Duration,
+    ) -> Result<(Status, Bytes), RankMpiError> {
+        let entered_at = clock.now();
+        let started = Instant::now();
+        let completed = if let Some(vci) = &self.progress_vci {
+            let state = Arc::clone(&self.state);
+            let base = clock.clone();
+            state.block_until_complete_for(timeout, || {
+                let mut scratch = base.clone();
+                vci.progress(&mut scratch);
+            })
+        } else {
+            debug_assert!(self.state.is_complete());
+            true
+        };
+        if !completed {
+            return Err(RankMpiError::Timeout {
+                waited_ms: started.elapsed().as_millis() as u64,
+            });
+        }
+        clock.wait_until(self.state.finish_at());
+        let res = self
+            .progress_vci
+            .as_ref()
+            .map(|v| v.res_id())
+            .unwrap_or(rankmpi_obs::trace::ResId::NONE);
+        rankmpi_obs::trace::wait("pt2pt", "req_wait", entered_at, clock.now(), res);
+        self.state.take_outcome()
     }
 
     /// Whether the request has completed (no progress attempted).
@@ -212,6 +322,29 @@ mod tests {
     }
 
     #[test]
+    fn failed_request_returns_the_error() {
+        let r = ReqState::detached();
+        r.fail(Nanos(42), RankMpiError::LinkDown { src: 7 });
+        assert!(r.is_complete());
+        assert_eq!(r.finish_at(), Nanos(42));
+        assert_eq!(r.take_outcome(), Err(RankMpiError::LinkDown { src: 7 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "request failed")]
+    fn take_result_panics_on_failed_request() {
+        let r = ReqState::detached();
+        r.fail(
+            Nanos(1),
+            RankMpiError::RetriesExhausted {
+                src: 0,
+                attempts: 4,
+            },
+        );
+        let _ = r.take_result();
+    }
+
+    #[test]
     fn completion_wakes_blocked_thread() {
         use std::sync::atomic::{AtomicBool, Ordering};
         let r = ReqState::detached();
@@ -241,6 +374,14 @@ mod tests {
     }
 
     #[test]
+    fn bounded_block_expires_on_a_request_that_never_completes() {
+        let r = ReqState::detached();
+        let done = r.block_until_complete_for(Duration::from_millis(5), || {});
+        assert!(!done);
+        assert!(!r.is_complete(), "expiry leaves the request pending");
+    }
+
+    #[test]
     fn ready_request_waits_to_finish_time() {
         let st = ReqState::detached();
         st.complete(
@@ -257,6 +398,25 @@ mod tests {
         let (s, _) = req.wait(&mut clock);
         assert_eq!(s.len, 0);
         assert_eq!(clock.now(), Nanos(500));
+    }
+
+    #[test]
+    fn ready_request_wait_timeout_returns_immediately() {
+        let st = ReqState::detached();
+        st.complete(
+            Nanos(40),
+            Status {
+                source: 0,
+                tag: 0,
+                len: 0,
+            },
+            Bytes::new(),
+        );
+        let req = Request::ready(st);
+        let mut clock = rankmpi_vtime::Clock::new();
+        let out = req.wait_timeout(&mut clock, Duration::from_millis(1));
+        assert!(out.is_ok());
+        assert_eq!(clock.now(), Nanos(40));
     }
 
     #[test]

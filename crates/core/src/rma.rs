@@ -116,6 +116,9 @@ pub struct Window {
     /// completions; per-channel tracking lets the endpoints design offer the
     /// per-endpoint completion scope its proposal implies.
     pending: Mutex<HashMap<(usize, usize), u64>>,
+    /// Error handler (`MPI_Win_set_errhandler`): windows carry their own
+    /// handler, inheriting the communicator's at creation.
+    errhandler: std::sync::Arc<std::sync::atomic::AtomicU8>,
 }
 
 impl Window {
@@ -154,7 +157,24 @@ impl Window {
             ordering,
             targets,
             pending: Mutex::new(HashMap::new()),
+            errhandler: std::sync::Arc::new(std::sync::atomic::AtomicU8::new(
+                comm.errhandler().as_u8(),
+            )),
         })
+    }
+
+    /// Attach an error handler to the window (`MPI_Win_set_errhandler`).
+    /// Independent of the communicator's handler after creation.
+    pub fn set_errhandler(&self, h: crate::error::Errhandler) {
+        self.errhandler
+            .store(h.as_u8(), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The window's error handler.
+    pub fn errhandler(&self) -> crate::error::Errhandler {
+        crate::error::Errhandler::from_u8(
+            self.errhandler.load(std::sync::atomic::Ordering::Relaxed),
+        )
     }
 
     /// The window id (shared by all processes of the window).

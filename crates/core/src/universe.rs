@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rankmpi_fabric::{FaultPlan, NetworkProfile, Nic};
+use rankmpi_fabric::{FaultPlan, NetworkProfile, Nic, ResilConfig};
 
 use crate::costs::CoreCosts;
 use crate::matching::EngineKind;
@@ -229,6 +229,22 @@ impl UniverseShared {
                 .expect("window target not published (window creation is collective)"),
         )
     }
+
+    /// Mark hardware context `ctx_id` on `node`'s NIC as failed mid-run.
+    ///
+    /// Every VCI mapped onto that context fails over to a replacement on its
+    /// next send (see `Vci::maybe_failover`); the remap shows up in the
+    /// `resil.failovers` and (when the pool is exhausted) `nic.alloc_shared`
+    /// counters. Returns whether a context with that id existed.
+    pub fn fail_context(&self, node: usize, ctx_id: usize) -> bool {
+        for ctx in self.nics[node].contexts() {
+            if ctx.id() == ctx_id {
+                ctx.mark_failed();
+                return true;
+            }
+        }
+        false
+    }
 }
 
 impl std::fmt::Debug for UniverseShared {
@@ -255,6 +271,7 @@ pub struct UniverseBuilder {
     profile: NetworkProfile,
     costs: CoreCosts,
     fault_plan: Option<FaultPlan>,
+    resil: Option<ResilConfig>,
 }
 
 impl Default for UniverseBuilder {
@@ -269,6 +286,7 @@ impl Default for UniverseBuilder {
             profile: NetworkProfile::omni_path(),
             costs: CoreCosts::default(),
             fault_plan: None,
+            resil: None,
         }
     }
 }
@@ -336,6 +354,16 @@ impl UniverseBuilder {
         self
     }
 
+    /// Override the reliability-protocol parameters (retransmit window, retry
+    /// budget, RTO) applied to every VCI when the fault plan has a lossy
+    /// class armed. No effect without a lossy [`fault_plan`].
+    ///
+    /// [`fault_plan`]: UniverseBuilder::fault_plan
+    pub fn resil(mut self, cfg: ResilConfig) -> Self {
+        self.resil = Some(cfg);
+        self
+    }
+
     /// Materialize the universe: nodes, NICs, processes, VCI pools.
     pub fn build(self) -> Universe {
         assert!(self.nodes > 0 && self.procs_per_node > 0 && self.threads_per_proc > 0);
@@ -374,9 +402,11 @@ impl UniverseBuilder {
         if let Some(plan) = &self.fault_plan {
             for proc in &procs {
                 for v in 0..proc.num_vcis() {
-                    proc.vci(v)
-                        .mailbox()
-                        .arm_faults(plan.derive(proc.rank() as u64, v as u64));
+                    let mailbox = Arc::clone(proc.vci(v).mailbox());
+                    mailbox.arm_faults(plan.derive(proc.rank() as u64, v as u64));
+                    if let (Some(cfg), Some(r)) = (&self.resil, mailbox.resil()) {
+                        r.set_config(*cfg);
+                    }
                 }
             }
         }

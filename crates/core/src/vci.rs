@@ -11,14 +11,16 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use parking_lot::RwLock;
 use rankmpi_fabric::{
-    transmit, Header, HwContext, Mailbox, NetworkProfile, Nic, Notify, Packet, TxInfo,
+    errcode, transmit, Header, HwContext, Mailbox, NetworkProfile, Nic, Notify, Packet, TxInfo,
 };
 use rankmpi_obs::trace as obs;
 use rankmpi_obs::{labels, registry};
 use rankmpi_vtime::{Accumulator, Clock, ContentionLock, Counter, Nanos};
 
 use crate::costs::CoreCosts;
+use crate::error::RankMpiError;
 use crate::matching::{
     EngineKind, Incoming, MatchEngine, MatchPattern, PostedRecv, ScanWork, Status,
 };
@@ -126,8 +128,13 @@ pub struct Vci {
     rank: usize,
     profile: NetworkProfile,
     costs: CoreCosts,
-    /// NIC hardware context backing this VCI for inter-node traffic.
-    ctx: Arc<HwContext>,
+    /// NIC hardware context backing this VCI for inter-node traffic. Behind a
+    /// lock because a failed context is remapped *live* (see
+    /// [`Vci::hw_context`] and the failover path in `send_packet`).
+    ctx: RwLock<Arc<HwContext>>,
+    /// The NIC the context came from — needed to allocate a replacement when
+    /// the context fails mid-run.
+    nic: Arc<Nic>,
     /// Shared-memory channel for intra-node traffic (unbounded pool).
     shm_ctx: Arc<HwContext>,
     mailbox: Arc<Mailbox>,
@@ -149,6 +156,12 @@ pub struct Vci {
     acquires_contended: Arc<Counter>,
     /// Registry series: virtual time the engine lock was held, per section.
     hold_ns: Arc<Accumulator>,
+    /// Registry series: live hardware-context remaps after a failure.
+    failovers: Arc<Counter>,
+    /// Registry series: poisoned direct packets dropped (the direct protocol
+    /// has no per-message request to fail; partitioned windows observe loss
+    /// through `resil.*` counters instead).
+    poisoned_direct_drops: Arc<Counter>,
 }
 
 impl Vci {
@@ -161,7 +174,7 @@ impl Vci {
     pub fn new(
         id: usize,
         rank: usize,
-        nic: &Nic,
+        nic: &Arc<Nic>,
         shm_nic: &Nic,
         notify: Arc<Notify>,
         costs: CoreCosts,
@@ -175,7 +188,8 @@ impl Vci {
             rank,
             profile: nic.profile().clone(),
             costs,
-            ctx: nic.alloc_context(),
+            ctx: RwLock::new(nic.alloc_context()),
+            nic: Arc::clone(nic),
             shm_ctx: shm_nic.alloc_context(),
             mailbox: Arc::new(Mailbox::new(notify)),
             engine: ContentionLock::new(engine_kind.new_engine()),
@@ -186,6 +200,8 @@ impl Vci {
             acquires: reg.insert_counter("vci.lock_acquires", l()),
             acquires_contended: reg.insert_counter("vci.lock_acquires_contended", l()),
             hold_ns: reg.insert_accum("vci.lock_hold_ns", l()),
+            failovers: reg.insert_counter("resil.failovers", l()),
+            poisoned_direct_drops: reg.insert_counter("vci.poisoned_direct_drops", l()),
         })
     }
 
@@ -272,9 +288,42 @@ impl Vci {
         self.id
     }
 
-    /// The NIC hardware context backing this VCI.
-    pub fn hw_context(&self) -> &Arc<HwContext> {
-        &self.ctx
+    /// The NIC hardware context currently backing this VCI (failover can
+    /// swap it mid-run, hence the owned handle).
+    pub fn hw_context(&self) -> Arc<HwContext> {
+        Arc::clone(&self.ctx.read())
+    }
+
+    /// Live hardware-context remaps this VCI has performed.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.get()
+    }
+
+    /// If the backing hardware context has been marked failed, remap this
+    /// VCI onto a replacement from the NIC — live, between sends. Mirrors
+    /// [`set_engine_kind`]'s drain-and-swap discipline: the write lock
+    /// serializes racing senders; the first one through performs the swap
+    /// (paying one doorbell write to program the new context) and later ones
+    /// see a healthy context on the double-check. Falling back onto a shared
+    /// context is the Lesson 3 oversubscription event, counted in
+    /// `nic.alloc_shared`; the remap itself is counted in `resil.failovers`.
+    ///
+    /// [`set_engine_kind`]: Vci::set_engine_kind
+    fn maybe_failover(&self, clock: &mut Clock) {
+        if !self.ctx.read().is_failed() {
+            return;
+        }
+        let entered = clock.now();
+        let mut cur = self.ctx.write();
+        if !cur.is_failed() {
+            return; // another sender already remapped
+        }
+        let fresh = self.nic.replace_context(&cur);
+        *cur = fresh;
+        drop(cur);
+        clock.advance(self.profile.doorbell);
+        self.failovers.incr();
+        obs::busy("resil", "failover", entered, clock.now(), self.res_id());
     }
 
     /// This VCI's mailbox (destination side).
@@ -320,11 +369,14 @@ impl Vci {
                 payload,
             )
         } else {
+            self.maybe_failover(clock);
+            let src_ctx = Arc::clone(&self.ctx.read());
+            let dst_ctx = Arc::clone(&dst.ctx.read());
             transmit(
                 &self.profile,
                 clock,
-                &self.ctx,
-                &dst.ctx,
+                &src_ctx,
+                &dst_ctx,
                 &dst.mailbox,
                 header,
                 payload,
@@ -383,7 +435,14 @@ impl Vci {
         self.mailbox.drain_into(&mut batch);
         let n = batch.len();
         for pkt in batch {
-            if pkt.header.kind == KIND_DIRECT {
+            if pkt.header.base_kind() == KIND_DIRECT {
+                if pkt.header.is_poisoned() {
+                    // The direct protocol has no per-message request to fail;
+                    // drop the tombstone and let `resil.*` counters carry the
+                    // loss signal.
+                    self.poisoned_direct_drops.incr();
+                    continue;
+                }
                 self.direct.dispatch(pkt);
                 continue;
             }
@@ -416,24 +475,20 @@ impl Vci {
             let out = self.shm_ctx.occupy_tx(clock.now(), occ, bytes);
             return out + self.costs.shm_latency;
         }
+        self.maybe_failover(clock);
+        let ctx = Arc::clone(&self.ctx.read());
         clock.advance(self.profile.send_overhead);
-        let gate = self.ctx.lock_gate(clock);
+        let gate = ctx.lock_gate(clock);
         clock.advance(self.profile.doorbell);
-        let injected = self.ctx.occupy_tx(
+        let injected = ctx.occupy_tx(
             clock.now(),
-            self.profile.tx_occupancy_on(bytes, self.ctx.is_shared()),
+            self.profile.tx_occupancy_on(bytes, ctx.is_shared()),
             bytes,
         );
         gate.release(clock);
-        dst.ctx.note_rx();
+        dst.ctx.read().note_rx();
         let arrive = injected + self.profile.wire_latency() + self.profile.rx_gap;
-        obs::busy(
-            "fabric",
-            "raw_tx",
-            entered_at,
-            clock.now(),
-            self.ctx.res_id(),
-        );
+        obs::busy("fabric", "raw_tx", entered_at, clock.now(), ctx.res_id());
         obs::busy("fabric", "wire", injected, arrive, obs::ResId::NONE);
         arrive
     }
@@ -488,7 +543,25 @@ impl Vci {
     /// Complete `req` with `pkt`, with its matching work finished at `done`:
     /// delivery cannot precede the packet's arrival, then costs the receive
     /// overhead and the eager copy. Returns the completion time.
+    ///
+    /// A *poisoned* packet (the reliability layer's tombstone for a message
+    /// whose retries were exhausted) fails the request instead — the waiting
+    /// receiver gets a [`RankMpiError`] at the sender's give-up time rather
+    /// than hanging on data that will never arrive.
     fn complete_match(&self, done: Nanos, req: &Arc<ReqState>, pkt: Packet) -> Nanos {
+        if pkt.header.is_poisoned() {
+            let finish = done.max(pkt.arrive_at);
+            let src = pkt.header.src;
+            let err = match pkt.header.poison_code() {
+                errcode::LINK_DOWN => RankMpiError::LinkDown { src },
+                _ => RankMpiError::RetriesExhausted {
+                    src,
+                    attempts: pkt.header.poison_attempts(),
+                },
+            };
+            req.fail(finish, err);
+            return finish;
+        }
         self.matched.incr();
         let finish = done.max(pkt.arrive_at)
             + self.profile.recv_overhead
@@ -608,25 +681,29 @@ impl Vci {
 ///
 /// `block` maps policy-relative indices to pool indices; it is identical on
 /// all processes of the communicator (allocated in collective order).
+///
+/// Errors with [`RankMpiError::InvalidState`] under [`VciPolicy::Explicit`]:
+/// that policy has no implicit mapping — each operation must name its VCIs
+/// (the endpoints API does).
 pub fn select_vcis(
     policy: &VciPolicy,
     block: &[usize],
     context_id: u32,
     tag: i64,
-) -> (usize, usize) {
+) -> crate::error::Result<(usize, usize)> {
     match policy {
-        VciPolicy::Single => (block[0], block[0]),
+        VciPolicy::Single => Ok((block[0], block[0])),
         VciPolicy::HashedTag => {
             let i = default_tag_hash(context_id, tag, block.len());
-            (block[i], block[i])
+            Ok((block[i], block[i]))
         }
-        VciPolicy::TagBitsOneToOne { layout } => (
+        VciPolicy::TagBitsOneToOne { layout } => Ok((
             block[layout.src_vci(tag, block.len())],
             block[layout.dst_vci(tag, block.len())],
-        ),
-        VciPolicy::Explicit => {
-            panic!("explicit policy requires per-op VCI indices (endpoints API)")
-        }
+        )),
+        VciPolicy::Explicit => Err(RankMpiError::InvalidState(
+            "explicit policy requires per-op VCI indices (endpoints API)",
+        )),
     }
 }
 
@@ -867,8 +944,81 @@ mod tests {
     }
 
     #[test]
+    fn explicit_policy_has_no_implicit_mapping() {
+        assert!(matches!(
+            select_vcis(&VciPolicy::Explicit, &[0, 1], 1, 3),
+            Err(RankMpiError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn failed_context_is_remapped_on_next_send() {
+        let nic = Arc::new(Nic::new(0, NetworkProfile::constrained(4)));
+        let shm = Arc::new(Nic::new(0, NetworkProfile::ideal()));
+        let mk = |id| {
+            Vci::new(
+                id,
+                0,
+                &nic,
+                &shm,
+                Arc::new(Notify::new()),
+                CoreCosts::default(),
+                Arc::new(DirectRegistry::new()),
+                EngineKind::default(),
+            )
+        };
+        let a = mk(0);
+        let b = mk(1);
+        let failed = a.hw_context();
+        failed.mark_failed();
+        let mut clock = Clock::new();
+        a.send_packet(&mut clock, &b, false, header(1, 0, 0), Bytes::new());
+        assert_eq!(a.failovers(), 1);
+        let healthy = a.hw_context();
+        assert_ne!(healthy.id(), failed.id());
+        assert!(!healthy.is_failed());
+        // Subsequent sends stay on the replacement — no repeated remap.
+        a.send_packet(&mut clock, &b, false, header(1, 0, 0), Bytes::new());
+        assert_eq!(a.failovers(), 1);
+    }
+
+    #[test]
+    fn poisoned_packet_fails_the_matched_receive() {
+        use rankmpi_fabric::errcode;
+        let (v, _n, _s) = test_vci(0);
+        let mut clock = Clock::new();
+        let req = ReqState::detached();
+        v.post_recv(
+            &mut clock,
+            MatchPattern {
+                context_id: 1,
+                src: 0,
+                tag: 4,
+            },
+            Arc::clone(&req),
+        );
+        let mut h = header(1, 0, 4);
+        h.poison(errcode::RETRIES_EXHAUSTED, 5);
+        v.mailbox().push(Packet {
+            header: h,
+            payload: Bytes::new(),
+            arrive_at: Nanos(1_000),
+        });
+        v.progress(&mut clock);
+        assert!(req.is_complete());
+        assert_eq!(
+            req.take_outcome(),
+            Err(RankMpiError::RetriesExhausted {
+                src: 0,
+                attempts: 5
+            })
+        );
+        assert_eq!(v.matched(), 0, "poisoned completion is not a match");
+    }
+
+    #[test]
     fn single_policy_pins_to_first_block_entry() {
-        let (s, r) = select_vcis(&VciPolicy::Single, &[7], 1, 42);
+        let (s, r) = select_vcis(&VciPolicy::Single, &[7], 1, 42).unwrap();
         assert_eq!((s, r), (7, 7));
         assert_eq!(
             select_recv_vci(
@@ -891,7 +1041,7 @@ mod tests {
         let policy = VciPolicy::TagBitsOneToOne { layout };
         let block = [10, 11, 12, 13];
         let tag = layout.encode(2, 3, 0).unwrap();
-        let (s, r) = select_vcis(&policy, &block, 1, tag);
+        let (s, r) = select_vcis(&policy, &block, 1, tag).unwrap();
         assert_eq!(s, 12); // src tid 2
         assert_eq!(r, 13); // dst tid 3
                            // Receiver with the concrete tag finds the same VCI.
@@ -999,7 +1149,7 @@ mod tests {
         let policy = VciPolicy::HashedTag;
         let block = [0, 1, 2, 3, 4, 5, 6, 7];
         for tag in 0..100 {
-            let (s, r) = select_vcis(&policy, &block, 42, tag);
+            let (s, r) = select_vcis(&policy, &block, 42, tag).unwrap();
             assert_eq!(s, r, "hashed policy maps both sides identically");
             let rv = select_recv_vci(
                 &policy,

@@ -1,6 +1,6 @@
 //! One NIC hardware context: a work-queue/doorbell pair.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use rankmpi_vtime::{Clock, ContentionLock, Counter, Nanos, Resource};
 
@@ -25,6 +25,9 @@ pub struct HwContext {
     time: Resource,
     /// Number of logical channels mapped onto this context.
     owners: AtomicUsize,
+    /// Whether the context has been marked failed (fault injection / runtime
+    /// health): channels remap off it on their next send.
+    failed: AtomicBool,
     msgs_tx: Counter,
     msgs_rx: Counter,
     bytes_tx: Counter,
@@ -39,6 +42,7 @@ impl HwContext {
             gate: ContentionLock::with_costs((), profile.context_lock),
             time: Resource::new(),
             owners: AtomicUsize::new(0),
+            failed: AtomicBool::new(false),
             msgs_tx: Counter::new(),
             msgs_rx: Counter::new(),
             bytes_tx: Counter::new(),
@@ -79,6 +83,25 @@ impl HwContext {
     /// Whether more than one logical channel shares this context.
     pub fn is_shared(&self) -> bool {
         self.owners() > 1
+    }
+
+    /// Mark this context failed: it stops being eligible for allocation and
+    /// channels mapped onto it fail over to a replacement on their next send
+    /// (see `Nic::replace_context` and the core VCI's live remap).
+    pub fn mark_failed(&self) {
+        self.failed.store(true, Ordering::Release);
+    }
+
+    /// Whether this context has been marked failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Deregister one logical channel (failover moved it elsewhere).
+    pub fn remove_owner(&self) -> usize {
+        let prev = self.owners.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "owner count underflow");
+        prev - 1
     }
 
     /// Enter the software gate (descriptor write + doorbell serialization).

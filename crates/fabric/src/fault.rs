@@ -19,6 +19,15 @@
 //! same way under every thread schedule — which is what lets
 //! `rankmpi-check` sweep schedules and fault seeds independently.
 //!
+//! Two fault classes are *lossy*: wire drops ([`FaultPlan::drops`]) and link
+//! down/flap windows ([`FaultPlan::flaps`]). Unlike the delivery-preserving
+//! classes above, a lossy plan genuinely discards transmission attempts —
+//! which is only semantics-preserving because arming one also arms the
+//! [`resil`](crate::resil) retransmit layer on the mailbox. Flap decisions
+//! hash the packet's *sequence window* (`seq / flap_window`) instead of the
+//! individual `seq`, so consecutive sends share the outcome: bursts of loss,
+//! like a link going down and coming back, still schedule-independent.
+//!
 //! Injected faults are recorded as `obs` spans (category `"fault"`) and
 //! aggregated into the always-compiled metrics registry under the
 //! `fault.*` prefix, so traces show them and bench JSON can export them.
@@ -51,6 +60,25 @@ pub struct FaultPlan {
     /// Probability a packet is reordered past the previously queued packet
     /// (applied only across different `(context_id, src)` channels).
     pub reorder_prob: f64,
+    /// Probability any single transmission attempt is dropped on the wire
+    /// (lossy: requires the [`resil`](crate::resil) retransmit layer).
+    pub drop_prob: f64,
+    /// Probability an entire sequence window of attempts is lost to a link
+    /// down/flap episode (lossy; see [`FaultPlan::flaps`]).
+    pub flap_prob: f64,
+    /// Length of one flap decision window in sender sequence numbers: all
+    /// packets with the same `seq / flap_window` share each attempt's flap
+    /// outcome, producing bursty loss.
+    pub flap_window: u64,
+}
+
+/// Why a transmission attempt was lost on the wire (lossy fault classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// An isolated wire drop ([`FaultPlan::drops`]).
+    Drop,
+    /// A link down/flap episode ([`FaultPlan::flaps`]).
+    LinkDown,
 }
 
 impl Default for FaultPlan {
@@ -63,6 +91,9 @@ impl Default for FaultPlan {
             nack_prob: 0.0,
             nack_delay: Nanos(3_000),
             reorder_prob: 0.0,
+            drop_prob: 0.0,
+            flap_prob: 0.0,
+            flap_window: 16,
         }
     }
 }
@@ -114,6 +145,33 @@ impl FaultPlan {
         self
     }
 
+    /// Enable true wire drops: each transmission attempt is independently
+    /// lost with probability `prob`. Lossy — the mailbox's `resil` layer
+    /// retransmits until delivery or retry exhaustion.
+    pub fn drops(mut self, prob: f64) -> Self {
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Enable link down/flap episodes: all attempts in a window of `window`
+    /// consecutive sender sequence numbers are lost together with
+    /// probability `prob` per attempt round. Lossy (see [`FaultPlan::drops`]).
+    pub fn flaps(mut self, prob: f64, window: u64) -> Self {
+        self.flap_prob = prob;
+        self.flap_window = window.max(1);
+        self
+    }
+
+    /// A lossy preset: 5% independent wire drops plus flap episodes that
+    /// take out ~30% of 8-send windows per attempt round, on top of mild
+    /// delays. The mix the acceptance pingpong and the resilience bench run.
+    pub fn lossy(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .drops(0.05)
+            .flaps(0.30, 8)
+            .delays(0.10, Nanos(1_500))
+    }
+
     /// Derive a distinct-seed copy of this plan (e.g. one per `(rank, vci)`
     /// mailbox) so that mailboxes perturb independently.
     pub fn derive(&self, a: u64, b: u64) -> Self {
@@ -128,6 +186,35 @@ impl FaultPlan {
             || self.duplicate_prob > 0.0
             || self.nack_prob > 0.0
             || self.reorder_prob > 0.0
+            || self.any_lossy()
+    }
+
+    /// Whether a lossy class (drop or flap) is enabled — i.e. whether the
+    /// retransmit layer is required for delivery.
+    pub fn any_lossy(&self) -> bool {
+        self.drop_prob > 0.0 || self.flap_prob > 0.0
+    }
+
+    /// Whether transmission attempt `attempt` (0 = the original send) of
+    /// packet `(src, seq)` is lost, and to which cause. Flap outranks drop:
+    /// a down link loses the packet regardless of the wire.
+    ///
+    /// Like every fault decision this depends only on the plan seed and the
+    /// packet identity — the sender can (and does) evaluate the whole
+    /// retransmit schedule at send time without breaking
+    /// schedule-independence.
+    pub(crate) fn lost(&self, src: u32, seq: u64, attempt: u32) -> Option<LossCause> {
+        let a = attempt as u64;
+        if self.flap_prob > 0.0 {
+            let window = seq / self.flap_window.max(1);
+            if self.unit(src, window, 7 + 16 * a) < self.flap_prob {
+                return Some(LossCause::LinkDown);
+            }
+        }
+        if self.drop_prob > 0.0 && self.unit(src, seq, 6 + 16 * a) < self.drop_prob {
+            return Some(LossCause::Drop);
+        }
+        None
     }
 
     /// A uniform value in `[0, 1)` for decision `salt` on packet
@@ -162,6 +249,10 @@ pub struct FaultReport {
     pub nacks: u64,
     /// Cross-channel queue reorders performed.
     pub reorders: u64,
+    /// Spurious retransmit copies (from the `resil` layer) dropped by the
+    /// dedup filter — kept separate so `dups_injected == dups_dropped`
+    /// remains an invariant of the duplicate fault class alone.
+    pub spurious_dropped: u64,
 }
 
 /// Per-mailbox fault counters, mirrored into the global metrics registry
@@ -175,7 +266,8 @@ pub(crate) struct FaultCounters {
     pub dups_dropped: Counter,
     pub nacks: Counter,
     pub reorders: Counter,
-    reg: [Arc<Counter>; 6],
+    pub spurious_dropped: Counter,
+    reg: [Arc<Counter>; 7],
 }
 
 impl FaultCounters {
@@ -189,6 +281,7 @@ impl FaultCounters {
             dups_dropped: Counter::new(),
             nacks: Counter::new(),
             reorders: Counter::new(),
+            spurious_dropped: Counter::new(),
             reg: [
                 c("fault.delays"),
                 c("fault.delay_ns"),
@@ -196,6 +289,7 @@ impl FaultCounters {
                 c("fault.dups_dropped"),
                 c("fault.nacks"),
                 c("fault.reorders"),
+                c("fault.spurious_dropped"),
             ],
         }
     }
@@ -229,6 +323,11 @@ impl FaultCounters {
         self.reg[5].incr();
     }
 
+    pub fn bump_spurious_dropped(&self) {
+        self.spurious_dropped.incr();
+        self.reg[6].incr();
+    }
+
     pub fn report(&self) -> FaultReport {
         FaultReport {
             delays: self.delays.get(),
@@ -237,6 +336,7 @@ impl FaultCounters {
             dups_dropped: self.dups_dropped.get(),
             nacks: self.nacks.get(),
             reorders: self.reorders.get(),
+            spurious_dropped: self.spurious_dropped.get(),
         }
     }
 }
@@ -272,5 +372,41 @@ mod tests {
     fn default_plan_is_inert() {
         assert!(!FaultPlan::new(9).any_enabled());
         assert!(FaultPlan::chaos(9).any_enabled());
+        assert!(!FaultPlan::chaos(9).any_lossy());
+        assert!(FaultPlan::lossy(9).any_lossy());
+        assert!(FaultPlan::new(9).drops(0.01).any_enabled());
+    }
+
+    #[test]
+    fn loss_decisions_are_deterministic_and_attempt_indexed() {
+        let p = FaultPlan::new(11).drops(0.5);
+        for seq in 0..200u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(p.lost(0, seq, attempt), p.lost(0, seq, attempt));
+            }
+        }
+        // At 50% drop some packet must be lost on attempt 0 but survive a
+        // retransmit attempt (otherwise retries could never help).
+        assert!((0..200u64)
+            .any(|seq| p.lost(0, seq, 0) == Some(LossCause::Drop) && p.lost(0, seq, 1).is_none()));
+    }
+
+    #[test]
+    fn flap_loss_is_bursty_over_sequence_windows() {
+        let p = FaultPlan::new(4).flaps(0.5, 8);
+        // All seqs within one flap window share each attempt's outcome.
+        for window in 0..32u64 {
+            let first = p.lost(3, window * 8, 0);
+            for off in 1..8u64 {
+                assert_eq!(p.lost(3, window * 8 + off, 0), first);
+            }
+            if first.is_some() {
+                assert_eq!(first, Some(LossCause::LinkDown));
+            }
+        }
+        // And at 50% some window is down while another is up.
+        let outcomes: Vec<_> = (0..32u64).map(|w| p.lost(3, w * 8, 0)).collect();
+        assert!(outcomes.iter().any(|o| o.is_some()));
+        assert!(outcomes.iter().any(|o| o.is_none()));
     }
 }

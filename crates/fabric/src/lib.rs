@@ -22,6 +22,11 @@
 //! - [`transmit`]: the injection path — overhead, doorbell, context occupancy,
 //!   wire latency, remote context serialization — delivering a [`Packet`] into a
 //!   destination [`Mailbox`] with its virtual arrival stamp.
+//!
+//! Two robustness layers complete the model: lossy fault classes (wire
+//! drops, link flaps — [`fault`]) and the [`resil`] sliding-window
+//! ack/retransmit protocol that preserves MPI delivery semantics over them,
+//! surfacing unrecoverable losses as poisoned packets instead of hangs.
 
 pub mod context;
 pub mod fault;
@@ -29,12 +34,14 @@ pub mod mailbox;
 pub mod nic;
 pub mod packet;
 pub mod profile;
+pub mod resil;
 pub mod transmit;
 
 pub use context::HwContext;
-pub use fault::{FaultPlan, FaultReport};
+pub use fault::{FaultPlan, FaultReport, LossCause};
 pub use mailbox::{Mailbox, Notify};
 pub use nic::Nic;
-pub use packet::{Header, Packet};
+pub use packet::{errcode, Header, Packet, KIND_ERR_FLAG};
 pub use profile::NetworkProfile;
+pub use resil::{Resil, ResilConfig, ResilReport};
 pub use transmit::{transmit, TxInfo};

@@ -1,6 +1,6 @@
 //! Destination-side packet queues and arrival notification.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -10,6 +10,7 @@ use rankmpi_vtime::sched::{self, SchedPoint};
 use rankmpi_vtime::Nanos;
 
 use crate::fault::{FaultCounters, FaultPlan, FaultReport};
+use crate::resil::{Resil, ResilConfig};
 use crate::Packet;
 
 /// A progress-event channel: a versioned condition variable.
@@ -69,22 +70,52 @@ impl Notify {
     }
 }
 
+/// Per-`(context_id, src)` channel bookkeeping of a faulted mailbox.
+///
+/// The dedup filter is a *watermark*, not a set: the mailbox assigns each
+/// original packet a push-order receive sequence number (`next_push`), copies
+/// share their original's number, and drain delivers a packet iff its number
+/// equals `next_deliver` (then advances it). Because per-channel queue order
+/// equals push order (reorder faults only swap across channels), every
+/// original hits its watermark exactly and every copy lands strictly below
+/// it. `next_deliver` is exactly the channel's cumulative-ack watermark, so
+/// dedup memory is O(channels), flat no matter how many duplicates a run
+/// injects — the ack-based GC the reliability protocol requires.
+#[derive(Debug, Default)]
+struct ChanState {
+    /// Latest faulted arrival: keeps virtual arrival monotone within the
+    /// channel (head-of-line delay propagation).
+    floor: Nanos,
+    /// Next receive sequence number to assign at push.
+    next_push: u64,
+    /// Delivery watermark: everything below has been delivered (acked);
+    /// a queued entry below it is a duplicate copy and is dropped.
+    next_deliver: u64,
+}
+
 /// Fault-injection state of one armed mailbox (see [`FaultPlan`]).
 #[derive(Debug)]
 struct FaultState {
     plan: FaultPlan,
-    /// Latest faulted arrival per `(context_id, src)` channel: keeps virtual
-    /// arrival monotone within a channel (head-of-line delay propagation).
-    channel_floor: HashMap<(u32, u32), Nanos>,
-    /// `(src, seq)` pairs already delivered once — the dedup filter that
-    /// drops injected duplicate copies at drain time.
-    seen: HashSet<(u32, u64)>,
+    channels: HashMap<(u32, u32), ChanState>,
     counters: FaultCounters,
+}
+
+/// One queued packet plus the dedup bookkeeping it was pushed with.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Push-order receive sequence on the packet's channel (0 when no fault
+    /// plan is armed — the watermark filter is bypassed entirely then).
+    rseq: u64,
+    /// Whether this is a spurious retransmit copy from the `resil` layer
+    /// (counted separately from injected duplicate-fault copies).
+    spurious: bool,
+    p: Packet,
 }
 
 #[derive(Debug)]
 struct Inner {
-    q: Vec<Packet>,
+    q: Vec<Entry>,
     faults: Option<FaultState>,
 }
 
@@ -99,6 +130,10 @@ struct Inner {
 pub struct Mailbox {
     inner: Mutex<Inner>,
     notify: Arc<Notify>,
+    /// Reliability layer, armed alongside a lossy fault plan (see
+    /// [`resil`](crate::resil)). Kept outside `inner` so `transmit` can grab
+    /// a handle without contending with push/drain.
+    resil: Mutex<Option<Arc<Resil>>>,
 }
 
 impl Mailbox {
@@ -110,23 +145,44 @@ impl Mailbox {
                 faults: None,
             }),
             notify,
+            resil: Mutex::new(None),
         }
     }
 
     /// Arm deterministic fault injection on this mailbox. A plan with no
-    /// fault class enabled disarms instead.
+    /// fault class enabled disarms instead. A plan with a lossy class (drops
+    /// or flaps) also arms the [`Resil`] retransmit layer — without it a
+    /// lossy plan would violate MPI's no-loss contract.
     pub fn arm_faults(&self, plan: FaultPlan) {
+        *self.resil.lock() = plan
+            .any_lossy()
+            .then(|| Resil::new(plan.clone(), ResilConfig::default()));
         let mut inner = self.inner.lock();
         inner.faults = if plan.any_enabled() {
             Some(FaultState {
                 plan,
-                channel_floor: HashMap::new(),
-                seen: HashSet::new(),
+                channels: HashMap::new(),
                 counters: FaultCounters::new(),
             })
         } else {
             None
         };
+    }
+
+    /// The reliability layer, if a lossy plan is armed.
+    pub fn resil(&self) -> Option<Arc<Resil>> {
+        self.resil.lock().clone()
+    }
+
+    /// Number of live per-channel dedup records. O(channels) by
+    /// construction — the regression tests assert it stays flat while
+    /// thousands of duplicates flow through.
+    pub fn dedup_entries(&self) -> usize {
+        self.inner
+            .lock()
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.channels.len())
     }
 
     /// Counts of faults injected so far, if a plan is armed.
@@ -140,17 +196,29 @@ impl Mailbox {
 
     /// Deposit a packet (called by the sending thread) and wake the receiver.
     pub fn push(&self, p: Packet) {
+        self.push_with_spurious(p, None);
+    }
+
+    /// Deposit a packet together with an optional spurious retransmit copy
+    /// from the `resil` layer. The pair is pushed under one lock so the copy
+    /// shares the original's dedup sequence number even when other senders
+    /// race onto the same channel — the copy is then guaranteed to land
+    /// below the watermark and be dropped at drain.
+    pub fn push_with_spurious(&self, p: Packet, spurious: Option<Packet>) {
         sched::yield_point(SchedPoint::MailboxPush);
         {
             let mut inner = self.inner.lock();
-            inner.push_packet(p);
+            let rseq = inner.push_packet(p);
+            if let Some(sp) = spurious {
+                inner.push_spurious(rseq, sp);
+            }
         }
         self.notify.notify();
     }
 
     /// Drain all queued packets, in queue order, into `out`. Returns how
-    /// many were delivered (injected duplicate copies are dropped here, not
-    /// delivered).
+    /// many were delivered (injected duplicate and spurious-retransmit
+    /// copies are dropped here, not delivered).
     pub fn drain_into(&self, out: &mut Vec<Packet>) -> usize {
         sched::yield_point(SchedPoint::MailboxDrain);
         let mut inner = self.inner.lock();
@@ -158,19 +226,30 @@ impl Mailbox {
         match faults {
             Some(fs) => {
                 let mut n = 0;
-                for p in q.drain(..) {
-                    if fs.seen.insert((p.header.src, p.header.seq)) {
-                        out.push(p);
+                for e in q.drain(..) {
+                    let chan = (e.p.header.context_id, e.p.header.src);
+                    let st = fs.channels.entry(chan).or_default();
+                    if e.rseq == st.next_deliver {
+                        st.next_deliver += 1;
+                        out.push(e.p);
                         n += 1;
                     } else {
-                        fs.counters.bump_dup_dropped();
+                        debug_assert!(
+                            e.rseq < st.next_deliver,
+                            "queued entry above the channel watermark"
+                        );
+                        if e.spurious {
+                            fs.counters.bump_spurious_dropped();
+                        } else {
+                            fs.counters.bump_dup_dropped();
+                        }
                     }
                 }
                 n
             }
             None => {
                 let n = q.len();
-                out.append(q);
+                out.extend(q.drain(..).map(|e| e.p));
                 n
             }
         }
@@ -193,14 +272,37 @@ impl Mailbox {
 }
 
 impl Inner {
-    fn push_packet(&mut self, mut p: Packet) {
+    /// Queue a packet, applying armed faults. Returns the push-order dedup
+    /// sequence assigned on the packet's channel (0 when unfaulted).
+    fn push_packet(&mut self, mut p: Packet) -> u64 {
         let Some(fs) = self.faults.as_mut() else {
-            self.q.push(p);
-            return;
+            self.q.push(Entry {
+                rseq: 0,
+                spurious: false,
+                p,
+            });
+            return 0;
         };
         let (src, seq) = (p.header.src, p.header.seq);
         let chan = (p.header.context_id, src);
         let orig = p.arrive_at;
+
+        // Poisoned packets are synthetic failure notifications: they bypass
+        // fault perturbation (their timing is the protocol's give-up time)
+        // but still take a dedup slot and respect the channel floor.
+        if p.header.is_poisoned() {
+            let st = fs.channels.entry(chan).or_default();
+            let rseq = st.next_push;
+            st.next_push += 1;
+            p.arrive_at = p.arrive_at.max(st.floor);
+            st.floor = p.arrive_at;
+            self.q.push(Entry {
+                rseq,
+                spurious: false,
+                p,
+            });
+            return rseq;
+        }
 
         // Transient NACK: one retransmit round's worth of extra latency.
         if fs.plan.nack_prob > 0.0 && fs.plan.unit(src, seq, 1) < fs.plan.nack_prob {
@@ -217,13 +319,15 @@ impl Inner {
             fs.counters.bump_delay(p.arrive_at.as_ns() - before.as_ns());
             obs::busy("fault", "delay", before, p.arrive_at, obs::ResId::NONE);
         }
+        let st = fs.channels.entry(chan).or_default();
         // Head-of-line clamp: a channel's arrivals stay monotone in virtual
         // time even when an earlier packet was delayed past this one.
-        let floor = fs.channel_floor.entry(chan).or_insert(Nanos::ZERO);
-        if p.arrive_at < *floor {
-            p.arrive_at = *floor;
+        if p.arrive_at < st.floor {
+            p.arrive_at = st.floor;
         }
-        *floor = p.arrive_at;
+        st.floor = p.arrive_at;
+        let rseq = st.next_push;
+        st.next_push += 1;
 
         let duplicate =
             fs.plan.duplicate_prob > 0.0 && fs.plan.unit(src, seq, 4) < fs.plan.duplicate_prob;
@@ -231,13 +335,17 @@ impl Inner {
             fs.plan.reorder_prob > 0.0 && fs.plan.unit(src, seq, 5) < fs.plan.reorder_prob;
 
         let copy = duplicate.then(|| p.clone());
-        self.q.push(p);
+        self.q.push(Entry {
+            rseq,
+            spurious: false,
+            p,
+        });
         // Cross-channel reorder: swap with the previously queued packet iff
         // it belongs to a different channel (same-channel real order is the
         // transport's non-overtaking guarantee and must survive).
         if reorder && self.q.len() >= 2 {
             let i = self.q.len() - 2;
-            let prev = &self.q[i].header;
+            let prev = &self.q[i].p.header;
             if (prev.context_id, prev.src) != chan {
                 self.q.swap(i, i + 1);
                 fs.counters.bump_reorder();
@@ -253,7 +361,28 @@ impl Inner {
                 c.arrive_at,
                 obs::ResId::NONE,
             );
-            self.q.push(c);
+            // The copy shares the original's dedup sequence: it lands below
+            // the watermark at drain and is dropped.
+            self.q.push(Entry {
+                rseq,
+                spurious: false,
+                p: c,
+            });
+        }
+        rseq
+    }
+
+    /// Queue a spurious retransmit copy sharing `rseq` with its original
+    /// (dropped at drain, counted separately from duplicate faults). Without
+    /// an armed plan there is no dedup filter, so the copy is discarded
+    /// outright rather than delivered twice.
+    fn push_spurious(&mut self, rseq: u64, p: Packet) {
+        if self.faults.is_some() {
+            self.q.push(Entry {
+                rseq,
+                spurious: true,
+                p,
+            });
         }
     }
 }
@@ -365,6 +494,64 @@ mod tests {
         let mut seqs: Vec<u64> = out.iter().map(|p| p.header.seq).collect();
         seqs.sort_unstable();
         assert_eq!(seqs, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dedup_memory_stays_flat_over_ten_thousand_dups() {
+        // Regression: the dedup filter used to be a grow-forever
+        // (src, seq) set; it is now a per-channel watermark. 10k packets on
+        // two channels with ~100% duplication must leave exactly two dedup
+        // records, and every copy must still be dropped.
+        let mb = Mailbox::new(Arc::new(Notify::new()));
+        mb.arm_faults(FaultPlan::new(21).duplicates(1.0));
+        let n = 10_000u64;
+        let mut out = Vec::new();
+        let mut delivered = 0;
+        for seq in 0..n {
+            mb.push(pkt_on(1, 0, seq, seq));
+            mb.push(pkt_on(1, 1, seq, seq));
+            if seq % 64 == 0 {
+                delivered += mb.drain_into(&mut out);
+                out.clear();
+            }
+        }
+        delivered += mb.drain_into(&mut out);
+        assert_eq!(delivered as u64, 2 * n, "every original delivered once");
+        let report = mb.fault_report().unwrap();
+        assert_eq!(report.dups_injected, 2 * n, "prob 1.0 duplicates all");
+        assert_eq!(report.dups_dropped, report.dups_injected);
+        assert_eq!(
+            mb.dedup_entries(),
+            2,
+            "dedup memory must be O(channels), not O(messages)"
+        );
+    }
+
+    #[test]
+    fn spurious_copies_are_dropped_and_counted_separately() {
+        let mb = Mailbox::new(Arc::new(Notify::new()));
+        mb.arm_faults(FaultPlan::new(5).delays(0.2, Nanos(100)));
+        for seq in 0..50 {
+            let p = pkt_on(1, 0, seq, 10 * seq);
+            let spur = (seq % 3 == 0).then(|| p.clone());
+            mb.push_with_spurious(p, spur);
+        }
+        let mut out = Vec::new();
+        let delivered = mb.drain_into(&mut out);
+        assert_eq!(delivered, 50, "spurious copies must not be delivered");
+        let report = mb.fault_report().unwrap();
+        assert_eq!(report.spurious_dropped, 17);
+        assert_eq!(report.dups_dropped, 0, "spurious != duplicate-fault");
+    }
+
+    #[test]
+    fn lossy_plan_arms_the_resil_layer() {
+        let mb = Mailbox::new(Arc::new(Notify::new()));
+        assert!(mb.resil().is_none());
+        mb.arm_faults(FaultPlan::lossy(1));
+        assert!(mb.resil().is_some());
+        mb.arm_faults(FaultPlan::chaos(1));
+        assert!(mb.resil().is_none(), "chaos has no lossy class");
     }
 
     #[test]

@@ -96,6 +96,42 @@ impl Nic {
         ctx
     }
 
+    /// Allocate a replacement for a channel whose context failed mid-run.
+    ///
+    /// Prefers a fresh dedicated context while the pool has capacity;
+    /// otherwise round-robins onto the next *healthy* context — a genuine
+    /// Lesson 3 oversubscription event, counted in `nic.alloc_shared`. If
+    /// every context is down the failed rotation is reused anyway (the
+    /// simulation must keep moving; retries and error handlers decide what
+    /// the application sees). The failed context loses an owner, the
+    /// replacement gains one.
+    pub fn replace_context(&self, failed: &HwContext) -> Arc<HwContext> {
+        let mut st = self.state.lock();
+        st.allocations += 1;
+        let ctx = if st.contexts.len() < self.profile.max_hw_contexts {
+            let ctx = Arc::new(HwContext::new(self.node, st.contexts.len(), &self.profile));
+            st.contexts.push(Arc::clone(&ctx));
+            self.alloc_dedicated.incr();
+            ctx
+        } else {
+            let n = st.contexts.len();
+            let mut pick = st.share_cursor % n;
+            for probe in 0..n {
+                let i = (st.share_cursor + probe) % n;
+                if !st.contexts[i].is_failed() {
+                    pick = i;
+                    st.share_cursor = i + 1;
+                    break;
+                }
+            }
+            self.alloc_shared.incr();
+            Arc::clone(&st.contexts[pick])
+        };
+        failed.remove_owner();
+        ctx.add_owner();
+        ctx
+    }
+
     /// Channels that received a dedicated context.
     pub fn dedicated_allocs(&self) -> u64 {
         self.alloc_dedicated.get()
@@ -168,5 +204,33 @@ mod tests {
     fn oversubscription_zero_when_unused() {
         let nic = Nic::new(0, NetworkProfile::omni_path());
         assert_eq!(nic.oversubscription(), 0.0);
+    }
+
+    #[test]
+    fn replace_context_skips_failed_contexts_when_pool_exhausted() {
+        let nic = Nic::new(0, NetworkProfile::constrained(2));
+        let a = nic.alloc_context();
+        let b = nic.alloc_context();
+        let shared_before = nic.shared_allocs();
+        a.mark_failed();
+        let r = nic.replace_context(&a);
+        // Pool exhausted: replacement is the other (healthy) context, a
+        // shared-allocation (Lesson 3) event.
+        assert_eq!(r.id(), b.id());
+        assert!(!r.is_failed());
+        assert_eq!(nic.shared_allocs(), shared_before + 1);
+        assert_eq!(a.owners(), 0, "failed context lost its owner");
+        assert!(b.is_shared(), "replacement now carries both channels");
+    }
+
+    #[test]
+    fn replace_context_prefers_spare_dedicated_capacity() {
+        let nic = Nic::new(0, NetworkProfile::constrained(3));
+        let a = nic.alloc_context();
+        a.mark_failed();
+        let r = nic.replace_context(&a);
+        assert_ne!(r.id(), a.id());
+        assert!(!r.is_shared(), "spare pool capacity gives a dedicated ctx");
+        assert_eq!(nic.contexts_in_use(), 2);
     }
 }

@@ -30,6 +30,21 @@ pub struct Header {
     pub aux2: u64,
 }
 
+/// High bit of [`Header::kind`] flagging a *poisoned* packet: a transport
+/// failure notification injected by the [`resil`](crate::resil) layer when a
+/// send's retry budget ran out. A poisoned packet routes and matches like its
+/// base kind (so the matched receive can be failed instead of left hanging),
+/// but carries an error code instead of a payload.
+pub const KIND_ERR_FLAG: u16 = 0x8000;
+
+/// Error codes carried in the low byte of `aux2` by poisoned packets.
+pub mod errcode {
+    /// The retry budget ran out against independent wire drops.
+    pub const RETRIES_EXHAUSTED: u64 = 1;
+    /// The final attempts were lost to a link down/flap episode.
+    pub const LINK_DOWN: u64 = 2;
+}
+
 impl Header {
     /// A zeroed header, useful as a template.
     pub fn zeroed() -> Self {
@@ -43,6 +58,34 @@ impl Header {
             aux: 0,
             aux2: 0,
         }
+    }
+
+    /// Mark this header poisoned with an [`errcode`] and the number of
+    /// transmission attempts spent (packed into `aux2`; `aux2` is a
+    /// transport field on the kinds that get poisoned).
+    pub fn poison(&mut self, code: u64, attempts: u32) {
+        self.kind |= KIND_ERR_FLAG;
+        self.aux2 = (code & 0xFF) | ((attempts as u64) << 8);
+    }
+
+    /// Whether this packet is a transport-failure notification.
+    pub fn is_poisoned(&self) -> bool {
+        self.kind & KIND_ERR_FLAG != 0
+    }
+
+    /// The [`errcode`] of a poisoned packet.
+    pub fn poison_code(&self) -> u64 {
+        self.aux2 & 0xFF
+    }
+
+    /// Transmission attempts spent before the poisoned packet gave up.
+    pub fn poison_attempts(&self) -> u32 {
+        (self.aux2 >> 8) as u32
+    }
+
+    /// The upper-layer kind with the poison flag masked off.
+    pub fn base_kind(&self) -> u16 {
+        self.kind & !KIND_ERR_FLAG
     }
 }
 
@@ -90,6 +133,20 @@ mod tests {
         assert_eq!(h.aux, 0xdead);
         let copy = h;
         assert_eq!(copy, h);
+    }
+
+    #[test]
+    fn poison_roundtrips_code_and_attempts() {
+        let mut h = Header {
+            kind: 1,
+            ..Header::zeroed()
+        };
+        assert!(!h.is_poisoned());
+        h.poison(errcode::LINK_DOWN, 17);
+        assert!(h.is_poisoned());
+        assert_eq!(h.base_kind(), 1);
+        assert_eq!(h.poison_code(), errcode::LINK_DOWN);
+        assert_eq!(h.poison_attempts(), 17);
     }
 
     #[test]

@@ -4,6 +4,9 @@ use bytes::Bytes;
 use rankmpi_obs::trace as obs;
 use rankmpi_vtime::{Clock, Nanos};
 
+use crate::fault::LossCause;
+use crate::packet::errcode;
+use crate::resil::Outcome;
 use crate::{Header, HwContext, Mailbox, NetworkProfile, Packet};
 
 /// Timing report for one transmitted message.
@@ -15,8 +18,12 @@ pub struct TxInfo {
     /// Virtual time at which the message left the source context's pipeline.
     pub injected_at: Nanos,
     /// Virtual time at which the packet is fully arrived at the destination
-    /// context (payload landed, ready for matching).
+    /// context (payload landed, ready for matching). Under a lossy plan this
+    /// is the *final* attempt's arrival — or, if the retry budget ran out,
+    /// the time the failure notification surfaces.
     pub arrive_at: Nanos,
+    /// Transmission attempts the reliability layer spent (1 without loss).
+    pub attempts: u32,
 }
 
 /// Transmit one message from `src` to the channel behind (`dst`, `dst_mail`).
@@ -47,6 +54,14 @@ pub struct TxInfo {
 /// The packet is stamped with its virtual arrival time and pushed while the
 /// gate is held, so per-context real order equals virtual order (this is what
 /// preserves MPI's non-overtaking guarantee within a channel).
+///
+/// When the destination mailbox has a lossy plan armed, the send additionally
+/// flows through its [`Resil`](crate::resil::Resil) layer: the sliding window
+/// may stall injection (backpressure), lost attempts are retransmitted on
+/// backed-off virtual timeouts (each re-occupying the source context), and a
+/// send whose retries are exhausted is delivered *poisoned* so the receiver's
+/// matching request fails instead of hanging. Without a lossy plan this path
+/// costs one mutex peek and nothing else — the timing model is unchanged.
 pub fn transmit(
     profile: &NetworkProfile,
     clock: &mut Clock,
@@ -72,20 +87,85 @@ pub fn transmit(
     );
     clock.advance(profile.doorbell);
 
+    let resil = dst_mail.resil();
+    let chan = (header.context_id, header.src);
+    if let Some(r) = &resil {
+        // Sliding-window backpressure: may stall the sender before injection.
+        r.acquire_slot(clock, chan);
+    }
+
     let bytes = payload.len();
-    let injected_at = src.occupy_tx(
-        clock.now(),
-        profile.tx_occupancy_on(bytes, src.is_shared()),
-        bytes,
-    );
-    let arrive_at = injected_at + profile.wire_latency() + profile.rx_gap;
+    let occupancy = profile.tx_occupancy_on(bytes, src.is_shared());
+    let injected_at = src.occupy_tx(clock.now(), occupancy, bytes);
+    let post_inject = profile.wire_latency() + profile.rx_gap;
+    let first_arrive = injected_at + post_inject;
     dst.note_rx();
 
-    dst_mail.push(Packet {
-        header,
-        payload,
-        arrive_at,
-    });
+    let (packet, spurious, arrive_at, attempts) = match &resil {
+        None => (
+            Packet {
+                header,
+                payload,
+                arrive_at: first_arrive,
+            },
+            None,
+            first_arrive,
+            1,
+        ),
+        Some(r) => {
+            let d = r.admit(
+                src,
+                header.src,
+                header.seq,
+                chan,
+                occupancy,
+                bytes,
+                injected_at,
+                first_arrive,
+                post_inject,
+                // Ack path: the bare wire back (no payload serialization).
+                profile.wire_latency(),
+            );
+            match d.outcome {
+                Outcome::Delivered => {
+                    let p = Packet {
+                        header,
+                        payload,
+                        arrive_at: d.arrive_at,
+                    };
+                    let spur = d.spurious_arrive_at.map(|at| Packet {
+                        arrive_at: at,
+                        ..p.clone()
+                    });
+                    (p, spur, d.arrive_at, d.attempts)
+                }
+                Outcome::Lost(cause) => {
+                    // Deliver the failure, not silence: a poisoned packet
+                    // matches like the original and fails the receive.
+                    let mut h = header;
+                    h.poison(
+                        match cause {
+                            LossCause::LinkDown => errcode::LINK_DOWN,
+                            LossCause::Drop => errcode::RETRIES_EXHAUSTED,
+                        },
+                        d.attempts,
+                    );
+                    (
+                        Packet {
+                            header: h,
+                            payload: Bytes::new(),
+                            arrive_at: d.arrive_at,
+                        },
+                        None,
+                        d.arrive_at,
+                        d.attempts,
+                    )
+                }
+            }
+        }
+    };
+
+    dst_mail.push_with_spurious(packet, spurious);
     gate.release(clock);
 
     obs::busy("fabric", "transmit", entered_at, clock.now(), src.res_id());
@@ -95,6 +175,7 @@ pub fn transmit(
         local_complete: clock.now(),
         injected_at,
         arrive_at,
+        attempts,
     }
 }
 
@@ -232,6 +313,110 @@ mod tests {
         );
         // Second channel's message cannot leave before the first's.
         assert!(b.injected_at >= a.injected_at + p.context_gap);
+    }
+
+    #[test]
+    fn lossy_mailbox_retransmits_until_delivery() {
+        use crate::FaultPlan;
+        let (p, src, dst, mail) = setup();
+        // Heavy independent drops, unlimited-ish retries: everything must
+        // still be delivered exactly once, in order, with retransmits logged.
+        mail.arm_faults(FaultPlan::new(0xD70).drops(0.4));
+        let r = mail.resil().expect("lossy plan arms resil");
+        let mut clock = Clock::new();
+        let n = 60u64;
+        for i in 0..n {
+            let h = Header {
+                src: 2,
+                seq: i,
+                ..Header::zeroed()
+            };
+            let info = transmit(&p, &mut clock, &src, &dst, &mail, h, Bytes::new());
+            assert!(info.attempts >= 1);
+        }
+        let mut out = Vec::new();
+        let delivered = mail.drain_into(&mut out);
+        assert_eq!(delivered as u64, n, "no loss may reach the receiver");
+        assert!(out.iter().all(|pk| !pk.header.is_poisoned()));
+        let seqs: Vec<u64> = out.iter().map(|pk| pk.header.seq).collect();
+        assert_eq!(seqs, (0..n).collect::<Vec<_>>(), "no reordering");
+        let arrivals: Vec<_> = out.iter().map(|pk| pk.arrive_at).collect();
+        let mut sorted = arrivals.clone();
+        sorted.sort();
+        assert_eq!(arrivals, sorted, "channel arrivals stay monotone");
+        let rep = r.report();
+        assert!(rep.retransmits > 0, "a 40% drop rate must retransmit");
+        assert_eq!(rep.delivered, n);
+        assert_eq!(rep.exhausted, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_deliver_a_poisoned_packet() {
+        use crate::resil::ResilConfig;
+        use crate::FaultPlan;
+        let (p, src, dst, mail) = setup();
+        mail.arm_faults(FaultPlan::new(7).drops(1.0));
+        let r = mail.resil().unwrap();
+        r.set_config(ResilConfig {
+            max_retries: 3,
+            ..ResilConfig::default()
+        });
+        let mut clock = Clock::new();
+        let h = Header {
+            kind: 1,
+            src: 4,
+            seq: 0,
+            ..Header::zeroed()
+        };
+        let info = transmit(
+            &p,
+            &mut clock,
+            &src,
+            &dst,
+            &mail,
+            h,
+            Bytes::from_static(b"xy"),
+        );
+        assert_eq!(info.attempts, 4);
+        let mut out = Vec::new();
+        assert_eq!(mail.drain_into(&mut out), 1, "the failure is delivered");
+        let pk = &out[0];
+        assert!(pk.header.is_poisoned());
+        assert_eq!(pk.header.base_kind(), 1);
+        assert_eq!(
+            pk.header.poison_code(),
+            crate::packet::errcode::RETRIES_EXHAUSTED
+        );
+        assert_eq!(pk.header.poison_attempts(), 4);
+        assert!(
+            pk.payload.is_empty(),
+            "no payload on a failure notification"
+        );
+        assert_eq!(r.report().exhausted, 1);
+    }
+
+    #[test]
+    fn no_lossy_plan_means_identical_timing() {
+        // The resil hook must be a strict no-op on the virtual timing when
+        // no lossy class is armed (chaos has none).
+        use crate::FaultPlan;
+        let (p, src, dst, mail) = setup();
+        let mut c1 = Clock::new();
+        let a = transmit(
+            &p,
+            &mut c1,
+            &src,
+            &dst,
+            &mail,
+            Header::zeroed(),
+            Bytes::new(),
+        );
+        let cpu = p.send_overhead + p.context_lock.acquire_base + p.doorbell;
+        assert_eq!(a.local_complete, cpu);
+        assert_eq!(a.attempts, 1);
+        assert!(mail.resil().is_none());
+        mail.arm_faults(FaultPlan::chaos(3));
+        assert!(mail.resil().is_none());
     }
 
     #[test]

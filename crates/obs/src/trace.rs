@@ -98,8 +98,12 @@ impl ResId {
 #[derive(Debug, Clone, Copy)]
 pub struct Span {
     /// Layer/category (`"pt2pt"`, `"match"`, `"vci"`, `"fabric"`, `"part"`,
-    /// `"coll"`, `"rma"`, `"ep"`). This is what the acceptance criterion's
-    /// "spans from at least four layers" counts.
+    /// `"coll"`, `"rma"`, `"ep"`, `"resil"`). This is what the acceptance
+    /// criterion's "spans from at least four layers" counts. The `"resil"`
+    /// layer carries the reliability protocol: `retransmit`,
+    /// `spurious_rexmit`, and `exhausted` busy spans on the source context,
+    /// `window_stall` waits for send-window backpressure, and `failover`
+    /// busy spans when a VCI remaps off a failed hardware context.
     pub cat: &'static str,
     /// Operation name within the layer (`"send"`, `"match_post"`, ...).
     pub name: &'static str,

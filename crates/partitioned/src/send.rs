@@ -102,7 +102,9 @@ impl PsendRequest {
         let req = self
             .comm
             .irecv_on_vci(th, self.comm.vci_block()[0], pattern)?;
-        let (_st, data) = req.wait(&mut th.clock);
+        // A lossy fabric can fail the handshake (retries exhausted): surface
+        // that as an error instead of aborting the sender.
+        let (_st, data) = req.wait_outcome(&mut th.clock)?;
         let id = u64::from_le_bytes(data[..8].try_into().unwrap());
         let sink = lookup_route(id).ok_or(Error::InvalidState("unknown partitioned route"))?;
         if sink.partitions() != self.partitions || sink.part_bytes() != self.part_bytes {

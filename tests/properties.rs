@@ -167,6 +167,59 @@ proptest! {
         prop_assert_eq!((na - nb) + (nb - na), Nanos(a.abs_diff(b)));
         prop_assert_eq!(na.max(nb).min(na), na.min(nb).max(na));
     }
+
+    /// 16-bit retransmit-window sequence comparison is a strict total order
+    /// on any window-sized slice of sequence space, across wraparound.
+    #[test]
+    fn resil_seq_compare_orders_windows(start in any::<u16>(), window in 1u16..1024) {
+        use rankmpi_fabric::resil::{seq_after, seq_distance};
+        // Within a window starting anywhere (including across 0xFFFF→0),
+        // later offsets always compare after earlier ones, never vice versa.
+        let a = start;
+        let b = start.wrapping_add(window);
+        prop_assert!(seq_after(b, a));
+        prop_assert!(!seq_after(a, b));
+        prop_assert!(!seq_after(a, a));
+        prop_assert_eq!(seq_distance(b, a), window);
+        prop_assert_eq!(seq_distance(a, a), 0);
+        // Antisymmetry over arbitrary in-window pairs.
+        let mid = start.wrapping_add(window / 2);
+        if mid != b {
+            prop_assert!(seq_after(b, mid) != seq_after(mid, b));
+        }
+    }
+
+    /// Retransmit backoff is monotone nondecreasing in the attempt number,
+    /// capped at `rto_cap`, and jitter stays within `rto_base / 4`.
+    #[test]
+    fn resil_backoff_is_monotone_and_capped(
+        base in 1_000u64..100_000,
+        cap_mult in 1u64..64,
+        seed in any::<u64>(),
+        src in 0u32..8,
+        seq in any::<u64>(),
+    ) {
+        use rankmpi_fabric::resil::{backoff, rto, ResilConfig};
+        use rankmpi_fabric::FaultPlan;
+        let cfg = ResilConfig {
+            rto_base: Nanos(base),
+            rto_cap: Nanos(base.saturating_mul(cap_mult)),
+            ..ResilConfig::default()
+        };
+        let plan = FaultPlan::new(seed);
+        let mut prev = Nanos::ZERO;
+        for attempt in 1..40u32 {
+            let b = backoff(&cfg, attempt);
+            prop_assert!(b >= prev, "backoff must not shrink");
+            prop_assert!(b <= cfg.rto_cap.max(cfg.rto_base), "backoff exceeds cap");
+            let j = rto(&cfg, &plan, src, seq, attempt);
+            prop_assert!(j >= b);
+            prop_assert!(j.as_ns() - b.as_ns() <= (base / 4).max(1), "jitter out of bounds");
+            // Determinism: same identity, same jitter.
+            prop_assert_eq!(j, rto(&cfg, &plan, src, seq, attempt));
+            prev = b;
+        }
+    }
 }
 
 /// End-to-end property: allreduce equals the sequential reduction for random
