@@ -31,6 +31,7 @@ fn lesson3_cfg(profile: NetworkProfile) -> HaloConfig {
         compute: Nanos::us(2),
         compute_jitter: 0.0,
         profile,
+        ..HaloConfig::default()
     }
 }
 

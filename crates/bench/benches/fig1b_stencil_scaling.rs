@@ -5,11 +5,93 @@
 //! once communication is logically parallel. We run the 2D 9-point halo
 //! exchange (hypre's kernel shape) per node-count, one process per node,
 //! 3×3 threads per process, and report per-iteration halo time.
+//!
+//! A second sweep runs the same exchange in task-mode up to 1024 ranks in a
+//! single process — the scale the event-driven engine exists for — and writes
+//! `BENCH_fig1b_scale.json` with wall time per simulated step and the
+//! engine's peak task count.
 
+use std::time::Instant;
+
+use rankmpi_bench::json::{write_bench_json, Json};
 use rankmpi_bench::{print_table, ratio, takeaway};
+use rankmpi_core::{LaunchMode, TaskLaunch};
+use rankmpi_obs::registry;
 use rankmpi_vtime::Nanos;
 use rankmpi_workloads::stencil::halo::{run_halo, HaloConfig, HaloMechanism};
 use rankmpi_workloads::stencil::maps::Geometry;
+
+/// The engine's running peak task count from the metrics registry. The scale
+/// sweep runs in ascending rank order, so the running max after a run is that
+/// run's peak.
+fn peak_tasks() -> u64 {
+    registry::global()
+        .snapshot_prefix("engine.peak_tasks")
+        .first()
+        .map(|s| match &s.value {
+            registry::Value::Stats { max, .. } => max.unwrap_or(0),
+            registry::Value::Count(c) => *c,
+        })
+        .unwrap_or(0)
+}
+
+/// Task-mode weak-scaling sweep: 64 → 1024 ranks (2×2 threads each) of the
+/// 5-point halo exchange, all cooperatively scheduled in one process.
+fn scale_sweep() {
+    let grids = [(8usize, 8usize), (16, 16), (32, 32)];
+    let mut rows = Vec::new();
+    let mut sweep_json = Vec::new();
+    for (px, py) in grids {
+        let ranks = px * py;
+        let cfg = HaloConfig {
+            geo: Geometry {
+                px,
+                py,
+                tx: 2,
+                ty: 2,
+            },
+            iters: 4,
+            elems_per_face: 64,
+            nine_point: false,
+            compute: Nanos::us(2),
+            launch: LaunchMode::Tasks(TaskLaunch::default()),
+            ..HaloConfig::default()
+        };
+        let started = Instant::now();
+        let rep = run_halo(HaloMechanism::TagsHashed, &cfg);
+        let wall = started.elapsed();
+        assert!(rep.verified, "halo verification failed at {ranks} ranks");
+        let wall_ms_per_step = wall.as_secs_f64() * 1e3 / cfg.iters as f64;
+        let peak = peak_tasks();
+        rows.push(vec![
+            ranks.to_string(),
+            format!("{wall_ms_per_step:.1} ms"),
+            format!("{}", rep.per_iter),
+            peak.to_string(),
+        ]);
+        sweep_json.push(Json::obj([
+            ("ranks", Json::int(ranks as u64)),
+            ("threads_per_rank", Json::int(4)),
+            ("wall_ms_per_step", Json::Num(wall_ms_per_step)),
+            ("sim_per_iter_ns", Json::int(rep.per_iter.as_ns())),
+            ("peak_tasks", Json::int(peak)),
+        ]));
+    }
+    print_table(
+        "Task-mode weak scaling — 5-pt halo, 2x2 threads/rank, one process (wall time)",
+        &["ranks", "wall/step", "sim/iter", "peak tasks"],
+        &rows,
+    );
+    write_bench_json(
+        "fig1b_scale",
+        &Json::obj([
+            ("bench", Json::str("fig1b_stencil_scaling")),
+            ("mechanism", Json::str("tags_hashed")),
+            ("launch", Json::str("tasks")),
+            ("sweep", Json::Arr(sweep_json)),
+        ]),
+    );
+}
 
 fn main() {
     let grids = [(2usize, 2usize), (4, 2), (4, 4)];
@@ -76,4 +158,6 @@ fn main() {
                 .unwrap_or_default()
         ),
     );
+
+    scale_sweep();
 }

@@ -100,6 +100,7 @@ fn main() {
         compute: Nanos::us(2),
         compute_jitter: 0.0,
         profile,
+        ..HaloConfig::default()
     };
     // Snapshot the NIC allocation counters right after each run: every run
     // builds a fresh Universe whose NICs re-register their registry series,

@@ -9,12 +9,12 @@ use std::hint::black_box;
 
 use bytes::Bytes;
 use rankmpi_bench::json::{engine_counters, write_bench_json, Json};
-use rankmpi_bench::print_table;
+use rankmpi_bench::{print_table, ratio};
 use rankmpi_core::costs::CoreCosts;
 use rankmpi_core::matching::{EngineKind, MatchPattern, PostedRecv, ANY_SOURCE, ANY_TAG};
 use rankmpi_core::request::ReqState;
 use rankmpi_core::tag::{default_tag_hash, TagLayout, TagPlacement};
-use rankmpi_core::Universe;
+use rankmpi_core::{LaunchMode, TaskLaunch, Universe};
 use rankmpi_fabric::{Header, Packet};
 use rankmpi_vtime::{Clock, ContentionLock, Nanos, Resource};
 
@@ -248,6 +248,47 @@ fn bench_pingpong_overhead(_c: &mut Criterion) {
     );
 }
 
+/// Real wall time to build, run a trivial per-rank body, and join a 64-rank
+/// universe under each launch mode — the fixed cost a large-rank run pays for
+/// OS-thread-per-rank vs cooperatively scheduled rank-tasks. Writes
+/// `BENCH_micro_hotpaths_launch.json`.
+fn bench_launch_overhead(_c: &mut Criterion) {
+    const RANKS: usize = 64;
+    let run_once = |mode: LaunchMode| -> f64 {
+        let u = Universe::builder().nodes(RANKS).launch(mode).build();
+        let start = std::time::Instant::now();
+        u.run(|env| env.rank());
+        start.elapsed().as_secs_f64() * 1e6
+    };
+    let median = |mode: LaunchMode| -> f64 {
+        run_once(mode); // warmup
+        let mut runs: Vec<f64> = (0..5).map(|_| run_once(mode)).collect();
+        runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        runs[runs.len() / 2]
+    };
+    let threads_us = median(LaunchMode::Threads);
+    let tasks_us = median(LaunchMode::Tasks(TaskLaunch::default()));
+    print_table(
+        "Launch + join overhead — trivial per-rank body (real wall time, median of 5)",
+        &["ranks", "threads", "tasks", "threads/tasks"],
+        &[vec![
+            RANKS.to_string(),
+            format!("{threads_us:.0} us"),
+            format!("{tasks_us:.0} us"),
+            ratio(threads_us, tasks_us),
+        ]],
+    );
+    write_bench_json(
+        "micro_hotpaths_launch",
+        &Json::obj([
+            ("bench", Json::str("micro_hotpaths")),
+            ("ranks", Json::int(RANKS as u64)),
+            ("threads_launch_us", Json::Num(threads_us)),
+            ("tasks_launch_us", Json::Num(tasks_us)),
+        ]),
+    );
+}
+
 fn bench_resource(c: &mut Criterion) {
     c.bench_function("resource_acquire", |b| {
         let r = Resource::new();
@@ -295,6 +336,7 @@ criterion_group!(
     bench_matching,
     bench_engine_ablation,
     bench_pingpong_overhead,
+    bench_launch_overhead,
     bench_resource,
     bench_lock,
     bench_tags

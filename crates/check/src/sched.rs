@@ -1,11 +1,12 @@
-//! A deterministic scheduler over [`rankmpi_vtime::sched`] yield points.
+//! Deterministic schedule exploration as a *policy* of the execution engine.
 //!
-//! [`run_tasks`] takes a set of closures ("tasks"), runs each on its own OS
-//! thread, and serializes them: exactly one task executes at a time, and
-//! control only changes hands at yield points (lock acquire/release, clock
-//! advance, barrier arrive/wait, mailbox push/drain, notify poll — see
-//! [`SchedPoint`](rankmpi_vtime::sched::SchedPoint)). Whenever more than one
-//! task is runnable, the scheduler makes a *choice*; every choice is
+//! [`run_tasks`] takes a set of closures ("tasks") and runs them under
+//! [`rankmpi_vtime::engine`] in serialized dispatch: exactly one task executes
+//! at a time, and control only changes hands at yield points (lock
+//! acquire/release, clock advance, barrier arrive/wait, mailbox push/drain,
+//! notify poll — see [`SchedPoint`](rankmpi_vtime::sched::SchedPoint)).
+//! Whenever more than one task is runnable, the engine asks this module's
+//! seeded [`Chooser`](rankmpi_vtime::engine::Chooser) to pick; every choice is
 //! recorded, so the full decision list of any run is itself a schedule that
 //! replays that run exactly.
 //!
@@ -13,17 +14,21 @@
 //! forced, the rest are drawn from a seeded RNG. The compact rendering
 //! (`s7:1.0.2`) is what failure reports print and what `RANKMPI_SCHED`
 //! accepts for replay.
+//!
+//! Before the engine existed, this module carried its own
+//! condvar-chained scheduler; it is now ~60 lines of policy on top of
+//! [`engine::Dispatch::Serialized`], and the same engine runs production
+//! virtual-time dispatch — so exploration exercises the exact task-switch
+//! machinery that 1k-rank simulations use.
 
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
-use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use rankmpi_vtime::sched as vsched;
+use rankmpi_vtime::engine;
 
-/// A schedulable task: a closure run on its own thread under the scheduler.
+/// A schedulable task: a closure run as one engine task under serialized
+/// dispatch.
 pub type Task = Box<dyn FnOnce() + Send + 'static>;
 
 /// A replayable schedule: `prefix` forces the first choices (as indices into
@@ -108,208 +113,61 @@ impl RunOutcome {
     }
 }
 
-/// Thrown (via `panic_any`) into parked tasks once a run aborts, so their
-/// threads unwind instead of waiting forever. Not a test failure by itself.
-struct AbortRun;
-
-struct State {
-    finished: Vec<bool>,
-    current: usize,
-    steps: u64,
-    decisions: Vec<(u32, u32)>,
+/// The deterministic choice policy: forced prefix first, seeded RNG after.
+/// The engine clamps out-of-range prefix entries to the candidate count, so
+/// hand-written prefixes stay safe; exploration-generated ones are always in
+/// range.
+struct SeededChooser {
     prefix: Vec<u32>,
+    pos: usize,
     rng: StdRng,
-    abort: bool,
-    panic: Option<String>,
 }
 
-struct Scheduler {
-    state: Mutex<State>,
-    cv: Condvar,
-    n: usize,
-    step_cap: u64,
-}
-
-impl Scheduler {
-    fn new(n: usize, schedule: &Schedule, step_cap: u64) -> Self {
-        let mut st = State {
-            finished: vec![false; n],
-            current: 0,
-            steps: 0,
-            decisions: Vec::new(),
-            prefix: schedule.prefix.clone(),
-            rng: StdRng::seed_from_u64(schedule.seed),
-            abort: false,
-            panic: None,
-        };
-        // The first task to run is itself a choice point.
-        if let Some(first) = Self::choose(&mut st, n) {
-            st.current = first;
-        }
-        Scheduler {
-            state: Mutex::new(st),
-            cv: Condvar::new(),
-            n,
-            step_cap,
+impl engine::Chooser for SeededChooser {
+    fn choose(&mut self, arity: usize) -> usize {
+        if self.pos < self.prefix.len() {
+            let c = self.prefix[self.pos] as usize;
+            self.pos += 1;
+            c
+        } else {
+            self.rng.gen_range(0..arity)
         }
     }
-
-    /// Pick the next task among the runnable ones, recording the decision.
-    /// Choice points with a single runnable task record nothing (they are
-    /// forced), which keeps prefixes short and robust to refactors.
-    fn choose(st: &mut State, n: usize) -> Option<usize> {
-        let runnable: Vec<usize> = (0..n).filter(|&i| !st.finished[i]).collect();
-        match runnable.len() {
-            0 => None,
-            1 => Some(runnable[0]),
-            k => {
-                let d = st.decisions.len();
-                let idx = if d < st.prefix.len() {
-                    // Clamp hand-written prefixes; exploration-generated ones
-                    // are always in range.
-                    (st.prefix[d] as usize).min(k - 1)
-                } else {
-                    st.rng.gen_range(0..k)
-                };
-                st.decisions.push((idx as u32, k as u32));
-                Some(runnable[idx])
-            }
-        }
-    }
-
-    /// Called by task `me` at every yield point: maybe hand off, then block
-    /// until scheduled again.
-    fn yield_now(&self, me: usize) {
-        let mut st = self.state.lock();
-        if st.abort {
-            drop(st);
-            std::panic::panic_any(AbortRun);
-        }
-        st.steps += 1;
-        if st.steps > self.step_cap {
-            st.abort = true;
-            if st.panic.is_none() {
-                st.panic = Some(format!(
-                    "scheduler step cap {} exceeded (livelock or runaway spin)",
-                    self.step_cap
-                ));
-            }
-            self.cv.notify_all();
-            drop(st);
-            std::panic::panic_any(AbortRun);
-        }
-        match Self::choose(&mut st, self.n) {
-            Some(next) if next != me => {
-                st.current = next;
-                self.cv.notify_all();
-                while st.current != me && !st.abort {
-                    self.cv.wait(&mut st);
-                }
-                if st.abort {
-                    drop(st);
-                    std::panic::panic_any(AbortRun);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    /// Block until task `me` is first scheduled. Returns false if the run
-    /// aborted before `me` ever ran.
-    fn wait_first_turn(&self, me: usize) -> bool {
-        let mut st = self.state.lock();
-        while st.current != me && !st.abort && !st.finished[me] {
-            self.cv.wait(&mut st);
-        }
-        !st.abort
-    }
-
-    /// Task `me` finished (normally, or with `panic_msg`). Hands the torch
-    /// to the next runnable task.
-    fn done(&self, me: usize, panic_msg: Option<String>) {
-        let mut st = self.state.lock();
-        st.finished[me] = true;
-        if let Some(m) = panic_msg {
-            if st.panic.is_none() {
-                st.panic = Some(m);
-            }
-            st.abort = true;
-        } else if st.current == me {
-            if let Some(next) = Self::choose(&mut st, self.n) {
-                st.current = next;
-            }
-        }
-        self.cv.notify_all();
-    }
-}
-
-/// The per-thread [`SchedHook`](vsched::SchedHook) a worker installs: every
-/// yield point funnels into [`Scheduler::yield_now`].
-struct TaskHook {
-    sched: Arc<Scheduler>,
-    me: usize,
-}
-
-impl vsched::SchedHook for TaskHook {
-    fn reached(&self, _point: vsched::SchedPoint) {
-        self.sched.yield_now(self.me);
-    }
-}
-
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
-    if payload.downcast_ref::<AbortRun>().is_some() {
-        return None; // collateral unwind of a parked task, not a failure
-    }
-    Some(match payload.downcast_ref::<&str>() {
-        Some(s) => (*s).to_string(),
-        None => match payload.downcast_ref::<String>() {
-            Some(s) => s.clone(),
-            None => "non-string panic payload".to_string(),
-        },
-    })
-}
-
-fn worker(sched: Arc<Scheduler>, me: usize, task: Task) {
-    let hook = Arc::new(TaskHook {
-        sched: Arc::clone(&sched),
-        me,
-    });
-    let _guard = vsched::install_thread_hook(hook as Arc<dyn vsched::SchedHook>);
-    if !sched.wait_first_turn(me) {
-        sched.done(me, None);
-        return;
-    }
-    let result = catch_unwind(AssertUnwindSafe(task));
-    sched.done(me, result.err().and_then(panic_message));
 }
 
 /// Run `tasks` to completion under `schedule`, serialized at yield points.
 ///
-/// Tasks run on real threads but only one makes progress at a time; the
+/// Tasks run as engine tasks but only one makes progress at a time; the
 /// returned [`RunOutcome`] records every scheduling decision, so
 /// `outcome.replay(schedule.seed)` reproduces the run exactly. `step_cap`
 /// bounds total yield points as a livelock backstop.
 ///
 /// Tasks must synchronize only through the library's cooperative primitives
 /// (`ContentionLock`, `VirtualBarrier`, `Notify`, mailboxes) — a raw
-/// blocking wait between tasks would deadlock the serialized scheduler.
+/// blocking wait between tasks would deadlock the serialized dispatcher.
 pub fn run_tasks(tasks: Vec<Task>, schedule: &Schedule, step_cap: u64) -> RunOutcome {
     assert!(!tasks.is_empty(), "run_tasks needs at least one task");
-    let sched = Arc::new(Scheduler::new(tasks.len(), schedule, step_cap));
-    std::thread::scope(|scope| {
-        for (i, task) in tasks.into_iter().enumerate() {
-            let sched = Arc::clone(&sched);
-            let builder = std::thread::Builder::new().name(format!("check-task-{i}"));
-            builder
-                .spawn_scoped(scope, move || worker(sched, i, task))
-                .expect("spawn scheduler worker");
-        }
-    });
-    let st = sched.state.lock();
+    let chooser = SeededChooser {
+        prefix: schedule.prefix.clone(),
+        pos: 0,
+        rng: StdRng::seed_from_u64(schedule.seed),
+    };
+    let tasks: Vec<engine::TaskFn<'static, ()>> = tasks
+        .into_iter()
+        .map(|t| t as engine::TaskFn<'static, ()>)
+        .collect();
+    let out = engine::run(
+        engine::EngineConfig {
+            dispatch: engine::Dispatch::Serialized(Box::new(chooser)),
+            step_cap,
+            ..engine::EngineConfig::default()
+        },
+        tasks,
+    );
     RunOutcome {
-        decisions: st.decisions.clone(),
-        steps: st.steps,
-        panic: st.panic.clone(),
+        decisions: out.decisions,
+        steps: out.steps,
+        panic: out.panic,
     }
 }
 
@@ -318,6 +176,7 @@ mod tests {
     use super::*;
     use parking_lot::Mutex as PMutex;
     use rankmpi_vtime::sched::{yield_point, SchedPoint};
+    use std::sync::Arc;
 
     fn log_tasks(log: Arc<PMutex<Vec<usize>>>, yields: usize, n: usize) -> Vec<Task> {
         (0..n)

@@ -78,5 +78,5 @@ pub use proc::{ProcEnv, ProcShared, ThreadCtx};
 pub use request::Request;
 pub use rma::{AccumulateOrdering, Window};
 pub use tag::{TagHash, TagLayout, TagPlacement, TAG_UB};
-pub use universe::{ThreadLevel, Universe, UniverseBuilder};
+pub use universe::{LaunchMode, TaskLaunch, ThreadLevel, Universe, UniverseBuilder};
 pub use vci::{Vci, VciPolicy};

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use rankmpi_fabric::{Nic, Notify};
-use rankmpi_vtime::Clock;
+use rankmpi_vtime::{engine, Clock};
 
 use crate::comm::Communicator;
 use crate::costs::CoreCosts;
@@ -341,8 +341,41 @@ impl ProcEnv {
     }
 
     /// Run `f` on `n` threads.
+    ///
+    /// Inside an engine rank-task, each simulated thread becomes a sibling
+    /// task of the engine (so the virtual-time dispatcher interleaves *all*
+    /// simulated threads of *all* ranks); the parent detaches while it
+    /// blocks in the scope join, so fork/join costs no worker slot.
     pub fn parallel_n<R: Send>(&self, n: usize, f: impl Fn(&mut ThreadCtx) -> R + Sync) -> Vec<R> {
         let f = &f;
+        if let Some(h) = engine::handle() {
+            let stack = match self.universe.launch() {
+                crate::universe::LaunchMode::Tasks(cfg) => cfg.stack_size,
+                crate::universe::LaunchMode::Threads => 512 * 1024,
+            };
+            return engine::block_in_place(|| {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..n)
+                        .map(|tid| {
+                            let proc = Arc::clone(&self.proc);
+                            let universe = Arc::clone(&self.universe);
+                            let h = h.clone();
+                            std::thread::Builder::new()
+                                .name(format!("r{}t{tid}", proc.rank()))
+                                .stack_size(stack)
+                                .spawn_scoped(s, move || {
+                                    h.run_member(move || {
+                                        let mut th = ThreadCtx::new(tid, proc, universe);
+                                        f(&mut th)
+                                    })
+                                })
+                                .expect("spawn simulated-thread carrier")
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            });
+        }
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)
                 .map(|tid| {

@@ -6,6 +6,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rankmpi_fabric::{FaultPlan, NetworkProfile, Nic, ResilConfig};
+use rankmpi_obs::{labels, registry};
+use rankmpi_vtime::{engine, Nanos};
 
 use crate::costs::CoreCosts;
 use crate::matching::EngineKind;
@@ -27,6 +29,47 @@ pub enum ThreadLevel {
     /// Threads call MPI freely and concurrently.
     #[default]
     Multiple,
+}
+
+/// How [`Universe::run`] executes simulated processes and their threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaunchMode {
+    /// One OS thread per simulated rank-thread (the original model). Every
+    /// simulated thread is schedulable by the OS, so runs are capped at
+    /// tens of ranks but need no cooperation from blocking primitives.
+    #[default]
+    Threads,
+    /// Cooperative rank-tasks multiplexed by [`rankmpi_vtime::engine`]:
+    /// each simulated thread is a task admitted by the engine's
+    /// virtual-time dispatcher, parked (zero CPU) while blocked. Scales to
+    /// 1k+ ranks in one process.
+    Tasks(TaskLaunch),
+}
+
+/// Parameters of the task-mode launch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskLaunch {
+    /// Maximum concurrently-running tasks (default: host parallelism).
+    pub workers: usize,
+    /// Virtual-time slack before a running task yields its slot to a
+    /// lagging ready task (default 100µs). Larger values mean fewer task
+    /// switches; results are unaffected either way.
+    pub vtime_slack: Nanos,
+    /// Carrier-thread stack size in bytes (default 512 KiB — task counts
+    /// are the point, so stacks stay small).
+    pub stack_size: usize,
+}
+
+impl Default for TaskLaunch {
+    fn default() -> Self {
+        TaskLaunch {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            vtime_slack: Nanos(100_000),
+            stack_size: 512 * 1024,
+        }
+    }
 }
 
 /// Key of one collective communicator-creation agreement:
@@ -69,6 +112,7 @@ pub struct UniverseShared {
     win_targets: Mutex<HashMap<(usize, usize), Arc<WindowTarget>>>,
     /// In-flight `split` gathers: (parent ctx, op index) → contributions.
     split_boards: Mutex<HashMap<(u32, u64), Arc<SplitBoard>>>,
+    launch: LaunchMode,
 }
 
 /// Rendezvous board for one collective `split`: every member contributes its
@@ -92,6 +136,23 @@ impl SplitBoard {
         e[local_rank] = Some((color, key));
         if e.iter().all(Option::is_some) {
             self.cv.notify_all();
+        } else if engine::in_task() {
+            // The condvar is shared with sibling tasks, so sleeping here
+            // would hold a worker slot; detach instead, and poll with a
+            // timeout so an aborted run cannot strand us.
+            drop(e);
+            engine::block_in_place(|| {
+                let mut e = self.entries.lock();
+                while !e.iter().all(Option::is_some) {
+                    let _ = self
+                        .cv
+                        .wait_for(&mut e, std::time::Duration::from_millis(20));
+                    if engine::aborted() {
+                        return;
+                    }
+                }
+            });
+            e = self.entries.lock();
         } else {
             while !e.iter().all(Option::is_some) {
                 self.cv.wait(&mut e);
@@ -120,6 +181,11 @@ impl UniverseShared {
     /// Configured threads per process.
     pub fn threads_per_proc(&self) -> usize {
         self.threads_per_proc
+    }
+
+    /// How [`Universe::run`] launches simulated processes and threads.
+    pub fn launch(&self) -> LaunchMode {
+        self.launch
     }
 
     /// Standard VCI pool size per process.
@@ -272,6 +338,7 @@ pub struct UniverseBuilder {
     costs: CoreCosts,
     fault_plan: Option<FaultPlan>,
     resil: Option<ResilConfig>,
+    launch: LaunchMode,
 }
 
 impl Default for UniverseBuilder {
@@ -287,6 +354,7 @@ impl Default for UniverseBuilder {
             costs: CoreCosts::default(),
             fault_plan: None,
             resil: None,
+            launch: LaunchMode::Threads,
         }
     }
 }
@@ -364,6 +432,18 @@ impl UniverseBuilder {
         self
     }
 
+    /// Launch mode for [`Universe::run`] (default [`LaunchMode::Threads`]).
+    pub fn launch(mut self, mode: LaunchMode) -> Self {
+        self.launch = mode;
+        self
+    }
+
+    /// Shorthand for [`launch`](Self::launch) with default task-mode
+    /// parameters: cooperative rank-tasks on the virtual-time engine.
+    pub fn tasks(self) -> Self {
+        self.launch(LaunchMode::Tasks(TaskLaunch::default()))
+    }
+
     /// Materialize the universe: nodes, NICs, processes, VCI pools.
     pub fn build(self) -> Universe {
         assert!(self.nodes > 0 && self.procs_per_node > 0 && self.threads_per_proc > 0);
@@ -433,6 +513,7 @@ impl UniverseBuilder {
             next_win: AtomicUsize::new(0),
             win_targets: Mutex::new(HashMap::new()),
             split_boards: Mutex::new(HashMap::new()),
+            launch: self.launch,
         };
         Universe {
             shared: Arc::new(shared),
@@ -456,10 +537,20 @@ impl Universe {
         &self.shared
     }
 
-    /// Run `f` once per process, each on its own OS thread (processes then
-    /// spawn their simulated threads via [`ProcEnv::parallel`]). Returns the
-    /// per-process results in rank order.
+    /// Run `f` once per process. Under [`LaunchMode::Threads`] each process
+    /// gets its own OS thread; under [`LaunchMode::Tasks`] processes are
+    /// cooperative rank-tasks multiplexed by the virtual-time engine, which
+    /// scales to 1k+ ranks in one address space. Either way, processes spawn
+    /// their simulated threads via [`ProcEnv::parallel`] and the per-process
+    /// results come back in rank order.
     pub fn run<R: Send>(&self, f: impl Fn(ProcEnv) -> R + Sync) -> Vec<R> {
+        match self.shared.launch() {
+            LaunchMode::Threads => self.run_threads(f),
+            LaunchMode::Tasks(cfg) => self.run_tasks(cfg, f),
+        }
+    }
+
+    fn run_threads<R: Send>(&self, f: impl Fn(ProcEnv) -> R + Sync) -> Vec<R> {
         let f = &f;
         let shared = &self.shared;
         std::thread::scope(|s| {
@@ -476,6 +567,56 @@ impl Universe {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })
     }
+
+    fn run_tasks<R: Send>(&self, cfg: TaskLaunch, f: impl Fn(ProcEnv) -> R + Sync) -> Vec<R> {
+        let f = &f;
+        let shared = &self.shared;
+        let tasks: Vec<engine::TaskFn<'_, R>> = (0..shared.n_procs())
+            .map(|r| {
+                let proc = Arc::clone(shared.proc(r));
+                let universe = Arc::clone(shared);
+                Box::new(move || {
+                    let tpp = universe.threads_per_proc();
+                    f(ProcEnv::new(proc, universe, tpp))
+                }) as engine::TaskFn<'_, R>
+            })
+            .collect();
+        let out = engine::run(
+            engine::EngineConfig {
+                dispatch: engine::Dispatch::VirtualTime {
+                    workers: cfg.workers,
+                    slack: cfg.vtime_slack,
+                },
+                stack_size: cfg.stack_size,
+                ..engine::EngineConfig::default()
+            },
+            tasks,
+        );
+        publish_engine_metrics(&out.metrics);
+        if let Some(p) = out.panic {
+            panic!("{p}");
+        }
+        out.results
+            .into_iter()
+            .map(|r| r.expect("rank-task finished without result or panic"))
+            .collect()
+    }
+}
+
+/// Export one run's engine counters to the observability registry under the
+/// `engine.` prefix: switch/step totals accumulate across runs, occupancy
+/// peaks are count/sum/min/max accumulators.
+fn publish_engine_metrics(m: &engine::EngineMetrics) {
+    let reg = registry::global();
+    let l = || labels! {"mode" => "tasks"};
+    reg.counter("engine.task_switches", l())
+        .add(m.task_switches);
+    reg.counter("engine.steps", l()).add(m.steps);
+    reg.accum("engine.ready_queue_depth", l())
+        .record(m.ready_queue_depth as u64);
+    reg.accum("engine.parked", l()).record(m.parked as u64);
+    reg.accum("engine.peak_tasks", l())
+        .record(m.peak_tasks as u64);
 }
 
 impl std::fmt::Debug for Universe {
@@ -629,5 +770,86 @@ mod tests {
         let u = Universe::builder().nodes(1).threads_per_proc(4).build();
         let out = u.run(|env| env.parallel(|th| th.tid()));
         assert_eq!(out, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn task_mode_runs_once_per_proc_in_rank_order() {
+        let u = Universe::builder()
+            .nodes(4)
+            .procs_per_node(2)
+            .tasks()
+            .build();
+        let ranks = u.run(|env| env.rank());
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn task_mode_parallel_and_pt2pt_work() {
+        let u = Universe::builder()
+            .nodes(2)
+            .threads_per_proc(2)
+            .num_vcis(2)
+            .tasks()
+            .build();
+        let out = u.run(|env| {
+            let world = env.world();
+            let rank = env.rank();
+            env.parallel(|th| {
+                let tag = th.tid() as i64;
+                if rank == 0 {
+                    world.send(th, 1, tag, b"hi").unwrap();
+                    0
+                } else {
+                    world.recv(th, 0, tag).unwrap().1.len()
+                }
+            })
+        });
+        assert_eq!(out, vec![vec![0, 0], vec![2, 2]]);
+    }
+
+    #[test]
+    fn task_mode_matches_thread_mode_virtual_times() {
+        // Self-messaging: each rank drives its entire send→deliver→match→recv
+        // pipeline on one thread, so there is no cross-thread progress race
+        // and the virtual-time result must be bit-identical across launch
+        // modes. (Cross-rank blocking traffic rides the real drain/post race
+        // and is covered by the tolerance-based parity suite in
+        // rankmpi-check instead.)
+        let run = |mode: LaunchMode| {
+            let u = Universe::builder().nodes(3).launch(mode).build();
+            u.run(|env| {
+                let world = env.world();
+                let me = env.rank();
+                let mut th = env.single_thread();
+                for round in 0..3i64 {
+                    world.send(&mut th, me, round, b"x").unwrap();
+                }
+                for round in 0..3i64 {
+                    world.recv(&mut th, me as i64, round).unwrap();
+                }
+                th.clock.now()
+            })
+        };
+        let threads = run(LaunchMode::Threads);
+        let tasks = run(LaunchMode::Tasks(TaskLaunch::default()));
+        assert_eq!(
+            threads, tasks,
+            "virtual time must not depend on launch mode"
+        );
+    }
+
+    #[test]
+    fn task_mode_split_gathers_across_rank_tasks() {
+        let u = Universe::builder().nodes(4).tasks().build();
+        let sizes = u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            let sub = world
+                .split(&mut th, (env.rank() % 2) as i64, env.rank() as i64)
+                .unwrap()
+                .expect("non-negative color yields a communicator");
+            sub.size()
+        });
+        assert_eq!(sizes, vec![2, 2, 2, 2]);
     }
 }

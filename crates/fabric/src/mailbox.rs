@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use rankmpi_obs::trace as obs;
+use rankmpi_vtime::engine;
 use rankmpi_vtime::sched::{self, SchedPoint};
 use rankmpi_vtime::Nanos;
 
@@ -23,6 +24,10 @@ use crate::Packet;
 pub struct Notify {
     version: Mutex<u64>,
     cv: Condvar,
+    /// Engine tasks parked until the version moves; registered under the
+    /// version lock (so [`notify`](Self::notify) cannot miss them) and
+    /// drained by every notification.
+    task_waiters: Mutex<Vec<engine::Unparker>>,
 }
 
 impl Notify {
@@ -42,15 +47,37 @@ impl Notify {
         *v += 1;
         drop(v);
         self.cv.notify_all();
+        if engine::ever_active() {
+            let waiters = std::mem::take(&mut *self.task_waiters.lock());
+            for w in waiters {
+                w.unpark();
+            }
+        }
     }
 
     /// Sleep until the version moves past `seen` or `timeout` elapses.
     /// Returns the version observed on wakeup.
     ///
-    /// Under a [`sched`] hook the thread yields to the deterministic
-    /// scheduler instead of sleeping (every caller re-polls in a loop), so
-    /// the task that would produce the notification can run.
+    /// Inside an engine task the thread *parks* instead of sleeping: it
+    /// registers an unparker while holding the version lock — a concurrent
+    /// [`notify`](Self::notify) either already moved the version (observed
+    /// before parking) or will drain the registration — and wakes only when
+    /// the version moves, so idle tasks cost zero CPU and no polling
+    /// timeout. Under a plain [`sched`] hook the thread yields to the
+    /// deterministic scheduler instead (every caller re-polls in a loop).
     pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        if let Some(up) = engine::current_unparker() {
+            loop {
+                {
+                    let v = self.version.lock();
+                    if *v > seen {
+                        return *v;
+                    }
+                    self.task_waiters.lock().push(up.clone());
+                }
+                engine::park(SchedPoint::NotifyWait);
+            }
+        }
         if sched::armed() {
             {
                 let v = self.version.lock();

@@ -2,6 +2,7 @@
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::engine;
 use crate::sched::{self, SchedPoint};
 use crate::{Clock, Nanos};
 
@@ -31,6 +32,9 @@ struct BarrierState {
     max_now: Nanos,
     /// Release time of the last completed generation.
     release_at: Nanos,
+    /// Engine tasks parked waiting for the generation to turn; drained and
+    /// woken by the last arrival.
+    waiters: Vec<engine::Unparker>,
 }
 
 /// A cyclic barrier for `n` simulated threads that also joins virtual time:
@@ -64,6 +68,7 @@ impl VirtualBarrier {
                 generation: 0,
                 max_now: Nanos::ZERO,
                 release_at: Nanos::ZERO,
+                waiters: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -78,12 +83,15 @@ impl VirtualBarrier {
     /// Arrive at the barrier; blocks (for real) until all `n` arrive, then sets
     /// the caller's clock to the joined release time.
     ///
-    /// Under a [`sched`](crate::sched) hook, waiting is cooperative: the
-    /// thread polls the generation with a yield point per poll instead of
-    /// sleeping on the condvar, so a deterministic scheduler can run the
-    /// remaining participants to their arrivals.
+    /// Inside an engine task, waiting *parks*: the task registers an
+    /// unparker on the barrier (under the barrier's own lock, so the last
+    /// arrival cannot miss it) and leaves the CPU until the generation
+    /// turns — 1k waiting tasks cost nothing. Under a plain
+    /// [`sched`](crate::sched) hook, waiting is a cooperative poll with a
+    /// yield point per probe; otherwise a condvar sleep.
     pub fn wait(&self, clock: &mut Clock) {
         sched::yield_point(SchedPoint::BarrierArrive);
+        let engine_up = engine::current_unparker();
         let my_gen = {
             let mut st = self.state.lock();
             let my_gen = st.generation;
@@ -95,10 +103,31 @@ impl VirtualBarrier {
                 st.max_now = Nanos::ZERO;
                 st.generation += 1;
                 let release = st.release_at;
+                let waiters = std::mem::take(&mut st.waiters);
                 drop(st);
                 self.cv.notify_all();
+                for w in waiters {
+                    w.unpark();
+                }
                 clock.wait_until(release);
                 return;
+            }
+            if let Some(up) = engine_up {
+                // Parked wait: re-register on every spurious wake (the
+                // last arrival drains the whole waiter list).
+                st.waiters.push(up.clone());
+                loop {
+                    drop(st);
+                    engine::park(SchedPoint::BarrierWait);
+                    st = self.state.lock();
+                    if st.generation != my_gen {
+                        let release = st.release_at;
+                        drop(st);
+                        clock.wait_until(release);
+                        return;
+                    }
+                    st.waiters.push(up.clone());
+                }
             }
             if !sched::armed() {
                 while st.generation == my_gen {

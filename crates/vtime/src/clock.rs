@@ -49,6 +49,7 @@ impl Clock {
     #[inline]
     pub fn advance(&mut self, d: Nanos) {
         self.now += d;
+        crate::engine::note_vtime(self.now);
         crate::sched::yield_point(crate::sched::SchedPoint::ClockAdvance);
     }
 
@@ -63,6 +64,7 @@ impl Clock {
         if t > self.now {
             self.waited += t - self.now;
             self.now = t;
+            crate::engine::note_vtime(self.now);
         }
     }
 
@@ -77,7 +79,10 @@ impl Clock {
     /// Used by barriers when re-synchronizing a team of threads.
     #[inline]
     pub fn sync_to(&mut self, t: Nanos) {
-        self.now = self.now.max(t);
+        if t > self.now {
+            self.now = t;
+            crate::engine::note_vtime(self.now);
+        }
     }
 }
 

@@ -35,10 +35,14 @@
 //! - [`sched`]: optional per-thread scheduling hooks that turn every clock
 //!   advance, lock acquire/release, and barrier arrival into an explicit,
 //!   replayable yield point (the foundation of `rankmpi-check`'s
-//!   deterministic schedule exploration).
+//!   deterministic schedule exploration);
+//! - [`engine`]: the cooperative rank-task execution engine built on those
+//!   yield points — thousands of simulated threads multiplexed over a small
+//!   worker pool, ordered by virtual time, with parked (zero-CPU) waits.
 
 pub mod barrier;
 pub mod clock;
+pub mod engine;
 pub mod lock;
 pub mod nanos;
 pub mod resource;
@@ -47,7 +51,7 @@ pub mod stats;
 
 pub use barrier::VirtualBarrier;
 pub use clock::Clock;
-pub use lock::{ContentionLock, LockCosts};
+pub use lock::{ContentionLock, LockCosts, UnmodeledGuard};
 pub use nanos::Nanos;
 pub use resource::{Acquisition, Resource};
 pub use stats::{Accumulator, Counter};

@@ -1,9 +1,11 @@
 //! Contention-aware locks: real mutual exclusion plus virtual-time cost modeling.
 
+use std::mem::ManuallyDrop;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, MutexGuard};
 
+use crate::engine;
 use crate::sched::{self, SchedPoint};
 use crate::{Clock, Nanos, Resource};
 
@@ -68,6 +70,9 @@ pub struct ContentionLock<T> {
     /// Total virtual time spent on acquisition latency + collision shifts.
     contended_total: AtomicU64,
     acquisitions: AtomicU64,
+    /// Engine tasks parked waiting for the real mutex; drained (and woken)
+    /// by every release.
+    task_waiters: Mutex<Vec<engine::Unparker>>,
 }
 
 impl<T> ContentionLock<T> {
@@ -85,6 +90,7 @@ impl<T> ContentionLock<T> {
             claimants: AtomicU64::new(0),
             contended_total: AtomicU64::new(0),
             acquisitions: AtomicU64::new(0),
+            task_waiters: Mutex::new(Vec::new()),
         }
     }
 
@@ -106,7 +112,7 @@ impl<T> ContentionLock<T> {
 
         ContentionGuard {
             lock: self,
-            guard,
+            guard: ManuallyDrop::new(guard),
             entered_at: clock.now(),
         }
     }
@@ -129,17 +135,42 @@ impl<T> ContentionLock<T> {
     }
 
     /// Access the protected value without cost accounting (setup/teardown
-    /// paths that are outside the modeled critical path).
-    pub fn lock_unmodeled(&self) -> MutexGuard<'_, T> {
-        self.acquire_inner()
+    /// paths that are outside the modeled critical path). The guard still
+    /// participates in engine-task wakeups: releasing it unparks any tasks
+    /// parked on this lock.
+    pub fn lock_unmodeled(&self) -> UnmodeledGuard<'_, T> {
+        UnmodeledGuard {
+            lock: self,
+            guard: ManuallyDrop::new(self.acquire_inner()),
+        }
     }
 
-    /// Take the real mutex. Under a [`sched`] hook the acquisition is
-    /// cooperative — a `try_lock` spin with a yield point between attempts —
-    /// so the deterministic scheduler can run the current holder (whose
-    /// critical section may itself contain yield points) to its release
-    /// instead of deadlocking on a parked task.
+    /// Take the real mutex.
+    ///
+    /// Inside an engine task, contended acquisition *parks*: the task
+    /// registers an [`engine::Unparker`] on the lock's waiter list and
+    /// leaves the CPU until a release wakes it — this is what lets the
+    /// holder (whose critical section may itself contain yield points) run
+    /// to its release while arbitrarily many tasks queue at zero cost.
+    /// Under a plain [`sched`] hook (no engine) the acquisition is a
+    /// cooperative `try_lock` spin with a yield point between attempts.
     fn acquire_inner(&self) -> MutexGuard<'_, T> {
+        if let Some(up) = engine::current_unparker() {
+            sched::yield_point(SchedPoint::LockAcquire);
+            loop {
+                if let Some(g) = self.inner.try_lock() {
+                    return g;
+                }
+                self.task_waiters.lock().push(up.clone());
+                // Re-check after registering: a release between the failed
+                // try_lock and the registration already drained the list,
+                // so parking now would never be woken.
+                if let Some(g) = self.inner.try_lock() {
+                    return g;
+                }
+                engine::park(SchedPoint::LockAcquire);
+            }
+        }
         if sched::armed() {
             sched::yield_point(SchedPoint::LockAcquire);
             loop {
@@ -151,6 +182,18 @@ impl<T> ContentionLock<T> {
         }
         self.inner.lock()
     }
+
+    /// Wake every engine task parked on this lock (called after the real
+    /// mutex is released). Woken tasks re-try-lock and re-register if they
+    /// lose the race.
+    fn wake_task_waiters(&self) {
+        if engine::ever_active() {
+            let waiters = std::mem::take(&mut *self.task_waiters.lock());
+            for w in waiters {
+                w.unpark();
+            }
+        }
+    }
 }
 
 /// Guard returned by [`ContentionLock::lock`]. Dereferences to the protected
@@ -160,7 +203,7 @@ impl<T> ContentionLock<T> {
 /// holder's — prefer it whenever a `Clock` is available.
 pub struct ContentionGuard<'a, T> {
     lock: &'a ContentionLock<T>,
-    guard: MutexGuard<'a, T>,
+    guard: ManuallyDrop<MutexGuard<'a, T>>,
     entered_at: Nanos,
 }
 
@@ -203,6 +246,41 @@ impl<'a, T> std::ops::DerefMut for ContentionGuard<'a, T> {
 impl<'a, T> Drop for ContentionGuard<'a, T> {
     fn drop(&mut self) {
         self.lock.claimants.fetch_sub(1, Ordering::AcqRel);
+        // SAFETY: dropped exactly once, here. The real mutex must be
+        // released *before* waking parked tasks so their re-try-lock can
+        // succeed — waking first would strand them parked with their waiter
+        // registration already drained.
+        unsafe { ManuallyDrop::drop(&mut self.guard) };
+        self.lock.wake_task_waiters();
+    }
+}
+
+/// Guard returned by [`ContentionLock::lock_unmodeled`]: real exclusion
+/// with no virtual-time accounting, but full engine-task wakeup semantics.
+pub struct UnmodeledGuard<'a, T> {
+    lock: &'a ContentionLock<T>,
+    guard: ManuallyDrop<MutexGuard<'a, T>>,
+}
+
+impl<'a, T> std::ops::Deref for UnmodeledGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<'a, T> std::ops::DerefMut for UnmodeledGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<'a, T> Drop for UnmodeledGuard<'a, T> {
+    fn drop(&mut self) {
+        // SAFETY: dropped exactly once, here; release before waking (see
+        // `ContentionGuard::drop`).
+        unsafe { ManuallyDrop::drop(&mut self.guard) };
+        self.lock.wake_task_waiters();
     }
 }
 

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use rankmpi_core::info::keys;
 use rankmpi_core::tag::{TagLayout, TagPlacement};
-use rankmpi_core::{Communicator, Info, Universe};
+use rankmpi_core::{Communicator, Info, LaunchMode, Universe};
 use rankmpi_endpoints::comm_create_endpoints;
 use rankmpi_fabric::NetworkProfile;
 use rankmpi_partitioned::{precv_init, psend_init, PrecvRequest, PsendRequest};
@@ -74,6 +74,10 @@ pub struct HaloConfig {
     pub compute_jitter: f64,
     /// Network profile.
     pub profile: NetworkProfile,
+    /// How the universe launches simulated processes/threads: OS threads
+    /// (default) or cooperative rank-tasks (required past a few hundred
+    /// ranks — see [`LaunchMode::Tasks`]).
+    pub launch: LaunchMode,
 }
 
 impl Default for HaloConfig {
@@ -91,6 +95,7 @@ impl Default for HaloConfig {
             compute: Nanos::us(5),
             compute_jitter: 0.0,
             profile: NetworkProfile::omni_path(),
+            launch: LaunchMode::Threads,
         }
     }
 }
@@ -194,6 +199,7 @@ pub fn run_halo(mech: HaloMechanism, cfg: &HaloConfig) -> HaloReport {
         .threads_per_proc(nthreads)
         .num_vcis(num_vcis)
         .profile(cfg.profile.clone())
+        .launch(cfg.launch)
         .build();
 
     let map = map.map(Arc::new);
@@ -612,6 +618,7 @@ mod tests {
             compute: Nanos::us(2),
             compute_jitter: 0.0,
             profile: NetworkProfile::omni_path(),
+            launch: LaunchMode::Threads,
         }
     }
 
