@@ -119,6 +119,71 @@ pub fn render(v: &Json) -> String {
     s
 }
 
+/// The nearest-rank percentile of `samples` (`p` in `[0, 100]`). Sorts a
+/// copy; `None` on an empty slice. `p = 0` is the minimum, `p = 100` the
+/// maximum, and interior ranks round up (`ceil(p/100 · n)`), so the result
+/// is always an observed sample — the right convention for latency tails,
+/// where interpolating between observations invents values nothing saw.
+pub fn percentile(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    Some(v[rank.saturating_sub(1).min(v.len() - 1)])
+}
+
+/// The standard latency-tail summary of `samples` as a JSON object:
+/// `count`, `min`, `p50`, `p90`, `p99`, `max`, `mean`. Empty input renders
+/// `{"count": 0}` so a row is never silently absent.
+pub fn percentiles_json(samples: &[u64]) -> Json {
+    if samples.is_empty() {
+        return Json::obj([("count", Json::int(0))]);
+    }
+    let sum: u128 = samples.iter().map(|&v| v as u128).sum();
+    Json::obj([
+        ("count", Json::int(samples.len() as u64)),
+        ("min", Json::int(percentile(samples, 0.0).unwrap())),
+        ("p50", Json::int(percentile(samples, 50.0).unwrap())),
+        ("p90", Json::int(percentile(samples, 90.0).unwrap())),
+        ("p99", Json::int(percentile(samples, 99.0).unwrap())),
+        ("max", Json::int(percentile(samples, 100.0).unwrap())),
+        ("mean", Json::int((sum / samples.len() as u128) as u64)),
+    ])
+}
+
+/// Export `samples` as log2 histogram buckets: a JSON array of
+/// `{"le": 2^k, "count": n}` rows (cumulative counts, like a Prometheus
+/// cumulative histogram), ending with the exact total so consumers can
+/// recover per-bucket counts by differencing. Zero maps to the `le: 1`
+/// bucket.
+pub fn histogram_json(samples: &[u64]) -> Json {
+    if samples.is_empty() {
+        return Json::Arr(vec![]);
+    }
+    let max = *samples.iter().max().unwrap();
+    let top_bit = 64 - max.max(1).leading_zeros();
+    let mut rows = Vec::new();
+    for k in 0..=top_bit {
+        let le = 1u64 << k;
+        let count = samples.iter().filter(|&&v| v <= le).count() as u64;
+        rows.push(Json::obj([
+            ("le", Json::int(le)),
+            ("count", Json::int(count)),
+        ]));
+        if count == samples.len() as u64 {
+            break;
+        }
+    }
+    rows.push(Json::obj([
+        ("le", Json::str("inf")),
+        ("count", Json::int(samples.len() as u64)),
+    ]));
+    Json::Arr(rows)
+}
+
 /// Snapshot one VCI's matching-engine counters as a JSON object:
 /// `engine`, `posted_len`, `unexpected_len`, `matched`, `polls`, plus the
 /// engine-lock series (`lock_acquires`, `lock_acquires_contended`,
@@ -221,6 +286,54 @@ mod tests {
     fn escapes_strings() {
         let s = render(&Json::str("a\"b\\c\nd"));
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7], 50.0), Some(7));
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), Some(1));
+        assert_eq!(percentile(&v, 50.0), Some(50));
+        assert_eq!(percentile(&v, 90.0), Some(90));
+        assert_eq!(percentile(&v, 99.0), Some(99));
+        assert_eq!(percentile(&v, 100.0), Some(100));
+        // Unsorted input; nearest rank rounds up and never interpolates.
+        assert_eq!(percentile(&[40, 10, 30, 20], 50.0), Some(20));
+        assert_eq!(percentile(&[40, 10, 30, 20], 51.0), Some(30));
+        // Out-of-range p clamps.
+        assert_eq!(percentile(&v, -5.0), Some(1));
+        assert_eq!(percentile(&v, 200.0), Some(100));
+    }
+
+    #[test]
+    fn percentiles_json_summarizes_tails() {
+        let mut v: Vec<u64> = vec![10; 99];
+        v.push(1000); // one straggler in the p100/p99 tail
+        let s = render(&percentiles_json(&v));
+        assert!(s.contains("\"count\": 100"));
+        assert!(s.contains("\"p50\": 10"));
+        assert!(s.contains("\"p90\": 10"));
+        assert!(s.contains("\"p99\": 10"));
+        assert!(s.contains("\"max\": 1000"));
+        assert_eq!(render(&percentiles_json(&[])), "{\n  \"count\": 0\n}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_log2() {
+        let v = [1u64, 2, 3, 5, 9];
+        let Json::Arr(rows) = histogram_json(&v) else {
+            panic!("expected array");
+        };
+        // le: 1,2,4,8,16 then the "inf" total.
+        let counts: Vec<String> = rows.iter().map(render).collect();
+        assert!(counts[0].contains("\"le\": 1") && counts[0].contains("\"count\": 1"));
+        assert!(counts[1].contains("\"le\": 2") && counts[1].contains("\"count\": 2"));
+        assert!(counts[2].contains("\"le\": 4") && counts[2].contains("\"count\": 3"));
+        assert!(counts[3].contains("\"le\": 8") && counts[3].contains("\"count\": 4"));
+        assert!(counts[4].contains("\"le\": 16") && counts[4].contains("\"count\": 5"));
+        assert!(counts[5].contains("\"le\": \"inf\"") && counts[5].contains("\"count\": 5"));
+        assert_eq!(histogram_json(&[]), Json::Arr(vec![]));
     }
 
     #[test]

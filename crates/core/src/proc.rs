@@ -4,7 +4,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use rankmpi_fabric::{Nic, Notify};
+use rankmpi_fabric::resil::ResilConfig;
+use rankmpi_fabric::{FaultPlan, Nic, Notify};
 use rankmpi_vtime::{engine, Clock};
 
 use crate::comm::Communicator;
@@ -29,6 +30,11 @@ pub struct ProcShared {
     /// `rankmpi_matching` Info hint overrides per communicator).
     matching: EngineKind,
     direct: Arc<DirectRegistry>,
+    /// Fault plan (and retransmit config) armed on every VCI mailbox of
+    /// this process — held here so VCIs added after universe construction
+    /// (endpoints allocate per-endpoint VCIs) get the same weather as the
+    /// build-time pool.
+    fault: Option<(FaultPlan, Option<ResilConfig>)>,
     vcis: RwLock<Vec<Arc<Vci>>>,
     seq: AtomicU64,
     /// `MPI_THREAD_SERIALIZED` violation detector: set while any thread of
@@ -42,6 +48,7 @@ pub struct ProcShared {
 impl ProcShared {
     /// Create the process with `num_vcis` standard VCIs running `matching`
     /// engines.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         node: usize,
@@ -50,6 +57,7 @@ impl ProcShared {
         costs: CoreCosts,
         num_vcis: usize,
         matching: EngineKind,
+        fault: Option<(FaultPlan, Option<ResilConfig>)>,
     ) -> Arc<Self> {
         let notify = Arc::new(Notify::new());
         let direct = Arc::new(DirectRegistry::new());
@@ -62,6 +70,7 @@ impl ProcShared {
             costs,
             matching,
             direct,
+            fault,
             vcis: RwLock::new(Vec::new()),
             seq: AtomicU64::new(0),
             in_mpi: std::sync::atomic::AtomicBool::new(false),
@@ -106,6 +115,10 @@ impl ProcShared {
 
     /// Grow the pool by one VCI (endpoints allocate per-endpoint VCIs this
     /// way). Returns the new VCI's index.
+    ///
+    /// If the universe was built with a fault plan, the new VCI's mailbox is
+    /// armed with the same per-`(rank, vci)` derived plan the build-time
+    /// pool got — endpoint channels see the same weather as everything else.
     pub fn add_vci(&self) -> usize {
         let mut v = self.vcis.write();
         let id = v.len();
@@ -119,6 +132,13 @@ impl ProcShared {
             Arc::clone(&self.direct),
             self.matching,
         ));
+        if let Some((plan, resil)) = &self.fault {
+            let mailbox = Arc::clone(v[id].mailbox());
+            mailbox.arm_faults(plan.derive(self.rank as u64, id as u64));
+            if let (Some(cfg), Some(r)) = (resil, mailbox.resil()) {
+                r.set_config(*cfg);
+            }
+        }
         id
     }
 

@@ -465,6 +465,11 @@ impl UniverseBuilder {
             .map(|n| Arc::new(Nic::new(n, shm_profile.clone())))
             .collect();
         let n_procs = self.nodes * self.procs_per_node;
+        // Fault plans are handed to each process so that VCIs created later
+        // (endpoints grow the pool live) are armed exactly like the
+        // build-time pool — `ProcShared::add_vci` derives per-`(rank, vci)`
+        // plans and applies the resil config on arm.
+        let fault = self.fault_plan.clone().map(|p| (p, self.resil));
         let procs: Vec<_> = (0..n_procs)
             .map(|r| {
                 let node = r / self.procs_per_node;
@@ -476,20 +481,10 @@ impl UniverseBuilder {
                     self.costs.clone(),
                     self.num_vcis,
                     self.matching,
+                    fault.clone(),
                 )
             })
             .collect();
-        if let Some(plan) = &self.fault_plan {
-            for proc in &procs {
-                for v in 0..proc.num_vcis() {
-                    let mailbox = Arc::clone(proc.vci(v).mailbox());
-                    mailbox.arm_faults(plan.derive(proc.rank() as u64, v as u64));
-                    if let (Some(cfg), Some(r)) = (&self.resil, mailbox.resil()) {
-                        r.set_config(*cfg);
-                    }
-                }
-            }
-        }
         let shared = UniverseShared {
             profile: self.profile,
             costs: self.costs,

@@ -70,6 +70,14 @@ pub struct FaultPlan {
     /// packets with the same `seq / flap_window` share each attempt's flap
     /// outcome, producing bursty loss.
     pub flap_window: u64,
+    /// Probability a packet is a *straggler*: delayed by a heavy-tail
+    /// (Pareto, α = 2) extra latency instead of the uniform delay class
+    /// (see [`FaultPlan::stragglers`]).
+    pub straggle_prob: f64,
+    /// Scale (minimum) of the straggler heavy-tail delay.
+    pub straggle_base: Nanos,
+    /// Hard cap on one straggler delay, keeping the tail finite.
+    pub straggle_cap: Nanos,
 }
 
 /// Why a transmission attempt was lost on the wire (lossy fault classes).
@@ -94,6 +102,9 @@ impl Default for FaultPlan {
             drop_prob: 0.0,
             flap_prob: 0.0,
             flap_window: 16,
+            straggle_prob: 0.0,
+            straggle_base: Nanos(20_000),
+            straggle_cap: Nanos(2_000_000),
         }
     }
 }
@@ -162,6 +173,21 @@ impl FaultPlan {
         self
     }
 
+    /// Enable heavy-tail stragglers: with probability `prob` a packet's
+    /// arrival is pushed out by a Pareto(α = 2) draw scaled by `base` and
+    /// clamped to `cap` — most stragglers land near `base`, a few land an
+    /// order of magnitude out, none past `cap`. Like every class the draw
+    /// derives from `(seed, src, seq)`, so the same packets straggle by the
+    /// same amount under every thread schedule. Delivery-preserving (the
+    /// per-channel FIFO clamp still applies); this is the knob the stream
+    /// workloads use to model slow nodes and tail latency.
+    pub fn stragglers(mut self, prob: f64, base: Nanos, cap: Nanos) -> Self {
+        self.straggle_prob = prob;
+        self.straggle_base = base.max(Nanos(1));
+        self.straggle_cap = cap.max(base);
+        self
+    }
+
     /// A lossy preset: 5% independent wire drops plus flap episodes that
     /// take out ~30% of 8-send windows per attempt round, on top of mild
     /// delays. The mix the acceptance pingpong and the resilience bench run.
@@ -186,6 +212,7 @@ impl FaultPlan {
             || self.duplicate_prob > 0.0
             || self.nack_prob > 0.0
             || self.reorder_prob > 0.0
+            || self.straggle_prob > 0.0
             || self.any_lossy()
     }
 
@@ -215,6 +242,19 @@ impl FaultPlan {
             return Some(LossCause::Drop);
         }
         None
+    }
+
+    /// The straggler delay (ns) for packet `(src, seq)`, or `None` if this
+    /// packet does not straggle. Salt 8 decides, salt 9 draws the tail:
+    /// `extra = base / sqrt(1 - u)` is Pareto with α = 2 (P[extra > x] =
+    /// (base/x)²), clamped to `straggle_cap`.
+    pub(crate) fn straggle_ns(&self, src: u32, seq: u64) -> Option<u64> {
+        if self.straggle_prob <= 0.0 || self.unit(src, seq, 8) >= self.straggle_prob {
+            return None;
+        }
+        let u = self.unit(src, seq, 9);
+        let extra = (self.straggle_base.0.max(1) as f64) / (1.0 - u).sqrt();
+        Some((extra as u64).clamp(self.straggle_base.0.max(1), self.straggle_cap.0))
     }
 
     /// A uniform value in `[0, 1)` for decision `salt` on packet
@@ -253,11 +293,17 @@ pub struct FaultReport {
     /// dedup filter — kept separate so `dups_injected == dups_dropped`
     /// remains an invariant of the duplicate fault class alone.
     pub spurious_dropped: u64,
+    /// Packets hit by the heavy-tail straggler class.
+    pub stragglers: u64,
+    /// Total extra virtual latency injected by stragglers, ns (kept apart
+    /// from `delay_ns` so tail and body latency can be attributed).
+    pub straggler_ns: u64,
 }
 
 /// Per-mailbox fault counters, mirrored into the global metrics registry
 /// (`fault.delays`, `fault.dups_injected`, `fault.dups_dropped`,
-/// `fault.nacks`, `fault.reorders`, `fault.delay_ns`).
+/// `fault.nacks`, `fault.reorders`, `fault.delay_ns`, `fault.stragglers`,
+/// `fault.straggler_ns`).
 #[derive(Debug)]
 pub(crate) struct FaultCounters {
     pub delays: Counter,
@@ -267,7 +313,9 @@ pub(crate) struct FaultCounters {
     pub nacks: Counter,
     pub reorders: Counter,
     pub spurious_dropped: Counter,
-    reg: [Arc<Counter>; 7],
+    pub stragglers: Counter,
+    pub straggler_ns: Counter,
+    reg: [Arc<Counter>; 9],
 }
 
 impl FaultCounters {
@@ -282,6 +330,8 @@ impl FaultCounters {
             nacks: Counter::new(),
             reorders: Counter::new(),
             spurious_dropped: Counter::new(),
+            stragglers: Counter::new(),
+            straggler_ns: Counter::new(),
             reg: [
                 c("fault.delays"),
                 c("fault.delay_ns"),
@@ -290,6 +340,8 @@ impl FaultCounters {
                 c("fault.nacks"),
                 c("fault.reorders"),
                 c("fault.spurious_dropped"),
+                c("fault.stragglers"),
+                c("fault.straggler_ns"),
             ],
         }
     }
@@ -328,6 +380,13 @@ impl FaultCounters {
         self.reg[6].incr();
     }
 
+    pub fn bump_straggle(&self, extra_ns: u64) {
+        self.stragglers.incr();
+        self.straggler_ns.add(extra_ns);
+        self.reg[7].incr();
+        self.reg[8].add(extra_ns);
+    }
+
     pub fn report(&self) -> FaultReport {
         FaultReport {
             delays: self.delays.get(),
@@ -337,6 +396,8 @@ impl FaultCounters {
             nacks: self.nacks.get(),
             reorders: self.reorders.get(),
             spurious_dropped: self.spurious_dropped.get(),
+            stragglers: self.stragglers.get(),
+            straggler_ns: self.straggler_ns.get(),
         }
     }
 }
@@ -389,6 +450,44 @@ mod tests {
         // retransmit attempt (otherwise retries could never help).
         assert!((0..200u64)
             .any(|seq| p.lost(0, seq, 0) == Some(LossCause::Drop) && p.lost(0, seq, 1).is_none()));
+    }
+
+    #[test]
+    fn straggler_draws_are_heavy_tailed_deterministic_and_capped() {
+        let base = Nanos(10_000);
+        let cap = Nanos(400_000);
+        let p = FaultPlan::new(21).stragglers(0.25, base, cap);
+        assert!(p.any_enabled());
+        assert!(!p.any_lossy());
+
+        let draws: Vec<u64> = (0..4000u64)
+            .filter_map(|seq| p.straggle_ns(2, seq))
+            .collect();
+        // ~25% of packets straggle.
+        assert!(
+            draws.len() > 700 && draws.len() < 1300,
+            "hit {}",
+            draws.len()
+        );
+        // Deterministic in the packet identity, independent of call order.
+        for seq in (0..4000u64).rev() {
+            assert_eq!(p.straggle_ns(2, seq), p.straggle_ns(2, seq));
+        }
+        // Bounded: every draw lands in [base, cap].
+        assert!(draws.iter().all(|&d| d >= base.0 && d <= cap.0));
+        // Heavy tail: the Pareto(α=2) survival P[extra > 4·base] = 1/16, so
+        // a few thousand draws must put some past 4x while the median stays
+        // near base (P[extra > 2·base] = 1/4 ⇒ median < 2·base).
+        let mut sorted = draws.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!(median < 2 * base.0, "median {median}");
+        assert!(draws.iter().any(|&d| d > 4 * base.0));
+
+        // Distinct sources decorrelate but stay individually deterministic.
+        assert!((0..200u64).any(|s| p.straggle_ns(0, s).is_some() != p.straggle_ns(1, s).is_some()));
+        // Disabled plan never straggles.
+        assert_eq!(FaultPlan::new(21).straggle_ns(2, 3), None);
     }
 
     #[test]

@@ -346,6 +346,14 @@ impl Inner {
             fs.counters.bump_delay(p.arrive_at.as_ns() - before.as_ns());
             obs::busy("fault", "delay", before, p.arrive_at, obs::ResId::NONE);
         }
+        // Heavy-tail straggler: Pareto extra latency on a few packets —
+        // applied before the channel clamp so per-channel FIFO survives.
+        if let Some(extra) = fs.plan.straggle_ns(src, seq) {
+            let before = p.arrive_at;
+            p.arrive_at += Nanos(extra);
+            fs.counters.bump_straggle(extra);
+            obs::busy("fault", "straggler", before, p.arrive_at, obs::ResId::NONE);
+        }
         let st = fs.channels.entry(chan).or_default();
         // Head-of-line clamp: a channel's arrivals stay monotone in virtual
         // time even when an earlier packet was delayed past this one.

@@ -1,0 +1,184 @@
+//! Wire format of one stream item.
+//!
+//! Every item is a fixed-size buffer: a 32-byte header followed by
+//! deterministic filler bytes derived from `(seed, seq)`. The header carries
+//! the item's identity and provenance:
+//!
+//! - `seq` — the emission sequence number reassembly orders on;
+//! - `emit_ns` — the emitter's virtual clock at first emission (pass 0); a
+//!   feedback re-emission keeps the original stamp so per-item latency spans
+//!   the whole journey;
+//! - `digest` — a running hash every worker stage folds its
+//!   [`stage_salt`] into; the collector recomputes the expected fold from
+//!   the topology, so a skipped, repeated, or mis-routed stage is caught;
+//! - `pass` — 0 on first emission, 1 after a feedback re-emission;
+//! - `hops` — worker stages traversed so far.
+//!
+//! The filler is a function of `(seed, seq)` only — identical on every pass
+//! — so any stage can cheaply verify payload integrity end to end.
+
+/// Header length in bytes; items must be at least this large.
+pub const HEADER: usize = 32;
+
+/// The splitmix64 finalizer — the same mixer the fabric's fault plans use,
+/// kept local so the wire format has no fabric dependency.
+pub fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decoded item header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemHeader {
+    /// Emission sequence number (reassembly key).
+    pub seq: u64,
+    /// Emitter virtual time at first emission, ns.
+    pub emit_ns: u64,
+    /// Running provenance digest (see [`mix`]).
+    pub digest: u64,
+    /// 0 = first emission, 1 = feedback re-emission.
+    pub pass: u16,
+    /// Worker stages traversed.
+    pub hops: u16,
+}
+
+/// The digest an item starts with at emission.
+pub fn base_digest(seed: u64, seq: u64) -> u64 {
+    splitmix(seed ^ seq.rotate_left(13) ^ 0xD1D1)
+}
+
+/// The per-stage salt worker rank `rank` folds into the digest.
+pub fn stage_salt(seed: u64, rank: usize) -> u64 {
+    splitmix(seed ^ ((rank as u64) << 17) ^ 0x57A6E)
+}
+
+/// One digest fold (applied by a worker stage per item).
+pub fn mix(digest: u64, salt: u64) -> u64 {
+    splitmix(digest ^ salt)
+}
+
+/// Whether `seq` takes the feedback loop (farm-with-feedback only):
+/// hash-derived from `(seed, seq)` so every rank computes the same set
+/// without coordination.
+pub fn selected(seed: u64, seq: u64, permille: u32) -> bool {
+    permille > 0 && (splitmix(seed ^ seq ^ 0xFEED_BAC0) >> 11) % 1000 < permille as u64
+}
+
+fn filler_word(seed: u64, seq: u64, chunk: u64) -> u64 {
+    splitmix(seed ^ seq.rotate_left(7) ^ (chunk + 1).wrapping_mul(0xA5A5))
+}
+
+/// Write `h` and the deterministic filler into `buf`
+/// (`buf.len() >= HEADER`).
+pub fn encode(buf: &mut [u8], h: &ItemHeader, seed: u64) {
+    assert!(buf.len() >= HEADER, "item buffer smaller than header");
+    restamp(buf, h);
+    buf[28..32].fill(0);
+    let mut i = HEADER;
+    let mut chunk = 0u64;
+    while i < buf.len() {
+        let w = filler_word(seed, h.seq, chunk).to_le_bytes();
+        let n = (buf.len() - i).min(8);
+        buf[i..i + n].copy_from_slice(&w[..n]);
+        i += n;
+        chunk += 1;
+    }
+}
+
+/// Rewrite only the header fields (stages restamp in place, keeping the
+/// filler bytes they verified).
+pub fn restamp(buf: &mut [u8], h: &ItemHeader) {
+    buf[0..8].copy_from_slice(&h.seq.to_le_bytes());
+    buf[8..16].copy_from_slice(&h.emit_ns.to_le_bytes());
+    buf[16..24].copy_from_slice(&h.digest.to_le_bytes());
+    buf[24..26].copy_from_slice(&h.pass.to_le_bytes());
+    buf[26..28].copy_from_slice(&h.hops.to_le_bytes());
+}
+
+/// Decode the header of `buf`.
+pub fn decode(buf: &[u8]) -> ItemHeader {
+    assert!(buf.len() >= HEADER, "item buffer smaller than header");
+    ItemHeader {
+        seq: u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+        emit_ns: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        digest: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+        pass: u16::from_le_bytes(buf[24..26].try_into().unwrap()),
+        hops: u16::from_le_bytes(buf[26..28].try_into().unwrap()),
+    }
+}
+
+/// Verify the filler bytes of `buf` against `(seed, seq)`.
+pub fn filler_ok(buf: &[u8], seed: u64, seq: u64) -> bool {
+    let mut i = HEADER;
+    let mut chunk = 0u64;
+    while i < buf.len() {
+        let w = filler_word(seed, seq, chunk).to_le_bytes();
+        let n = (buf.len() - i).min(8);
+        if buf[i..i + n] != w[..n] {
+            return false;
+        }
+        i += n;
+        chunk += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_header_and_filler() {
+        let h = ItemHeader {
+            seq: 42,
+            emit_ns: 1_234_567,
+            digest: base_digest(9, 42),
+            pass: 1,
+            hops: 3,
+        };
+        for len in [HEADER, HEADER + 1, HEADER + 7, HEADER + 8, 256] {
+            let mut buf = vec![0u8; len];
+            encode(&mut buf, &h, 9);
+            assert_eq!(decode(&buf), h, "len {len}");
+            assert!(filler_ok(&buf, 9, 42), "len {len}");
+            assert!(!filler_ok(&buf, 9, 43) || len == HEADER);
+        }
+    }
+
+    #[test]
+    fn restamp_preserves_filler() {
+        let mut buf = vec![0u8; 96];
+        let mut h = ItemHeader {
+            seq: 7,
+            emit_ns: 100,
+            digest: base_digest(1, 7),
+            pass: 0,
+            hops: 0,
+        };
+        encode(&mut buf, &h, 1);
+        h.digest = mix(h.digest, stage_salt(1, 3));
+        h.hops += 1;
+        h.pass = 1;
+        restamp(&mut buf, &h);
+        assert_eq!(decode(&buf), h);
+        assert!(filler_ok(&buf, 1, 7));
+    }
+
+    #[test]
+    fn digest_fold_is_order_sensitive() {
+        let d0 = base_digest(5, 0);
+        let a = mix(mix(d0, stage_salt(5, 1)), stage_salt(5, 2));
+        let b = mix(mix(d0, stage_salt(5, 2)), stage_salt(5, 1));
+        assert_ne!(a, b, "a swapped stage order must change the digest");
+    }
+
+    #[test]
+    fn selection_rate_tracks_permille() {
+        let hits = (0..10_000u64).filter(|&s| selected(3, s, 200)).count();
+        assert!((1_600..2_400).contains(&hits), "hits {hits}");
+        assert_eq!((0..1000u64).filter(|&s| selected(3, s, 0)).count(), 0);
+        assert_eq!((0..1000u64).filter(|&s| selected(3, s, 1000)).count(), 1000);
+    }
+}

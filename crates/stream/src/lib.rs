@@ -1,0 +1,33 @@
+//! Streaming-pipeline workload family over the simulated MPI+threads stack.
+//!
+//! Sequence-numbered items flow from an emitter through multithreaded worker
+//! stages to an ordered-reassembly collector, arranged as a **pipeline**, a
+//! **farm**, or a **farm with feedback** ([`Topology`]). Each topology runs
+//! over every communication design the paper studies — a plain shared
+//! communicator, tags with VCI hints, endpoints, and partitioned operations
+//! ([`Mechanism`]) — behind one lane-transport abstraction, so their
+//! throughput and tail-latency behavior is directly comparable under the
+//! same delivery guarantees:
+//!
+//! - **exactly once, in order**: the collector reassembles sequence order
+//!   through a bounded min-heap ([`ReorderBuffer`]) and panics on
+//!   duplicates, gaps, or corrupted provenance;
+//! - **bounded memory**: credit-based backpressure from collector to
+//!   emitter caps items in flight at the credit window, which sizes the
+//!   reorder buffer by construction;
+//! - **verifiable provenance**: every worker stage folds a salt into each
+//!   item's digest, so the collector proves every item traversed exactly
+//!   the stages the topology prescribes.
+//!
+//! Entry point: [`run_stream`] with a [`StreamConfig`].
+
+pub mod item;
+pub mod mech;
+pub mod reorder;
+pub mod run;
+pub mod topology;
+
+pub use mech::{LaneTransport, Mechanism, TransportOpts};
+pub use reorder::{PushErr, ReorderBuffer};
+pub use run::{run_stream, StreamConfig, StreamReport};
+pub use topology::{all_lanes, plan_for_rank, Lane, RankPlan, Role, Topology};

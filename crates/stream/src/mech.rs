@@ -1,0 +1,375 @@
+//! The paper's communication mechanisms behind one lane-transport trait.
+//!
+//! A [`LaneTransport`] moves opaque item buffers along the topology's
+//! [`Lane`]s. The stream runner is mechanism-agnostic: emitter, workers, and
+//! collector call `send`/`recv`/`try_recv` with the lane and the item's
+//! per-lane ordinal (`lane_seq`), and each mechanism maps that onto its own
+//! wire resources:
+//!
+//! - **Baseline** — one plain duplicated communicator, the lane id as the
+//!   tag. No hints: every thread funnels through the library's default
+//!   single-VCI path ("MPI+threads (Original)").
+//! - **Tags + VCIs** — one communicator duplicated with the MPI 4.0
+//!   assertions and the tag-bits→VCI one-to-one hint (Listing 2): lane
+//!   endpoints' thread ids ride in the tag's MSBs, giving each lane an
+//!   independent fast path.
+//! - **Endpoints** — one endpoint per thread slot (Listing 3);
+//!   lanes address `(rank, thread)` directly in endpoint-rank space.
+//! - **Partitioned** — one persistent partitioned op per lane (Listing 4),
+//!   cycled in rounds of `part_window` partitions; `lane_seq` selects
+//!   `(round, partition)` and the final partial round is padded.
+//!
+//! Transports are per-process, shared by its threads (`&self` methods);
+//! per-lane mutable state carries its own lock and each lane is driven by
+//! exactly one thread, so the locks are uncontended.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rankmpi_core::info::keys;
+use rankmpi_core::tag::{TagLayout, TagPlacement};
+use rankmpi_core::{Communicator, Info, ThreadCtx};
+use rankmpi_endpoints::{comm_create_endpoints, Endpoint};
+use rankmpi_partitioned::{precv_init, psend_init, PrecvRequest, PsendRequest};
+
+use crate::topology::{Lane, RankPlan};
+
+/// Tag region for partitioned lane routes (clear of the runner's credit and
+/// feedback tags and of baseline lane-id tags).
+const PART_TAG_BASE: i64 = 600_000;
+
+/// Sizing knobs a transport needs at setup.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportOpts {
+    /// Threads per middle rank (endpoint slots, VCI counts).
+    pub threads: usize,
+    /// Bytes per item (the partitioned partition size).
+    pub item_bytes: usize,
+    /// Partitions per partitioned round.
+    pub part_window: usize,
+}
+
+/// Mechanism-neutral movement of item buffers along lanes.
+///
+/// `lane_seq` is the item's ordinal within the lane (0-based, dense): both
+/// sides of a lane call with the same sequence of ordinals, which is what
+/// lets the partitioned transport agree on `(round, partition)` without any
+/// extra control traffic.
+pub trait LaneTransport: Send + Sync {
+    /// Send item `lane_seq` of `lane` (called by the lane's source thread).
+    fn send(&self, th: &mut ThreadCtx, lane: &Lane, lane_seq: u64, data: &[u8]);
+    /// Blocking receive of item `lane_seq` of `lane`.
+    fn recv(&self, th: &mut ThreadCtx, lane: &Lane, lane_seq: u64) -> Vec<u8>;
+    /// Nonblocking receive of item `lane_seq` of `lane`.
+    fn try_recv(&self, th: &mut ThreadCtx, lane: &Lane, lane_seq: u64) -> Option<Vec<u8>>;
+    /// Flush/complete the send side of `lane` after its last item.
+    fn finish_tx(&self, th: &mut ThreadCtx, lane: &Lane);
+    /// Complete the receive side of `lane` after its last item.
+    fn finish_rx(&self, th: &mut ThreadCtx, lane: &Lane);
+}
+
+/// Which paper mechanism carries the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// Plain shared communicator, no hints.
+    Baseline,
+    /// Communicator with assertions + tag-bits→VCI one-to-one hint.
+    TagsVci,
+    /// One endpoint per thread slot.
+    Endpoints,
+    /// Persistent partitioned ops, one per lane.
+    Partitioned,
+}
+
+impl Mechanism {
+    /// Every mechanism, benchmark order.
+    pub const ALL: [Mechanism; 4] = [
+        Mechanism::Baseline,
+        Mechanism::TagsVci,
+        Mechanism::Endpoints,
+        Mechanism::Partitioned,
+    ];
+
+    /// Display label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mechanism::Baseline => "baseline",
+            Mechanism::TagsVci => "tags+vci",
+            Mechanism::Endpoints => "endpoints",
+            Mechanism::Partitioned => "partitioned",
+        }
+    }
+
+    /// VCIs per process the universe should be built with.
+    pub fn num_vcis(&self, threads: usize) -> usize {
+        match self {
+            Mechanism::Baseline => 1,
+            Mechanism::TagsVci => threads.max(1),
+            // Endpoints allocate their own VCIs on creation.
+            Mechanism::Endpoints => 1,
+            Mechanism::Partitioned => threads.clamp(2, 8),
+        }
+    }
+
+    /// Build this rank's transport. Collective: every rank calls this once,
+    /// in its setup thread, before entering its stream role.
+    pub fn setup(
+        &self,
+        th: &mut ThreadCtx,
+        world: &Communicator,
+        plan: &RankPlan,
+        opts: &TransportOpts,
+    ) -> Arc<dyn LaneTransport> {
+        match self {
+            Mechanism::Baseline => {
+                let comm = world.dup(th).expect("dup");
+                Arc::new(CommTransport { comm, layout: None })
+            }
+            Mechanism::TagsVci => {
+                let layout = TagLayout::for_threads(opts.threads, TagPlacement::Msb).unwrap();
+                let info = Info::new()
+                    .set(keys::ASSERT_ALLOW_OVERTAKING, "true")
+                    .set(keys::ASSERT_NO_ANY_TAG, "true")
+                    .set(keys::ASSERT_NO_ANY_SOURCE, "true")
+                    .set(keys::NUM_VCIS, &opts.threads.to_string())
+                    .set(keys::NUM_TAG_BITS_VCI, &layout.src_tid_bits.to_string())
+                    .set(keys::PLACE_TAG_BITS, "MSB")
+                    .set(keys::TAG_VCI_HASH_TYPE, "one-to-one");
+                let comm = world.dup_with_info(th, info).expect("dup_with_info");
+                Arc::new(CommTransport {
+                    comm,
+                    layout: Some(layout),
+                })
+            }
+            Mechanism::Endpoints => {
+                let eps = comm_create_endpoints(world, th, opts.threads, &Info::new())
+                    .expect("comm_create_endpoints");
+                Arc::new(EpTransport { eps })
+            }
+            Mechanism::Partitioned => {
+                let comm = world.dup(th).expect("dup");
+                let window = opts.part_window.max(1);
+                let info = Info::new();
+                // Init everything, then start receives, then sends: a
+                // psend's first start blocks on the receiver's route
+                // handshake, which its precv start emits.
+                let mut rx = HashMap::new();
+                for l in &plan.in_lanes {
+                    let req = precv_init(
+                        &comm,
+                        th,
+                        l.src,
+                        PART_TAG_BASE + l.id as i64,
+                        window,
+                        opts.item_bytes,
+                        &info,
+                    )
+                    .expect("precv_init");
+                    rx.insert(
+                        l.id,
+                        RxLane {
+                            req,
+                            round: Mutex::new(0),
+                        },
+                    );
+                }
+                let mut tx = HashMap::new();
+                for l in &plan.out_lanes {
+                    let req = psend_init(
+                        &comm,
+                        th,
+                        l.dst,
+                        PART_TAG_BASE + l.id as i64,
+                        window,
+                        opts.item_bytes,
+                        &info,
+                    )
+                    .expect("psend_init");
+                    tx.insert(l.id, req);
+                }
+                for lane in rx.values() {
+                    lane.req.start(th).expect("precv start");
+                }
+                for req in tx.values() {
+                    req.start(th).expect("psend start");
+                }
+                Arc::new(PartTransport {
+                    window,
+                    part_bytes: opts.item_bytes,
+                    tx,
+                    rx,
+                })
+            }
+        }
+    }
+}
+
+/// Baseline / tags+VCIs: one shared communicator, lanes keyed by tag.
+struct CommTransport {
+    comm: Communicator,
+    /// `Some` = encode lane thread ids into tag bits (tags+VCI mechanism);
+    /// `None` = plain lane-id tags (baseline).
+    layout: Option<TagLayout>,
+}
+
+impl CommTransport {
+    fn tag(&self, lane: &Lane) -> i64 {
+        match &self.layout {
+            // Matching is (source rank, tag): thread ids in the tag make
+            // each lane unique per rank pair, and the MSB src bits drive
+            // the one-to-one VCI hash.
+            Some(l) => l.encode(lane.src_tid, lane.dst_tid, 0).unwrap(),
+            None => lane.id as i64,
+        }
+    }
+}
+
+impl LaneTransport for CommTransport {
+    fn send(&self, th: &mut ThreadCtx, lane: &Lane, _lane_seq: u64, data: &[u8]) {
+        self.comm
+            .send(th, lane.dst, self.tag(lane), data)
+            .expect("lane send");
+    }
+
+    fn recv(&self, th: &mut ThreadCtx, lane: &Lane, _lane_seq: u64) -> Vec<u8> {
+        let (_st, data) = self
+            .comm
+            .recv(th, lane.src as i64, self.tag(lane))
+            .expect("lane recv");
+        data.to_vec()
+    }
+
+    fn try_recv(&self, th: &mut ThreadCtx, lane: &Lane, _lane_seq: u64) -> Option<Vec<u8>> {
+        self.comm
+            .try_recv(th, lane.src as i64, self.tag(lane))
+            .expect("lane try_recv")
+            .map(|(_st, data)| data.to_vec())
+    }
+
+    fn finish_tx(&self, _th: &mut ThreadCtx, _lane: &Lane) {}
+    fn finish_rx(&self, _th: &mut ThreadCtx, _lane: &Lane) {}
+}
+
+/// Endpoints: lanes address `(rank, thread slot)` in endpoint-rank space.
+struct EpTransport {
+    eps: Vec<Endpoint>,
+}
+
+impl LaneTransport for EpTransport {
+    fn send(&self, th: &mut ThreadCtx, lane: &Lane, _lane_seq: u64, data: &[u8]) {
+        let ep = &self.eps[lane.src_tid];
+        let dst_ep = ep.topology().ep_rank(lane.dst, lane.dst_tid);
+        ep.send(th, dst_ep, lane.id as i64, data).expect("ep send");
+    }
+
+    fn recv(&self, th: &mut ThreadCtx, lane: &Lane, _lane_seq: u64) -> Vec<u8> {
+        let ep = &self.eps[lane.dst_tid];
+        let src_ep = ep.topology().ep_rank(lane.src, lane.src_tid);
+        let (_st, data) = ep.recv(th, src_ep as i64, lane.id as i64).expect("ep recv");
+        data.to_vec()
+    }
+
+    fn try_recv(&self, th: &mut ThreadCtx, lane: &Lane, _lane_seq: u64) -> Option<Vec<u8>> {
+        let ep = &self.eps[lane.dst_tid];
+        let src_ep = ep.topology().ep_rank(lane.src, lane.src_tid);
+        ep.try_recv(th, src_ep as i64, lane.id as i64)
+            .expect("ep try_recv")
+            .map(|(_st, data)| data.to_vec())
+    }
+
+    fn finish_tx(&self, _th: &mut ThreadCtx, _lane: &Lane) {}
+    fn finish_rx(&self, _th: &mut ThreadCtx, _lane: &Lane) {}
+}
+
+struct RxLane {
+    req: PrecvRequest,
+    /// Highest round `start` has been issued for.
+    round: Mutex<u64>,
+}
+
+/// Partitioned: one persistent op pair per lane, cycled in fixed rounds.
+struct PartTransport {
+    window: usize,
+    part_bytes: usize,
+    tx: HashMap<usize, PsendRequest>,
+    rx: HashMap<usize, RxLane>,
+}
+
+impl PartTransport {
+    /// Re-arm the receive op when `lane_seq` crosses into a new round
+    /// (idempotent — `try_recv` may ask repeatedly for the same ordinal).
+    fn rx_rollover(&self, th: &mut ThreadCtx, lane: &Lane, round: u64) {
+        let rx = &self.rx[&lane.id];
+        let mut cur = rx.round.lock();
+        if round > *cur {
+            // The previous round was fully consumed partition by partition,
+            // so its completion is immediate.
+            rx.req.wait(th).expect("precv wait");
+            rx.req.start(th).expect("precv start");
+            *cur = round;
+        }
+    }
+}
+
+impl LaneTransport for PartTransport {
+    fn send(&self, th: &mut ThreadCtx, lane: &Lane, lane_seq: u64, data: &[u8]) {
+        let req = &self.tx[&lane.id];
+        let part = (lane_seq % self.window as u64) as usize;
+        if part == 0 && lane_seq > 0 {
+            req.wait(th).expect("psend wait");
+            req.start(th).expect("psend start");
+        }
+        req.pready(th, part, data).expect("pready");
+    }
+
+    fn recv(&self, th: &mut ThreadCtx, lane: &Lane, lane_seq: u64) -> Vec<u8> {
+        let round = lane_seq / self.window as u64;
+        let part = (lane_seq % self.window as u64) as usize;
+        self.rx_rollover(th, lane, round);
+        let rx = &self.rx[&lane.id];
+        let notify = Arc::clone(th.proc().notify());
+        loop {
+            let seen = notify.version();
+            if rx.req.parrived(th, part).expect("parrived") {
+                break;
+            }
+            notify.wait_past(seen, Duration::from_millis(1));
+        }
+        rx.req.read_partition(part)
+    }
+
+    fn try_recv(&self, th: &mut ThreadCtx, lane: &Lane, lane_seq: u64) -> Option<Vec<u8>> {
+        let round = lane_seq / self.window as u64;
+        let part = (lane_seq % self.window as u64) as usize;
+        self.rx_rollover(th, lane, round);
+        let rx = &self.rx[&lane.id];
+        if rx.req.parrived(th, part).expect("parrived") {
+            Some(rx.req.read_partition(part))
+        } else {
+            None
+        }
+    }
+
+    /// Pad the final partial round so the receiver's last `wait` completes
+    /// (padding partitions are never consumed as items — lane counts bound
+    /// what the receiver reads).
+    fn finish_tx(&self, th: &mut ThreadCtx, lane: &Lane) {
+        let req = &self.tx[&lane.id];
+        let pad = vec![0u8; self.part_bytes];
+        let rem = (lane.count % self.window as u64) as usize;
+        if rem != 0 || lane.count == 0 {
+            for part in rem..self.window {
+                req.pready(th, part, &pad).expect("pad pready");
+            }
+        }
+        req.wait(th).expect("psend final wait");
+    }
+
+    fn finish_rx(&self, th: &mut ThreadCtx, lane: &Lane) {
+        // The in-flight round (padded by the sender if partial) completes.
+        let rx = &self.rx[&lane.id];
+        rx.req.wait(th).expect("precv final wait");
+    }
+}

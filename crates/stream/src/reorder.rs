@@ -1,0 +1,236 @@
+//! Bounded ordered-reassembly buffer.
+//!
+//! Items arrive at the collector out of order (parallel lanes, fabric
+//! reordering, retransmits, stragglers) and must be emitted exactly once in
+//! sequence order. The buffer is a min-heap on sequence number with a hard
+//! capacity: when the next-in-order item is missing, arrivals park in the
+//! heap; when the heap is full, [`ReorderBuffer::push`] refuses — the
+//! caller must stall (backpressure) instead of growing memory. The stream
+//! runner sizes the buffer to the credit window, which makes overflow
+//! impossible by construction: at most `credits` items are ever
+//! un-delivered, so at most `credits - 1` can be parked ahead of the
+//! in-order head.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushErr {
+    /// The buffer is at capacity and `seq` is not the next-in-order item —
+    /// accepting it would grow memory. The producer must stall.
+    Full,
+    /// `seq` was already emitted (duplicate of a delivered item).
+    Stale,
+}
+
+struct Slot<T> {
+    seq: u64,
+    val: T,
+}
+
+impl<T> PartialEq for Slot<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<T> Eq for Slot<T> {}
+impl<T> PartialOrd for Slot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Slot<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.seq.cmp(&other.seq)
+    }
+}
+
+/// Min-heap reassembly buffer with a hard capacity (see module docs).
+pub struct ReorderBuffer<T> {
+    heap: BinaryHeap<Reverse<Slot<T>>>,
+    next: u64,
+    cap: usize,
+    peak: usize,
+}
+
+impl<T> ReorderBuffer<T> {
+    /// An empty buffer expecting sequence 0 next, holding at most `cap`
+    /// parked items.
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        ReorderBuffer {
+            heap: BinaryHeap::with_capacity(cap),
+            next: 0,
+            cap,
+            peak: 0,
+        }
+    }
+
+    /// Park item `seq`. The caller pops ready items with
+    /// [`pop_next`](Self::pop_next) afterwards.
+    pub fn push(&mut self, seq: u64, val: T) -> Result<(), PushErr> {
+        if seq < self.next {
+            return Err(PushErr::Stale);
+        }
+        if self.heap.len() >= self.cap && seq != self.next {
+            return Err(PushErr::Full);
+        }
+        self.heap.push(Reverse(Slot { seq, val }));
+        self.peak = self.peak.max(self.heap.len());
+        Ok(())
+    }
+
+    /// Pop the next in-order item if it has arrived. Call in a loop: one
+    /// arrival can release a whole run of parked successors.
+    pub fn pop_next(&mut self) -> Option<(u64, T)> {
+        if self.heap.peek().map(|Reverse(s)| s.seq) == Some(self.next) {
+            let Reverse(slot) = self.heap.pop().unwrap();
+            self.next += 1;
+            return Some((slot.seq, slot.val));
+        }
+        None
+    }
+
+    /// The sequence number the buffer will emit next.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    /// Items currently parked.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no items are parked.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Maximum items ever parked at once.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// The hard capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::splitmix;
+
+    #[test]
+    fn reassembles_in_order_from_shuffled_arrivals() {
+        let mut rb = ReorderBuffer::new(16);
+        // Arrivals shuffled within disjoint blocks of 10: displacement is
+        // bounded below capacity, so every push is accepted.
+        let mut seqs: Vec<u64> = Vec::new();
+        for block in 0u64..10 {
+            let mut b: Vec<u64> = (block * 10..(block + 1) * 10).collect();
+            for i in 0..b.len() {
+                let j = (splitmix(block * 31 + i as u64) as usize) % b.len();
+                b.swap(i, j);
+            }
+            seqs.extend(b);
+        }
+        let mut out = Vec::new();
+        for s in seqs {
+            rb.push(s, s * 10).unwrap();
+            while let Some((seq, v)) = rb.pop_next() {
+                assert_eq!(v, seq * 10);
+                out.push(seq);
+            }
+        }
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert!(rb.is_empty());
+        assert!(rb.peak() <= 16);
+    }
+
+    #[test]
+    fn refuses_stale_and_overflow() {
+        let mut rb = ReorderBuffer::new(2);
+        rb.push(1, ()).unwrap();
+        rb.push(2, ()).unwrap();
+        // Full, and 3 is not the in-order head.
+        assert_eq!(rb.push(3, ()), Err(PushErr::Full));
+        // The head itself is always accepted: it releases the run.
+        rb.push(0, ()).unwrap();
+        assert_eq!(rb.pop_next().unwrap().0, 0);
+        assert_eq!(rb.pop_next().unwrap().0, 1);
+        assert_eq!(rb.pop_next().unwrap().0, 2);
+        assert_eq!(rb.pop_next(), None);
+        // Already emitted.
+        assert_eq!(rb.push(1, ()), Err(PushErr::Stale));
+        assert_eq!(rb.next_seq(), 3);
+    }
+
+    /// Satellite regression: 10k out-of-order arrivals against a capped
+    /// buffer — memory stays flat (peak ≤ cap) and overload surfaces as
+    /// backpressure stalls, never as growth.
+    #[test]
+    fn ten_thousand_out_of_order_items_stay_bounded() {
+        const N: u64 = 10_000;
+        const CAP: usize = 64;
+        let mut rb = ReorderBuffer::new(CAP);
+
+        // An adversarial producer: always withholds the in-order head and
+        // offers later sequences — the access pattern that would grow an
+        // unbounded buffer without limit. It releases the head only when
+        // the buffer pushes back.
+        let mut withheld: Option<u64> = None; // the held-back head
+        let mut carry: Option<u64> = None; // offer refused by backpressure
+        let mut hi: u64 = 0; // next fresh seq to offer
+        let mut delivered: u64 = 0;
+        let mut stalls: u64 = 0;
+
+        while delivered < N {
+            let offer = match carry.take() {
+                Some(s) => s,
+                None if hi < N => {
+                    let s = hi;
+                    hi += 1;
+                    if withheld.is_none() && s == rb.next_seq() {
+                        withheld = Some(s);
+                        continue;
+                    }
+                    s
+                }
+                None => withheld.take().expect("nothing left to offer"),
+            };
+            match rb.push(offer, offer) {
+                Ok(()) => {}
+                Err(PushErr::Full) => {
+                    // Backpressure: release the head, retry the offer.
+                    stalls += 1;
+                    assert!(rb.len() <= CAP, "buffer grew past cap on stall");
+                    let head = withheld.take().expect("stalled without a head");
+                    rb.push(head, head).unwrap();
+                    carry = Some(offer);
+                }
+                Err(PushErr::Stale) => panic!("duplicate emission"),
+            }
+            while let Some((seq, v)) = rb.pop_next() {
+                assert_eq!(seq, v);
+                assert_eq!(seq, delivered, "out-of-order emission");
+                delivered += 1;
+            }
+        }
+
+        assert_eq!(delivered, N);
+        assert!(rb.is_empty());
+        // Flat memory: the heap never held more than its capacity (+1
+        // transiently, when the always-accepted head lands at capacity
+        // just before its run drains)...
+        assert!(
+            rb.peak() <= CAP + 1,
+            "peak {} exceeded cap {CAP}",
+            rb.peak()
+        );
+        // ...and the adversary really did hit the wall (stall, not growth).
+        assert!(stalls > 0, "producer never experienced backpressure");
+    }
+}

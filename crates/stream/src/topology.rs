@@ -1,0 +1,390 @@
+//! Staged stream topologies and their wire plans.
+//!
+//! A topology places one **emitter** at rank 0, worker ranks in the middle,
+//! and one **collector** at the last rank, connected by **lanes** — ordered
+//! point-to-point channels between a `(rank, thread)` pair on each side.
+//! Items are assigned to lanes by `seq % lanes`, so every rank can compute
+//! the complete wire plan (who talks to whom, and exactly how many items
+//! each lane carries) from the configuration alone, with no coordination:
+//!
+//! - **Pipeline**: `stages` ranks of `threads` threads each; thread `t` of
+//!   stage `s` receives from thread `t` of stage `s-1`, so there are
+//!   `threads` parallel full-depth lanes.
+//! - **Farm**: `workers` ranks of `threads` threads; every worker thread
+//!   has one in-lane from the emitter and one out-lane to the collector
+//!   (`workers * threads` parallel lanes, one hop each).
+//! - **Farm-with-feedback**: a farm where a hash-selected fraction of items
+//!   (see [`crate::item::selected`]) makes a second pass: the collector
+//!   routes the pass-0 arrival back to the emitter, which re-emits it on
+//!   the same lane; only the pass-1 arrival is delivered. Lane item counts
+//!   include the extra passes, so workers still run exact-count loops.
+
+use crate::item;
+
+/// Shape of the staged computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// `stages` worker ranks in sequence, `threads` lanes deep.
+    Pipeline {
+        /// Worker ranks between emitter and collector.
+        stages: usize,
+        /// Threads (parallel lanes) per stage.
+        threads: usize,
+    },
+    /// `workers` independent worker ranks, each `threads` wide.
+    Farm {
+        /// Worker ranks.
+        workers: usize,
+        /// Threads per worker.
+        threads: usize,
+    },
+    /// A farm where ~`feedback_permille`/1000 of items take a second pass
+    /// through their worker before delivery.
+    FarmFeedback {
+        /// Worker ranks.
+        workers: usize,
+        /// Threads per worker.
+        threads: usize,
+        /// Selection rate of the feedback loop, in items per thousand.
+        feedback_permille: u32,
+    },
+}
+
+impl Topology {
+    /// Display label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Topology::Pipeline { .. } => "pipeline",
+            Topology::Farm { .. } => "farm",
+            Topology::FarmFeedback { .. } => "farm-feedback",
+        }
+    }
+
+    /// Threads per middle rank.
+    pub fn threads(&self) -> usize {
+        match *self {
+            Topology::Pipeline { threads, .. }
+            | Topology::Farm { threads, .. }
+            | Topology::FarmFeedback { threads, .. } => threads,
+        }
+    }
+
+    /// Worker ranks between emitter and collector.
+    pub fn middle_ranks(&self) -> usize {
+        match *self {
+            Topology::Pipeline { stages, .. } => stages,
+            Topology::Farm { workers, .. } | Topology::FarmFeedback { workers, .. } => workers,
+        }
+    }
+
+    /// Total simulated processes (emitter + middle + collector).
+    pub fn n_ranks(&self) -> usize {
+        self.middle_ranks() + 2
+    }
+
+    /// The collector's rank.
+    pub fn collector_rank(&self) -> usize {
+        self.n_ranks() - 1
+    }
+
+    /// Parallel lanes items are sharded over.
+    pub fn lanes(&self) -> usize {
+        match *self {
+            Topology::Pipeline { threads, .. } => threads,
+            Topology::Farm {
+                workers, threads, ..
+            }
+            | Topology::FarmFeedback {
+                workers, threads, ..
+            } => workers * threads,
+        }
+    }
+
+    /// The lane item `seq` travels on.
+    pub fn lane_of(&self, seq: u64) -> usize {
+        (seq % self.lanes() as u64) as usize
+    }
+
+    /// Feedback selection rate (0 for pipeline/farm).
+    pub fn feedback_permille(&self) -> u32 {
+        match *self {
+            Topology::FarmFeedback {
+                feedback_permille, ..
+            } => feedback_permille,
+            _ => 0,
+        }
+    }
+
+    /// Items of `0..items` that take the feedback loop.
+    pub fn selected_count(&self, seed: u64, items: u64) -> u64 {
+        let pm = self.feedback_permille();
+        if pm == 0 {
+            return 0;
+        }
+        (0..items).filter(|&s| item::selected(seed, s, pm)).count() as u64
+    }
+
+    /// The digest the collector expects on the delivered copy of `seq`:
+    /// the base digest folded once per traversed worker stage (twice
+    /// through the same worker for feedback-selected items).
+    pub fn expected_digest(&self, seed: u64, seq: u64) -> u64 {
+        let mut d = item::base_digest(seed, seq);
+        match *self {
+            Topology::Pipeline { stages, .. } => {
+                for rank in 1..=stages {
+                    d = item::mix(d, item::stage_salt(seed, rank));
+                }
+            }
+            Topology::Farm { .. } | Topology::FarmFeedback { .. } => {
+                let rank = 1 + self.lane_of(seq) / self.threads();
+                let passes = if item::selected(seed, seq, self.feedback_permille()) {
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..passes {
+                    d = item::mix(d, item::stage_salt(seed, rank));
+                }
+            }
+        }
+        d
+    }
+
+    /// Worker hops the delivered copy of `seq` has made.
+    pub fn expected_hops(&self, seed: u64, seq: u64) -> u16 {
+        match *self {
+            Topology::Pipeline { stages, .. } => stages as u16,
+            Topology::Farm { .. } => 1,
+            Topology::FarmFeedback { .. } => {
+                if item::selected(seed, seq, self.feedback_permille()) {
+                    2
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Items carried by each lane (length [`lanes`](Self::lanes)),
+    /// including feedback re-passes — the exact loop count of the worker
+    /// thread owning the lane.
+    pub fn lane_counts(&self, seed: u64, items: u64) -> Vec<u64> {
+        let l = self.lanes() as u64;
+        let pm = self.feedback_permille();
+        let mut counts: Vec<u64> = (0..l)
+            .map(|i| items / l + u64::from(i < items % l))
+            .collect();
+        if pm > 0 {
+            for seq in 0..items {
+                if item::selected(seed, seq, pm) {
+                    counts[self.lane_of(seq)] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    fn validate(&self) {
+        assert!(self.middle_ranks() >= 1, "need at least one worker rank");
+        assert!(self.threads() >= 1, "need at least one thread per rank");
+        assert!(
+            self.feedback_permille() <= 1000,
+            "feedback_permille is out of [0, 1000]"
+        );
+    }
+}
+
+/// One ordered point-to-point channel of the wire plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lane {
+    /// Globally unique lane id (stable across ranks — transports key
+    /// tags/partitioned ops on it).
+    pub id: usize,
+    /// Source rank.
+    pub src: usize,
+    /// Source thread.
+    pub src_tid: usize,
+    /// Destination rank.
+    pub dst: usize,
+    /// Destination thread.
+    pub dst_tid: usize,
+    /// Exact number of items this lane carries (feedback passes included).
+    pub count: u64,
+}
+
+/// A rank's part in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Rank 0: sources sequence-numbered items under credit backpressure.
+    Emitter,
+    /// Middle ranks: multithreaded processing stages.
+    Worker,
+    /// Last rank: ordered reassembly, delivery, credit grants, feedback
+    /// routing.
+    Collector,
+}
+
+/// The lanes one rank participates in.
+#[derive(Debug, Clone)]
+pub struct RankPlan {
+    /// This rank.
+    pub rank: usize,
+    /// Emitter, worker, or collector.
+    pub role: Role,
+    /// Lanes this rank receives on, ordered by lane id.
+    pub in_lanes: Vec<Lane>,
+    /// Lanes this rank sends on, ordered by lane id.
+    pub out_lanes: Vec<Lane>,
+}
+
+/// Every lane of the topology, ordered by id (the full wire plan).
+pub fn all_lanes(topo: &Topology, seed: u64, items: u64) -> Vec<Lane> {
+    let counts = topo.lane_counts(seed, items);
+    let t = topo.threads();
+    let mut lanes = Vec::new();
+    match *topo {
+        Topology::Pipeline { stages, .. } => {
+            // Boundary b connects rank b to rank b+1, lanes 0..t each.
+            for b in 0..=stages {
+                for (lane_t, &count) in counts.iter().enumerate() {
+                    lanes.push(Lane {
+                        id: b * t + lane_t,
+                        src: b,
+                        src_tid: if b == 0 { 0 } else { lane_t },
+                        dst: b + 1,
+                        dst_tid: if b == stages { 0 } else { lane_t },
+                        count,
+                    });
+                }
+            }
+        }
+        Topology::Farm { .. } | Topology::FarmFeedback { .. } => {
+            let l = topo.lanes();
+            let collector = topo.collector_rank();
+            for (lane, &count) in counts.iter().enumerate() {
+                let (w, tid) = (lane / t, lane % t);
+                lanes.push(Lane {
+                    id: lane,
+                    src: 0,
+                    src_tid: 0,
+                    dst: 1 + w,
+                    dst_tid: tid,
+                    count,
+                });
+            }
+            for (lane, &count) in counts.iter().enumerate() {
+                let (w, tid) = (lane / t, lane % t);
+                lanes.push(Lane {
+                    id: l + lane,
+                    src: 1 + w,
+                    src_tid: tid,
+                    dst: collector,
+                    dst_tid: 0,
+                    count,
+                });
+            }
+        }
+    }
+    lanes
+}
+
+/// The wire plan restricted to `rank`.
+pub fn plan_for_rank(topo: &Topology, rank: usize, seed: u64, items: u64) -> RankPlan {
+    topo.validate();
+    assert!(rank < topo.n_ranks(), "rank out of range");
+    let role = if rank == 0 {
+        Role::Emitter
+    } else if rank == topo.collector_rank() {
+        Role::Collector
+    } else {
+        Role::Worker
+    };
+    let lanes = all_lanes(topo, seed, items);
+    RankPlan {
+        rank,
+        role,
+        in_lanes: lanes.iter().filter(|l| l.dst == rank).cloned().collect(),
+        out_lanes: lanes.iter().filter(|l| l.src == rank).cloned().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_plan_shape() {
+        let t = Topology::Pipeline {
+            stages: 3,
+            threads: 2,
+        };
+        assert_eq!(t.n_ranks(), 5);
+        assert_eq!(t.lanes(), 2);
+        let e = plan_for_rank(&t, 0, 1, 100);
+        assert_eq!(e.role, Role::Emitter);
+        assert!(e.in_lanes.is_empty());
+        assert_eq!(e.out_lanes.len(), 2);
+        let w = plan_for_rank(&t, 2, 1, 100);
+        assert_eq!(w.role, Role::Worker);
+        assert_eq!(w.in_lanes.len(), 2);
+        assert_eq!(w.out_lanes.len(), 2);
+        // Stage thread t receives from thread t of the previous stage.
+        assert!(w
+            .in_lanes
+            .iter()
+            .all(|l| l.src == 1 && l.src_tid == l.dst_tid));
+        let c = plan_for_rank(&t, 4, 1, 100);
+        assert_eq!(c.role, Role::Collector);
+        assert_eq!(c.in_lanes.len(), 2);
+        assert!(c.out_lanes.is_empty());
+        // 100 items over 2 lanes.
+        assert_eq!(c.in_lanes.iter().map(|l| l.count).sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn farm_plan_shape_and_counts() {
+        let t = Topology::Farm {
+            workers: 3,
+            threads: 2,
+        };
+        assert_eq!(t.lanes(), 6);
+        let c = plan_for_rank(&t, t.collector_rank(), 9, 101);
+        assert_eq!(c.in_lanes.len(), 6);
+        assert_eq!(c.in_lanes.iter().map(|l| l.count).sum::<u64>(), 101);
+        // Worker thread loops match lane counts exactly.
+        let w = plan_for_rank(&t, 2, 9, 101);
+        assert_eq!(w.in_lanes.len(), 2);
+        assert_eq!(w.out_lanes.len(), 2);
+        for (i, o) in w.in_lanes.iter().zip(&w.out_lanes) {
+            assert_eq!(i.count, o.count);
+            assert_eq!(i.dst_tid, o.src_tid);
+        }
+    }
+
+    #[test]
+    fn feedback_counts_include_second_passes() {
+        let t = Topology::FarmFeedback {
+            workers: 2,
+            threads: 2,
+            feedback_permille: 300,
+        };
+        let items = 200;
+        let sel = t.selected_count(5, items);
+        assert!(sel > 0, "selection rate 30% must pick something from 200");
+        let counts = t.lane_counts(5, items);
+        assert_eq!(counts.iter().sum::<u64>(), items + sel);
+        // Expected hops/digest distinguish the passes.
+        let seq_two_pass = (0..items)
+            .find(|&s| item::selected(5, s, 300))
+            .expect("some selected item");
+        assert_eq!(t.expected_hops(5, seq_two_pass), 2);
+        let one = Topology::Farm {
+            workers: 2,
+            threads: 2,
+        };
+        assert_ne!(
+            t.expected_digest(5, seq_two_pass),
+            one.expected_digest(5, seq_two_pass)
+        );
+    }
+}

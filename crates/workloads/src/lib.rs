@@ -14,6 +14,7 @@
 //! | [`vasp`] | Fig. 7, Lessons 18–19: multithreaded allreduce designs | `lesson18_collectives` |
 //! | [`wombat`] | Section II-A windows / WOMBAT: put-based RMA halo, single window vs window-per-thread vs endpoints | `lesson16_rma` |
 //! | [`smilei`] | Lessons 6 and 9 / Smilei: particle exchange with app tags — the least-change tags upgrade and its tag-budget cliff | `lesson9_tag_overflow` |
+//! | [`stream`] | Staged stream topologies (pipeline / farm / farm-with-feedback) with ordered reassembly and credit backpressure over every mechanism | `stream` bench |
 
 pub mod commcount;
 pub mod graph;
@@ -25,3 +26,5 @@ pub mod smilei;
 pub mod stencil;
 pub mod vasp;
 pub mod wombat;
+
+pub use rankmpi_stream as stream;
