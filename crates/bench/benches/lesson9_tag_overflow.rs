@@ -97,13 +97,15 @@ fn main() {
 
     // The flip side of tag overflow: when parallelism cannot move into tags,
     // all traffic multiplexes over one communicator and the receiver's
-    // matching queues go deep. The bucketed engine keeps deep-queue matching
-    // flat where the linear ("Original") scan pays per queued entry.
+    // matching queues go deep. The bucketed and sequence-merged engines keep
+    // deep-queue matching flat where the linear ("Original") scan pays per
+    // queued entry.
     let patches = 256i64;
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut engines_json = Vec::new();
     let mut totals = Vec::new();
-    for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+    let kinds = EngineKind::all();
+    for kind in kinds {
         let u = Universe::builder().nodes(2).matching(kind).build();
         let out = u.run(|env| {
             let world = env.world();
@@ -137,14 +139,17 @@ fn main() {
             ("receiver_counters", counters),
         ]));
     }
-    assert!(
-        totals[1] <= totals[0],
-        "bucketed matching must not be slower than linear on the deep-queue drain"
-    );
-    rows.push(vec![
-        "speedup".to_string(),
-        ratio(totals[0].as_ns() as f64, totals[1].as_ns() as f64),
-    ]);
+    for (i, kind) in kinds.iter().enumerate().skip(1) {
+        assert!(
+            totals[i] <= totals[0],
+            "{} matching must not be slower than linear on the deep-queue drain",
+            kind.name()
+        );
+        rows.push(vec![
+            format!("linear/{}", kind.name()),
+            ratio(totals[0].as_ns() as f64, totals[i].as_ns() as f64),
+        ]);
+    }
     print_table(
         &format!("Lesson 9 flip side — {patches} multiplexed tags drained out of order"),
         &["matching engine", "total time"],

@@ -1,8 +1,9 @@
 //! Criterion microbenchmarks of the library's hot paths (real wall time, not
-//! virtual time): matching-engine scans at varying queue depths under both
-//! engines, resource acquisition, contention-lock round trips, and tag
-//! encoding — plus a simulated-cost ablation of linear vs bucketed matching
-//! and a machine-readable `BENCH_micro_hotpaths.json` summary.
+//! virtual time): matching-engine scans at varying queue depths under every
+//! engine, resource acquisition, contention-lock round trips, and tag
+//! encoding — plus a simulated-cost ablation of linear vs bucketed vs
+//! sequence-merged matching and a machine-readable
+//! `BENCH_micro_hotpaths.json` summary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -49,7 +50,7 @@ fn recv(ctx: u32, src: i64, tag: i64) -> PostedRecv {
 
 fn bench_matching(c: &mut Criterion) {
     let mut g = c.benchmark_group("matching_engine");
-    for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+    for kind in EngineKind::all() {
         for depth in [0usize, 16, 128, 1024] {
             g.bench_with_input(
                 BenchmarkId::new(format!("post_recv_scan_{}", kind.name()), depth),
@@ -81,8 +82,8 @@ fn bench_matching(c: &mut Criterion) {
     g.finish();
 }
 
-/// Simulated matching cost (the `CoreCosts` model, not wall time) for both
-/// engines across unexpected-queue depths, plus live engine counters from a
+/// Simulated matching cost (the `CoreCosts` model, not wall time) for every
+/// engine across unexpected-queue depths, plus live engine counters from a
 /// reordered exchange. Writes `BENCH_micro_hotpaths.json`.
 fn bench_engine_ablation(_c: &mut Criterion) {
     let costs = CoreCosts::default();
@@ -91,7 +92,7 @@ fn bench_engine_ablation(_c: &mut Criterion) {
     for depth in [1usize, 16, 64, 256, 1024] {
         let mut per_kind = Vec::new();
         let mut jrow = vec![("depth".to_string(), Json::int(depth as u64))];
-        for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+        for kind in EngineKind::all() {
             // Exact receive of the last-arrived of `depth` uniquely tagged
             // unexpected packets: the hot path tag-multiplexed apps hit.
             let mut e = kind.new_engine();
@@ -120,7 +121,7 @@ fn bench_engine_ablation(_c: &mut Criterion) {
             ));
             per_kind.push((exact, wild));
         }
-        let (lin, buc) = (per_kind[0], per_kind[1]);
+        let (lin, buc, mrg) = (per_kind[0], per_kind[1], per_kind[2]);
         if depth >= 64 {
             assert!(
                 buc.0 < lin.0,
@@ -129,23 +130,43 @@ fn bench_engine_ablation(_c: &mut Criterion) {
                 lin.0
             );
         }
+        // The merged engine's whole claim: wildcard matching costs the same
+        // O(1) head comparison as exact matching at any depth (within 4x,
+        // leaving room for tombstone skips), and its exact path stays flat
+        // alongside bucketed instead of inflating to cover wildcards.
+        assert!(
+            mrg.1.as_ns() <= 4 * mrg.0.as_ns(),
+            "seq_merged wildcard ({}) exceeds 4x its exact cost ({}) at depth {depth}",
+            mrg.1,
+            mrg.0
+        );
+        assert!(
+            mrg.0.as_ns() <= 2 * buc.0.as_ns(),
+            "seq_merged exact ({}) is no longer flat vs bucketed ({}) at depth {depth}",
+            mrg.0,
+            buc.0
+        );
         rows.push(vec![
             depth.to_string(),
             format!("{}", lin.0),
             format!("{}", buc.0),
+            format!("{}", mrg.0),
             format!("{}", lin.1),
             format!("{}", buc.1),
+            format!("{}", mrg.1),
         ]);
         sweep_json.push(Json::Obj(jrow));
     }
     print_table(
-        "Simulated matching cost — linear vs bucketed (unexpected-depth sweep)",
+        "Simulated matching cost — linear vs bucketed vs seq_merged (unexpected-depth sweep)",
         &[
             "depth",
             "linear exact",
             "bucketed exact",
+            "seq_merged exact",
             "linear wildcard",
             "bucketed wildcard",
+            "seq_merged wildcard",
         ],
         &rows,
     );
@@ -155,7 +176,7 @@ fn bench_engine_ablation(_c: &mut Criterion) {
     // unexpected queue is still deep.
     let n = 64i64;
     let mut engines_json = Vec::new();
-    for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+    for kind in EngineKind::all() {
         let u = Universe::builder().nodes(2).matching(kind).build();
         let snaps = u.run(|env| {
             let world = env.world();

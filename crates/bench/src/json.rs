@@ -185,7 +185,8 @@ pub fn histogram_json(samples: &[u64]) -> Json {
 }
 
 /// Snapshot one VCI's matching-engine counters as a JSON object:
-/// `engine`, `posted_len`, `unexpected_len`, `matched`, `polls`, plus the
+/// `engine`, `posted_len`, `unexpected_len`, `matched`, the scan-work
+/// series (`match_scanned`, `match_wildcard_scanned`), `polls`, plus the
 /// engine-lock series (`lock_acquires`, `lock_acquires_contended`,
 /// `lock_hold_ns`).
 pub fn engine_counters(vci: &Vci) -> Json {
@@ -195,6 +196,11 @@ pub fn engine_counters(vci: &Vci) -> Json {
         ("posted_len", Json::int(vci.posted_depth() as u64)),
         ("unexpected_len", Json::int(vci.unexpected_depth() as u64)),
         ("matched", Json::int(vci.matched())),
+        ("match_scanned", Json::int(vci.match_scanned())),
+        (
+            "match_wildcard_scanned",
+            Json::int(vci.match_wildcard_scanned()),
+        ),
         ("polls", Json::int(vci.polls())),
         ("lock_acquires", Json::int(vci.lock_acquires())),
         (

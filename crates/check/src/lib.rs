@@ -17,16 +17,17 @@
 //!   prefixes up to a bounded depth, then seeded-random sampling — with
 //!   failing runs reported as a compact replayable schedule string
 //!   (`RANKMPI_SCHED='s7:1.0.2' …`);
-//! - [`oracle`]: the linear-vs-bucketed differential driver shared by the
-//!   conformance suite and the workspace's `engine_differential` test,
-//!   including a variant that routes arrivals through a fault-injecting
-//!   [`Mailbox`](rankmpi_fabric::Mailbox) (see
+//! - [`oracle`]: the all-engines differential driver shared by the
+//!   conformance suite, the workspace's `engine_differential` test, and the
+//!   `engine_fuzz` harness, including a variant that routes arrivals
+//!   through a fault-injecting [`Mailbox`](rankmpi_fabric::Mailbox) (see
 //!   [`rankmpi_fabric::fault`]).
 //!
 //! The conformance tests themselves live in this crate's `tests/`
 //! directory (`conformance_*.rs`) and honor two environment knobs used by
 //! CI's seed matrix: `RANKMPI_CHECK_SEED` (base seed, default 0) and
-//! `RANKMPI_CHECK_ENGINE` (`linear`, `bucketed`, or unset for both).
+//! `RANKMPI_CHECK_ENGINE` (an [`EngineKind`] hint name such as `linear`,
+//! `bucketed`, or `seq_merged`; unset runs every engine).
 
 pub mod explore;
 pub mod oracle;
@@ -46,14 +47,15 @@ pub fn base_seed() -> u64 {
         .unwrap_or(0)
 }
 
-/// The matching engines under test: restricted by `RANKMPI_CHECK_ENGINE`
-/// (`linear` or `bucketed`), both when unset.
+/// The matching engines under test: restricted to one by
+/// `RANKMPI_CHECK_ENGINE` (any [`EngineKind`] hint name), every engine when
+/// unset or unrecognized — so a new `EngineKind` is covered automatically.
 pub fn engines_under_test() -> Vec<EngineKind> {
-    match std::env::var("RANKMPI_CHECK_ENGINE").ok().as_deref() {
-        Some("linear") => vec![EngineKind::Linear],
-        Some("bucketed") => vec![EngineKind::Bucketed],
-        _ => vec![EngineKind::Linear, EngineKind::Bucketed],
-    }
+    std::env::var("RANKMPI_CHECK_ENGINE")
+        .ok()
+        .and_then(|s| EngineKind::parse(s.trim()))
+        .map(|k| vec![k])
+        .unwrap_or_else(|| EngineKind::all().to_vec())
 }
 
 #[cfg(test)]
@@ -61,11 +63,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn engines_default_to_both() {
+    fn engines_default_to_all() {
         // Do not mutate the env here (tests share the process); just check
         // the unset default shape.
         if std::env::var("RANKMPI_CHECK_ENGINE").is_err() {
-            assert_eq!(engines_under_test().len(), 2);
+            assert_eq!(engines_under_test(), EngineKind::all().to_vec());
         }
     }
 }

@@ -1,18 +1,22 @@
-//! The linear-vs-bucketed differential oracle.
+//! The all-engines differential oracle.
 //!
 //! Promoted from the workspace's `tests/engine_differential.rs` so the
-//! conformance suite, the fault-sweep tests, and the original test binary
-//! all share one driver. Both engines are fed identical operation streams
-//! and must produce identical event logs, queue depths, and drain order —
-//! that equivalence is the oracle: any semantic divergence between the two
-//! independently written engines is a bug in at least one of them.
+//! conformance suite, the fault-sweep tests, the original test binary, and
+//! the `engine_fuzz` harness all share one driver. Every engine kind is fed
+//! an identical operation stream and must produce identical event logs,
+//! queue depths, and drain order — that equivalence is the oracle: any
+//! semantic divergence between independently written engines is a bug in at
+//! least one of them.
 //!
 //! [`differential_run`] feeds seeded-random posts/arrivals/probes/cancels
 //! directly. [`differential_run_faulted`] first routes every arrival
 //! through a fault-injecting [`Mailbox`] (delays, legal reorders,
 //! duplicate-then-dedup, NACK retries — see [`rankmpi_fabric::fault`]) and
-//! delivers the mailbox's drain order to both engines, checking that
-//! per-channel arrival monotonicity survives the faults.
+//! delivers the mailbox's drain order to every engine, checking that
+//! per-channel arrival monotonicity survives the faults. Both are thin
+//! wrappers over [`differential_run_config`], which additionally lets the
+//! caller pick the engine set and start the engines' internal sequence
+//! counters near `u64::MAX` to exercise wraparound.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -83,6 +87,17 @@ impl DiffDriver {
     pub fn new(kind: EngineKind) -> Self {
         DiffDriver {
             engine: kind.new_engine(),
+            live: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// A fresh driver whose engine's internal sequence counters start at
+    /// `base` — exercise sequence-number wraparound by starting near
+    /// `u64::MAX`.
+    pub fn with_seq_base(kind: EngineKind, base: u64) -> Self {
+        DiffDriver {
+            engine: kind.new_engine_with_seq_base(base),
             live: Vec::new(),
             log: Vec::new(),
         }
@@ -209,7 +224,7 @@ pub fn fixed_packet(ctx: u32, src: u32, tag: i64, seq: u64, at: Nanos) -> Packet
 /// What a differential run covered and concluded.
 #[derive(Debug, Clone)]
 pub struct DiffStats {
-    /// Operations driven through both engines.
+    /// Operations driven through every engine.
     pub ops: usize,
     /// Packets delivered (post-fault for the faulted variant).
     pub delivered: usize,
@@ -220,38 +235,28 @@ pub struct DiffStats {
 }
 
 /// Assert the two drivers are observably identical right now.
-pub fn assert_equivalent(lin: &DiffDriver, buc: &DiffDriver, context: &str) {
-    assert_eq!(
-        lin.log.last(),
-        buc.log.last(),
-        "engines diverged ({context})"
-    );
-    assert_eq!(
-        lin.live_ids(),
-        buc.live_ids(),
-        "live sets diverged ({context})"
-    );
+pub fn assert_equivalent(a: &DiffDriver, b: &DiffDriver, context: &str) {
+    assert_eq!(a.log.last(), b.log.last(), "engines diverged ({context})");
+    assert_eq!(a.live_ids(), b.live_ids(), "live sets diverged ({context})");
 }
 
-/// Final whole-run equivalence: full logs, queue depths, drain order, and
-/// match conservation (no packet matched twice).
-pub fn assert_final_equivalence(mut lin: DiffDriver, mut buc: DiffDriver, context: &str) {
-    assert_eq!(lin.log, buc.log, "event logs diverged ({context})");
-    assert_eq!(
-        lin.engine.posted_len(),
-        buc.engine.posted_len(),
-        "{context}"
-    );
-    assert_eq!(
-        lin.engine.unexpected_len(),
-        buc.engine.unexpected_len(),
-        "{context}"
-    );
+/// Assert every driver in the squad is observably identical to the first.
+pub fn assert_equivalent_all(drivers: &[DiffDriver], context: &str) {
+    let (first, rest) = drivers.split_first().expect("at least one driver");
+    for d in rest {
+        let ctx = format!(
+            "{context}; {:?} vs {:?}",
+            first.engine.kind(),
+            d.engine.kind()
+        );
+        assert_equivalent(first, d, &ctx);
+    }
+}
 
-    // Drain order is part of the contract: posting order for receives,
-    // arrival order for unexpected packets.
-    let (lp, lu) = lin.engine.drain();
-    let (bp, bu) = buc.engine.drain();
+/// Final whole-run equivalence across a squad of drivers: full logs, queue
+/// depths, drain order, and match conservation (no packet matched twice).
+/// Every driver is compared against the first.
+pub fn assert_final_equivalence_all(mut drivers: Vec<DiffDriver>, context: &str) {
     let posted_ids = |posted: &[PostedRecv], d: &DiffDriver| -> Vec<usize> {
         posted
             .iter()
@@ -264,13 +269,29 @@ pub fn assert_final_equivalence(mut lin: DiffDriver, mut buc: DiffDriver, contex
             })
             .collect()
     };
-    assert_eq!(posted_ids(&lp, &lin), posted_ids(&bp, &buc), "{context}");
     let seqs = |u: &[Packet]| u.iter().map(|p| p.header.seq).collect::<Vec<_>>();
-    assert_eq!(seqs(&lu), seqs(&bu), "{context}");
+
+    let mut first = drivers.remove(0);
+    let (fp, fu) = first.engine.drain();
+    let (first_posted, first_seqs) = (posted_ids(&fp, &first), seqs(&fu));
+    for mut d in drivers {
+        let context = format!(
+            "{context}; {:?} vs {:?}",
+            first.engine.kind(),
+            d.engine.kind()
+        );
+        assert_eq!(first.log, d.log, "event logs diverged ({context})");
+        // Drain order is part of the contract: posting order for receives,
+        // arrival order for unexpected packets. Depths are implied by the
+        // drained list lengths.
+        let (dp, du) = d.engine.drain();
+        assert_eq!(first_posted, posted_ids(&dp, &d), "{context}");
+        assert_eq!(first_seqs, seqs(&du), "{context}");
+    }
 
     // Match conservation on the shared log: no packet matched twice.
     let mut matched_seqs: Vec<u64> = Vec::new();
-    for ev in &lin.log {
+    for ev in &first.log {
         if let DiffEvent::ArriveMatched { pkt_seq, .. } | DiffEvent::PostMatched { pkt_seq, .. } =
             ev
         {
@@ -287,72 +308,78 @@ pub fn assert_final_equivalence(mut lin: DiffDriver, mut buc: DiffDriver, contex
     );
 }
 
-/// Drive both engines with `steps` seeded-random operations, asserting
-/// observational equivalence after every step and in full at the end.
-pub fn differential_run(seed: u64, steps: usize) -> DiffStats {
-    let mut rng = StdRng::seed_from_u64(0xD1FF_0000 ^ seed);
-    let mut lin = DiffDriver::new(EngineKind::Linear);
-    let mut buc = DiffDriver::new(EngineKind::Bucketed);
-    let mut seq = 0u64;
-    let mut now = Nanos::ZERO;
-    let mut next_post_id = 0usize;
-    let mut delivered = 0usize;
-
-    for step in 0..steps {
-        now += Nanos(rng.gen_range(1u64..50));
-        match rng.gen_range(0u32..10) {
-            // Posts and arrivals dominate; probes and cancels season.
-            0..=3 => {
-                let p = random_pattern(&mut rng);
-                lin.post(next_post_id, p, now);
-                buc.post(next_post_id, p, now);
-                next_post_id += 1;
-            }
-            4..=7 => {
-                let pkt = random_packet(&mut rng, seq, now);
-                seq += 1;
-                delivered += 1;
-                lin.arrive(pkt.clone());
-                buc.arrive(pkt);
-            }
-            8 => {
-                let p = random_pattern(&mut rng);
-                lin.probe(&p);
-                buc.probe(&p);
-            }
-            _ => {
-                if !lin.live.is_empty() {
-                    let i = rng.gen_range(0..lin.live.len());
-                    lin.cancel(i);
-                    buc.cancel(i);
-                }
-            }
-        }
-        assert_equivalent(&lin, &buc, &format!("seed {seed}, step {step}"));
-    }
-
-    let stats = DiffStats {
-        ops: steps,
-        delivered,
-        events: lin.log.len(),
-        fault_report: None,
-    };
-    assert_final_equivalence(lin, buc, &format!("seed {seed}"));
-    stats
+/// Final whole-run equivalence of a pair — see
+/// [`assert_final_equivalence_all`].
+pub fn assert_final_equivalence(a: DiffDriver, b: DiffDriver, context: &str) {
+    assert_final_equivalence_all(vec![a, b], context);
 }
 
-/// Like [`differential_run`], but every arrival first passes through a
-/// fault-injecting [`Mailbox`] armed with `plan`; both engines see the
-/// mailbox's (identical) post-fault drain order. Additionally asserts the
-/// fault layer's legality contract on the delivered stream: per-
-/// `(context_id, src)` channel virtual arrival stamps stay monotone and no
-/// duplicate `(src, seq)` survives dedup.
-pub fn differential_run_faulted(seed: u64, steps: usize, plan: &FaultPlan) -> DiffStats {
-    let mut rng = StdRng::seed_from_u64(0xFA17_0000 ^ seed);
-    let mut lin = DiffDriver::new(EngineKind::Linear);
-    let mut buc = DiffDriver::new(EngineKind::Bucketed);
+/// Configuration of one differential run — see [`differential_run_config`].
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Seed of the operation stream.
+    pub seed: u64,
+    /// Seeded-random operations to drive.
+    pub steps: usize,
+    /// Fault plan to route arrivals through, if any.
+    pub plan: Option<FaultPlan>,
+    /// Start value of the engines' internal sequence counters; a value near
+    /// `u64::MAX` exercises sequence-number wraparound mid-run.
+    pub seq_base: u64,
+}
+
+impl DiffConfig {
+    /// Direct delivery, sequence counters from zero.
+    pub fn clean(seed: u64, steps: usize) -> Self {
+        DiffConfig {
+            seed,
+            steps,
+            plan: None,
+            seq_base: 0,
+        }
+    }
+
+    /// Arrivals routed through a fault-armed mailbox.
+    pub fn faulted(seed: u64, steps: usize, plan: FaultPlan) -> Self {
+        DiffConfig {
+            plan: Some(plan),
+            ..Self::clean(seed, steps)
+        }
+    }
+
+    /// Start the engines' sequence counters at `base`.
+    pub fn with_seq_base(mut self, base: u64) -> Self {
+        self.seq_base = base;
+        self
+    }
+}
+
+/// Drive every engine in `kinds` with the same seeded-random operation
+/// stream per `cfg`, asserting observational equivalence against the first
+/// after every step and in full at the end.
+///
+/// Arrivals pass through one shared [`Mailbox`]; when `cfg.plan` is set the
+/// mailbox injects faults (delays, legal reorders, duplicate-then-dedup,
+/// NACK retries) and the run additionally asserts the fault layer's
+/// legality contract on the delivered stream: per-`(context_id, src)`
+/// channel arrival stamps stay monotone and no duplicate `(src, seq)`
+/// survives dedup.
+pub fn differential_run_config(kinds: &[EngineKind], cfg: &DiffConfig) -> DiffStats {
+    let salt = if cfg.plan.is_some() {
+        0xFA17_0000
+    } else {
+        0xD1FF_0000
+    };
+    let mut rng = StdRng::seed_from_u64(salt ^ cfg.seed);
+    let mut drivers: Vec<DiffDriver> = kinds
+        .iter()
+        .map(|&k| DiffDriver::with_seq_base(k, cfg.seq_base))
+        .collect();
+    assert!(!drivers.is_empty(), "at least one engine kind");
     let mailbox = Mailbox::new(Arc::new(rankmpi_fabric::Notify::new()));
-    mailbox.arm_faults(plan.clone());
+    if let Some(plan) = &cfg.plan {
+        mailbox.arm_faults(plan.clone());
+    }
 
     let mut seq = 0u64;
     let mut now = Nanos::ZERO;
@@ -362,35 +389,36 @@ pub fn differential_run_faulted(seed: u64, steps: usize, plan: &FaultPlan) -> Di
     let mut seen: std::collections::HashSet<(u32, u64)> = std::collections::HashSet::new();
     let mut drained = Vec::new();
 
-    let mut deliver = |lin: &mut DiffDriver,
-                       buc: &mut DiffDriver,
-                       drained: &mut Vec<Packet>,
-                       delivered: &mut usize| {
-        for pkt in drained.drain(..) {
-            let chan = (pkt.header.context_id, pkt.header.src);
-            let floor = floors.entry(chan).or_insert(Nanos::ZERO);
-            assert!(
-                pkt.arrive_at >= *floor,
-                "fault injection broke channel monotonicity on {chan:?}"
-            );
-            *floor = pkt.arrive_at;
-            assert!(
-                seen.insert((pkt.header.src, pkt.header.seq)),
-                "duplicate (src, seq) survived mailbox dedup"
-            );
-            *delivered += 1;
-            lin.arrive(pkt.clone());
-            buc.arrive(pkt);
-        }
-    };
+    let mut deliver =
+        |drivers: &mut Vec<DiffDriver>, drained: &mut Vec<Packet>, delivered: &mut usize| {
+            for pkt in drained.drain(..) {
+                let chan = (pkt.header.context_id, pkt.header.src);
+                let floor = floors.entry(chan).or_insert(Nanos::ZERO);
+                assert!(
+                    pkt.arrive_at >= *floor,
+                    "fault injection broke channel monotonicity on {chan:?}"
+                );
+                *floor = pkt.arrive_at;
+                assert!(
+                    seen.insert((pkt.header.src, pkt.header.seq)),
+                    "duplicate (src, seq) survived mailbox dedup"
+                );
+                *delivered += 1;
+                for d in drivers.iter_mut() {
+                    d.arrive(pkt.clone());
+                }
+            }
+        };
 
-    for step in 0..steps {
+    for step in 0..cfg.steps {
         now += Nanos(rng.gen_range(1u64..50));
         match rng.gen_range(0u32..10) {
+            // Posts and arrivals dominate; probes and cancels season.
             0..=3 => {
                 let p = random_pattern(&mut rng);
-                lin.post(next_post_id, p, now);
-                buc.post(next_post_id, p, now);
+                for d in drivers.iter_mut() {
+                    d.post(next_post_id, p, now);
+                }
                 next_post_id += 1;
             }
             4..=7 => {
@@ -401,37 +429,55 @@ pub fn differential_run_faulted(seed: u64, steps: usize, plan: &FaultPlan) -> Di
                 // the way a progress loop would see them.
                 if rng.gen_bool(0.5) {
                     mailbox.drain_into(&mut drained);
-                    deliver(&mut lin, &mut buc, &mut drained, &mut delivered);
+                    deliver(&mut drivers, &mut drained, &mut delivered);
                 }
             }
             8 => {
                 let p = random_pattern(&mut rng);
-                lin.probe(&p);
-                buc.probe(&p);
+                for d in drivers.iter_mut() {
+                    d.probe(&p);
+                }
             }
             _ => {
-                if !lin.live.is_empty() {
-                    let i = rng.gen_range(0..lin.live.len());
-                    lin.cancel(i);
-                    buc.cancel(i);
+                if !drivers[0].live.is_empty() {
+                    let i = rng.gen_range(0..drivers[0].live.len());
+                    for d in drivers.iter_mut() {
+                        d.cancel(i);
+                    }
                 }
             }
         }
-        assert_equivalent(&lin, &buc, &format!("faulted seed {seed}, step {step}"));
+        assert_equivalent_all(&drivers, &format!("seed {}, step {step}", cfg.seed));
     }
 
     mailbox.drain_into(&mut drained);
-    deliver(&mut lin, &mut buc, &mut drained, &mut delivered);
+    deliver(&mut drivers, &mut drained, &mut delivered);
 
     let report = mailbox.fault_report();
     let stats = DiffStats {
-        ops: steps,
+        ops: cfg.steps,
         delivered,
-        events: lin.log.len(),
+        events: drivers[0].log.len(),
         fault_report: report,
     };
-    assert_final_equivalence(lin, buc, &format!("faulted seed {seed}"));
+    assert_final_equivalence_all(drivers, &format!("seed {}", cfg.seed));
     stats
+}
+
+/// Drive every engine kind with `steps` seeded-random operations, asserting
+/// observational equivalence after every step and in full at the end.
+pub fn differential_run(seed: u64, steps: usize) -> DiffStats {
+    differential_run_config(&EngineKind::all(), &DiffConfig::clean(seed, steps))
+}
+
+/// Like [`differential_run`], but every arrival first passes through a
+/// fault-injecting [`Mailbox`] armed with `plan`; every engine sees the
+/// mailbox's (identical) post-fault drain order.
+pub fn differential_run_faulted(seed: u64, steps: usize, plan: &FaultPlan) -> DiffStats {
+    differential_run_config(
+        &EngineKind::all(),
+        &DiffConfig::faulted(seed, steps, plan.clone()),
+    )
 }
 
 #[cfg(test)]
@@ -455,5 +501,16 @@ mod tests {
             "chaos plan injected nothing over 200 steps"
         );
         assert_eq!(rep.dups_injected, rep.dups_dropped, "dedup must be exact");
+    }
+
+    #[test]
+    fn wraparound_differential_smoke() {
+        // Engine sequence counters start 100 ops short of u64::MAX, so they
+        // wrap mid-run; the serial-number ordering must keep every engine in
+        // agreement across the wrap.
+        let cfg = DiffConfig::clean(2, 400).with_seq_base(u64::MAX - 100);
+        let stats = differential_run_config(&EngineKind::all(), &cfg);
+        assert_eq!(stats.ops, 400);
+        assert!(stats.delivered > 100, "arrivals span the wrap");
     }
 }

@@ -1,4 +1,4 @@
-//! Differential conformance sweeps: the linear and bucketed engines must be
+//! Differential conformance sweeps: every matching engine must be
 //! observationally equivalent under clean *and* fault-perturbed delivery.
 //!
 //! Uses the shared oracle in `rankmpi_check::oracle` (also what the

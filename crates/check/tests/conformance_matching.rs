@@ -8,7 +8,7 @@
 //! to a bounded depth, then across seeded-random schedules. A failing
 //! interleaving panics with a replayable `RANKMPI_SCHED=…` string.
 //!
-//! Runs under both engines (restrict with `RANKMPI_CHECK_ENGINE`).
+//! Runs under every engine (restrict with `RANKMPI_CHECK_ENGINE`).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -243,16 +243,17 @@ fn wildcard_receives_match_in_arrival_order() {
 
 /// A live engine-kind migration (drain one engine, replay into the other —
 /// what `Vci::set_engine_kind` does) must be invisible to matching
-/// semantics on every explored interleaving.
+/// semantics on every explored interleaving. The migrator cycles through
+/// every engine kind under test, so each consecutive kind pair is crossed.
 #[test]
 fn engine_migration_preserves_matching_fifo() {
     let kinds = engines_under_test();
     let from = kinds[0];
-    let to = *kinds.last().unwrap();
     explore(
-        &format!("migration_{}_{}", from.name(), to.name()),
+        &format!("migration_{}_x{}", from.name(), kinds.len()),
         &cfg_for(0xA1),
         move || {
+            let kinds = kinds.clone();
             let engine: SharedEngine = Arc::new(ContentionLock::new(from.new_engine()));
             let obs = Arc::new(Mutex::new(Obs::default()));
             let posts: Vec<MatchPattern> = (0..PER_SENDER)
@@ -262,11 +263,11 @@ fn engine_migration_preserves_matching_fifo() {
                 let engine = Arc::clone(&engine);
                 Box::new(move || {
                     let mut clock = Clock::new();
-                    for flip in 0..3 {
+                    for flip in 0..3usize.max(kinds.len()) {
                         yield_point(SchedPoint::Custom("pre-migrate"));
                         let mut g = engine.lock(&mut clock);
                         let (posted, unexpected) = g.drain();
-                        let mut fresh = if flip % 2 == 0 { to } else { from }.new_engine();
+                        let mut fresh = kinds[(flip + 1) % kinds.len()].new_engine();
                         for p in posted {
                             let (m, _work) = fresh.post_recv(p);
                             assert!(m.is_none(), "replayed post matched during migration");
@@ -294,15 +295,15 @@ fn engine_migration_preserves_matching_fifo() {
     );
 }
 
-/// The linear and bucketed engines stay observationally equivalent when the
-/// *same* schedule-explored interleaving of operations is applied to both.
+/// Every engine kind stays observationally equivalent when the *same*
+/// schedule-explored interleaving of operations is applied to all of them.
 /// (The heavier seeded sweep lives in `conformance_differential.rs`; this
 /// one explores interleavings of a small adversarial core.)
 #[test]
 fn engines_agree_under_explored_interleavings() {
     explore("explored_differential", &cfg_for(0xD1), || {
         // One shared op log: tasks append operations; a replayer task feeds
-        // the log to both engines and compares. The interleaving decides
+        // the log to every engine and compares. The interleaving decides
         // the op order; equivalence must hold for all of them.
         let ops: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
         let mut tasks: Vec<Task> = Vec::new();
@@ -324,23 +325,27 @@ fn engines_agree_under_explored_interleavings() {
                 }
             }
             let ops = ops2.lock().clone();
-            let mut lin = rankmpi_check::oracle::DiffDriver::new(EngineKind::Linear);
-            let mut buc = rankmpi_check::oracle::DiffDriver::new(EngineKind::Bucketed);
+            let mut drivers: Vec<rankmpi_check::oracle::DiffDriver> = EngineKind::all()
+                .into_iter()
+                .map(rankmpi_check::oracle::DiffDriver::new)
+                .collect();
             let mut post_id = 0;
             for (i, op) in ops.iter().enumerate() {
                 let (t, i_op) = (op / 100, op % 100);
                 if (t + i_op) % 2 == 0 {
                     let p = exact(if i_op % 3 == 0 { ANY_SOURCE } else { 0 }, 0);
-                    lin.post(post_id, p, Nanos(i as u64 + 1));
-                    buc.post(post_id, p, Nanos(i as u64 + 1));
+                    for d in drivers.iter_mut() {
+                        d.post(post_id, p, Nanos(i as u64 + 1));
+                    }
                     post_id += 1;
                 } else {
                     let pkt = fixed_packet(CTX, 0, 0, *op as u64, Nanos(i as u64 + 1));
-                    lin.arrive(pkt.clone());
-                    buc.arrive(pkt);
+                    for d in drivers.iter_mut() {
+                        d.arrive(pkt.clone());
+                    }
                 }
             }
-            rankmpi_check::oracle::assert_final_equivalence(lin, buc, "explored op order");
+            rankmpi_check::oracle::assert_final_equivalence_all(drivers, "explored op order");
         }));
         tasks
     });

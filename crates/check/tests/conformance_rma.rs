@@ -4,7 +4,7 @@
 //! visible at the target only after the epoch-closing synchronization
 //! (`flush` for passive target, `fence` for active target) — and *all* of
 //! them are visible then, regardless of what the fabric did to the
-//! underlying packets. Runs under both engines and a sweep of fault seeds.
+//! underlying packets. Runs under every engine and a sweep of fault seeds.
 
 use rankmpi_check::{base_seed, engines_under_test};
 use rankmpi_core::{Info, ReduceOp, Universe, Window};

@@ -25,6 +25,12 @@ pub struct CoreCosts {
     /// performs for wildcard patterns — dearer than a flat-queue compare
     /// because each step is a separate bin/sideline probe.
     pub match_wildcard_per_scan: Nanos,
+    /// Fixed cost of one matching operation on the sequence-merged engine:
+    /// dearer than the bucketed hash walk (up to four index lookups and head
+    /// comparisons instead of one), which is what buys depth-independent
+    /// *wildcard* matching. Tombstone skips are charged
+    /// `match_wildcard_per_scan` each.
+    pub match_merged_base: Nanos,
     /// Cost to allocate/initialize a request object.
     pub request_setup: Nanos,
     /// Per-byte cost of copying payloads (eager-protocol copies), picoseconds.
@@ -50,6 +56,7 @@ impl Default for CoreCosts {
             match_per_scan: Nanos(4),
             match_bucket_base: Nanos(52),
             match_wildcard_per_scan: Nanos(6),
+            match_merged_base: Nanos(58),
             request_setup: Nanos(25),
             copy_byte_ps: 62, // ~16 GB/s single-threaded memcpy
             shm_latency: Nanos(200),
@@ -84,14 +91,15 @@ impl CoreCosts {
     }
 
     /// Matching cost of one engine operation, priced from the work the
-    /// engine reported: flat-queue work costs `match_base` plus a scan term;
-    /// bucketed work swaps the base for `match_bucket_base` and adds the
-    /// wildcard-sweep term.
+    /// engine reported: each structure has its own fixed base (flat-queue
+    /// touch, hash walk, or merged head comparison), plus a per-entry scan
+    /// term and a wildcard-sweep/tombstone-skip term.
     pub fn match_cost_of(&self, work: &crate::matching::ScanWork) -> Nanos {
-        let base = if work.bucketed {
-            self.match_bucket_base
-        } else {
-            self.match_base
+        use crate::matching::EngineKind;
+        let base = match work.engine {
+            EngineKind::Linear => self.match_base,
+            EngineKind::Bucketed => self.match_bucket_base,
+            EngineKind::SeqMerged => self.match_merged_base,
         };
         base + self.match_per_scan * work.scanned as u64
             + self.match_wildcard_per_scan * work.wildcard_scanned as u64
@@ -131,6 +139,26 @@ mod tests {
         assert_eq!(
             wild,
             c.match_bucket_base + c.match_per_scan + c.match_wildcard_per_scan * 10
+        );
+    }
+
+    #[test]
+    fn merged_cost_is_flat_for_exact_and_wildcard() {
+        use crate::matching::ScanWork;
+        let c = CoreCosts::default();
+        // A merged wildcard match compares at most 4 candidate heads — its
+        // cost never carries a queue-depth term, unlike a bucketed sweep over
+        // 1024 bins.
+        let merged_wild = c.match_cost_of(&ScanWork::merged(4, 0));
+        assert_eq!(merged_wild, c.match_merged_base + c.match_per_scan * 4);
+        assert!(merged_wild < c.match_cost_of(&ScanWork::bucketed(1, 1024)) / 10);
+        // The merged base is dearer than the bucketed hash walk: four index
+        // consultations instead of one.
+        assert!(c.match_merged_base > c.match_bucket_base);
+        // Tombstone skips are charged like wildcard sweep steps.
+        assert_eq!(
+            c.match_cost_of(&ScanWork::merged(1, 3)),
+            c.match_merged_base + c.match_per_scan + c.match_wildcard_per_scan * 3
         );
     }
 

@@ -26,7 +26,7 @@ pub mod keys {
     /// (`none` relaxes MPI's default same-source-same-target ordering).
     pub const ACCUMULATE_ORDERING: &str = "accumulate_ordering";
     /// Implementation hint: which matching engine the communicator's VCIs run
-    /// (`linear` or `bucketed`).
+    /// (`linear`, `bucketed`, or `seq_merged`).
     pub const RANKMPI_MATCHING: &str = "rankmpi_matching";
     /// Reliability hint: retransmissions per packet before the library gives
     /// up and surfaces `RetriesExhausted`/`LinkDown`.

@@ -9,16 +9,23 @@
 //! logically parallel communication gets a *distinct matching engine per
 //! channel* and queue depths stay per-thread.
 //!
-//! Two engines implement the [`MatchEngine`] trait:
+//! Three engines implement the [`MatchEngine`] trait:
 //!
 //! - [`LinearEngine`] — flat queues scanned front to back, the classic MPICH
 //!   structure whose cost grows linearly with queue depth (the paper's
 //!   "Original" regime baseline);
 //! - [`BucketedEngine`] — per-context hash bins keyed by the exact
 //!   `(src, tag)` envelope plus a wildcard sideline, giving O(1) exact
-//!   matching at any depth while preserving MPI's ordering rules exactly.
+//!   matching at any depth — but wildcard operations sweep the sideline or
+//!   every bin, so they degrade linearly with depth;
+//! - [`SeqMergedEngine`] — a two-level sequence-merged structure: every
+//!   posted receive carries a global posting sequence number, wildcard
+//!   receives are *flattened* into per-key sublists by shape (`(ANY, tag)`,
+//!   `(src, ANY)`, `(ANY, ANY)`), and a match resolves by comparing only the
+//!   head sequence numbers of the ≤ 4 candidate lists — O(1) for exact *and*
+//!   wildcard patterns at any depth.
 //!
-//! Both are pure data structures; time accounting (engine occupancy, scan
+//! All are pure data structures; time accounting (engine occupancy, scan
 //! costs) is done by the caller in [`crate::vci`] from the [`ScanWork`] each
 //! operation reports, so the same code serves blocking, nonblocking, and
 //! probe paths.
@@ -90,18 +97,21 @@ pub struct PostedRecv {
 ///
 /// `scanned` counts queue entries actually examined — for [`LinearEngine`]
 /// that is the flat-queue walk, for [`BucketedEngine`] the depth of the one
-/// bin consulted — so linear depth-dependent pricing stays meaningful across
-/// engines. `wildcard_scanned` counts the extra entries or bins a wildcard
-/// forces a bucketed engine to sweep.
+/// bin consulted, for [`SeqMergedEngine`] the candidate-list heads compared —
+/// so linear depth-dependent pricing stays meaningful across engines.
+/// `wildcard_scanned` counts the extra entries or bins a wildcard forces a
+/// bucketed engine to sweep, or the dead (lazily deleted) index entries a
+/// sequence-merged operation skipped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ScanWork {
     /// Queue entries examined on the primary path.
     pub scanned: usize,
-    /// Wildcard-sideline entries (or bins) additionally examined.
+    /// Wildcard-sideline entries (or bins) additionally examined, or lazy
+    /// tombstones skipped.
     pub wildcard_scanned: usize,
-    /// Whether the operation ran on a bucketed structure (prices the fixed
-    /// hash overhead instead of the flat-queue base cost).
-    pub bucketed: bool,
+    /// Which engine structure performed the work (selects the fixed base
+    /// cost: flat-queue touch, hash walk, or merged head comparison).
+    pub engine: EngineKind,
 }
 
 impl ScanWork {
@@ -110,7 +120,7 @@ impl ScanWork {
         ScanWork {
             scanned,
             wildcard_scanned: 0,
-            bucketed: false,
+            engine: EngineKind::Linear,
         }
     }
 
@@ -120,7 +130,17 @@ impl ScanWork {
         ScanWork {
             scanned,
             wildcard_scanned,
-            bucketed: true,
+            engine: EngineKind::Bucketed,
+        }
+    }
+
+    /// Work of a sequence-merged operation: `scanned` candidate heads
+    /// compared, `wildcard_scanned` dead index entries lazily skipped.
+    pub fn merged(scanned: usize, wildcard_scanned: usize) -> Self {
+        ScanWork {
+            scanned,
+            wildcard_scanned,
+            engine: EngineKind::SeqMerged,
         }
     }
 }
@@ -147,23 +167,33 @@ pub enum Incoming {
 }
 
 /// Which matching engine a VCI runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EngineKind {
     /// Flat queues, linear scans (the paper's "Original" regime baseline).
     Linear,
     /// Per-context `(src, tag)` hash bins with a wildcard sideline.
     #[default]
     Bucketed,
+    /// Two-level sequence-merged structure with flattened wildcard sublists:
+    /// O(1) exact *and* wildcard matching at any queue depth.
+    SeqMerged,
 }
 
 impl EngineKind {
+    /// Every engine kind, in ascending sophistication. Engine-sweeping test
+    /// suites and benches iterate this so a new engine is covered everywhere
+    /// the moment it exists.
+    pub fn all() -> [EngineKind; 3] {
+        [
+            EngineKind::Linear,
+            EngineKind::Bucketed,
+            EngineKind::SeqMerged,
+        ]
+    }
+
     /// Parse the value of the `rankmpi_matching` Info hint.
     pub fn parse(s: &str) -> Option<EngineKind> {
-        match s {
-            "linear" => Some(EngineKind::Linear),
-            "bucketed" => Some(EngineKind::Bucketed),
-            _ => None,
-        }
+        Self::all().into_iter().find(|k| k.name() == s)
     }
 
     /// The hint spelling of this kind.
@@ -171,6 +201,7 @@ impl EngineKind {
         match self {
             EngineKind::Linear => "linear",
             EngineKind::Bucketed => "bucketed",
+            EngineKind::SeqMerged => "seq_merged",
         }
     }
 
@@ -179,7 +210,61 @@ impl EngineKind {
         match self {
             EngineKind::Linear => Box::new(LinearEngine::new()),
             EngineKind::Bucketed => Box::new(BucketedEngine::new()),
+            EngineKind::SeqMerged => Box::new(SeqMergedEngine::new()),
         }
+    }
+
+    /// Construct a fresh engine whose internal sequence counters start at
+    /// `base` — a test hook for exercising sequence-number wraparound
+    /// ([`LinearEngine`] carries no counters, so `base` is ignored there).
+    /// All engines compare sequence numbers with serial-number arithmetic
+    /// ([`seq_lt`]), so ordering survives the `u64` wrap as long as fewer
+    /// than 2^63 operations are simultaneously pending.
+    pub fn new_engine_with_seq_base(self, base: u64) -> Box<dyn MatchEngine> {
+        match self {
+            EngineKind::Linear => Box::new(LinearEngine::new()),
+            EngineKind::Bucketed => Box::new(BucketedEngine::with_seq_base(base)),
+            EngineKind::SeqMerged => Box::new(SeqMergedEngine::with_seq_base(base)),
+        }
+    }
+}
+
+/// Serial-number comparison: is sequence `a` earlier than `b`, under
+/// wraparound? Total order on any set of live sequence numbers spanning less
+/// than half the `u64` space — trivially true for queue contents.
+#[inline]
+pub fn seq_lt(a: u64, b: u64) -> bool {
+    a != b && b.wrapping_sub(a) < (1 << 63)
+}
+
+/// Ordering key of an unexpected entry: virtual arrival time, ties broken by
+/// arrival sequence number (serial-number order).
+#[inline]
+fn arrival_lt(a: (Nanos, u64), b: (Nanos, u64)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && seq_lt(a.1, b.1))
+}
+
+/// `Ordering` adapter over [`arrival_lt`] for sorting drained entries.
+#[inline]
+fn arrival_cmp(a: (Nanos, u64), b: (Nanos, u64)) -> std::cmp::Ordering {
+    if arrival_lt(a, b) {
+        std::cmp::Ordering::Less
+    } else if a == b {
+        std::cmp::Ordering::Equal
+    } else {
+        std::cmp::Ordering::Greater
+    }
+}
+
+/// `Ordering` adapter over [`seq_lt`] for sorting drained posted receives.
+#[inline]
+fn seq_cmp(a: u64, b: u64) -> std::cmp::Ordering {
+    if seq_lt(a, b) {
+        std::cmp::Ordering::Less
+    } else if a == b {
+        std::cmp::Ordering::Equal
+    } else {
+        std::cmp::Ordering::Greater
     }
 }
 
@@ -397,6 +482,16 @@ impl BucketedEngine {
         Self::default()
     }
 
+    /// An empty engine whose sequence counters start at `base` (wraparound
+    /// test hook; see [`EngineKind::new_engine_with_seq_base`]).
+    pub fn with_seq_base(base: u64) -> Self {
+        BucketedEngine {
+            post_seq: base,
+            arrival_seq: base,
+            ..Self::default()
+        }
+    }
+
     /// The earliest unexpected entry matching `pattern` in `bins`:
     /// `(bin key, (arrive_at, seq))`, plus how many bins were examined.
     fn earliest_unexpected(
@@ -424,7 +519,7 @@ impl BucketedEngine {
             }
             if let Some(e) = bin.first() {
                 let cand = (key, (e.pkt.arrive_at, e.seq));
-                if best.is_none_or(|(_, b)| cand.1 < b) {
+                if best.is_none_or(|(_, b)| arrival_lt(cand.1, b)) {
                     best = cand.into();
                 }
             }
@@ -462,7 +557,7 @@ impl MatchEngine for BucketedEngine {
             recv,
             seq: self.post_seq,
         };
-        self.post_seq += 1;
+        self.post_seq = self.post_seq.wrapping_add(1);
         self.posted_count += 1;
         if entry.recv.pattern.has_wildcard() {
             bins.posted_wild.push(entry);
@@ -503,7 +598,7 @@ impl MatchEngine for BucketedEngine {
             (None, None) => None,
             (Some(_), None) => Some(true),
             (None, Some(_)) => Some(false),
-            (Some(es), Some((_, ws))) => Some(es < ws),
+            (Some(es), Some((_, ws))) => Some(seq_lt(es, ws)),
         };
         if let Some(exact_wins) = winner {
             let entry = if exact_wins {
@@ -531,7 +626,7 @@ impl MatchEngine for BucketedEngine {
             pkt: packet,
             seq: self.arrival_seq,
         };
-        self.arrival_seq += 1;
+        self.arrival_seq = self.arrival_seq.wrapping_add(1);
         self.unexpected_count += 1;
         let bin = bins.unexpected.entry(key).or_default();
         let pos = bin
@@ -612,13 +707,410 @@ impl MatchEngine for BucketedEngine {
                 unexpected.extend(bin);
             }
         }
-        posted.sort_by_key(|e| e.seq);
-        unexpected.sort_by_key(|e| (e.pkt.arrive_at, e.seq));
+        posted.sort_by(|a, b| seq_cmp(a.seq, b.seq));
+        unexpected.sort_by(|a, b| arrival_cmp((a.pkt.arrive_at, a.seq), (b.pkt.arrive_at, b.seq)));
         self.posted_count = 0;
         self.unexpected_count = 0;
         (
             posted.into_iter().map(|e| e.recv).collect(),
             unexpected.into_iter().map(|e| e.pkt).collect(),
+        )
+    }
+}
+
+/// An arrival-ordered index entry: `(virtual arrival time, arrival uid)`.
+type ArrivalKey = (Nanos, u64);
+/// One arrival-sorted index list of the sequence-merged unexpected store.
+type ArrivalIndex = VecDeque<ArrivalKey>;
+
+/// Which posted class a sequence-merged match candidate came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PostClass {
+    Exact,
+    AnySrc,
+    AnyTag,
+    Full,
+}
+
+/// Per-context state of the sequence-merged engine.
+///
+/// Posted receives are flattened into four *classes* by pattern shape — exact
+/// `(src, tag)`, `(ANY, tag)` keyed by tag, `(src, ANY)` keyed by src, and
+/// `(ANY, ANY)` — each class queue holding posting sequence numbers in FIFO
+/// order. Every posted receive lives in exactly one class, and the receives
+/// that can match a given packet are exactly the members of the ≤ 4 queues
+/// addressed by the packet's envelope, so the earliest-posted match is the
+/// minimum over ≤ 4 head sequence numbers.
+///
+/// Unexpected packets are indexed four ways — by exact envelope, by tag, by
+/// src, and all — each index sorted by `(arrive_at, uid)`. Any receive
+/// pattern's full candidate set is exactly one index list, so the
+/// earliest-arrival match is that list's head.
+#[derive(Debug, Default)]
+struct MergedCtx {
+    /// Exact posted receives: posting seqs binned by `(src, tag)`.
+    posted_exact: HashMap<(u32, i64), VecDeque<u64>>,
+    /// `(ANY, tag)` posted receives: posting seqs keyed by tag.
+    posted_any_src: HashMap<i64, VecDeque<u64>>,
+    /// `(src, ANY)` posted receives: posting seqs keyed by src.
+    posted_any_tag: HashMap<u32, VecDeque<u64>>,
+    /// `(ANY, ANY)` posted receives, in posting order.
+    posted_full: VecDeque<u64>,
+    /// Unexpected arrivals indexed by the exact `(src, tag)` envelope.
+    un_by_exact: HashMap<(u32, i64), ArrivalIndex>,
+    /// Unexpected arrivals indexed by tag (serves `(ANY, tag)` patterns).
+    un_by_tag: HashMap<i64, ArrivalIndex>,
+    /// Unexpected arrivals indexed by src (serves `(src, ANY)` patterns).
+    un_by_src: HashMap<u32, ArrivalIndex>,
+    /// All unexpected arrivals (serves `(ANY, ANY)` patterns).
+    un_all: ArrivalIndex,
+}
+
+/// The sequence-merged engine: every posted receive carries a global posting
+/// sequence number and wildcard receives are flattened into per-key sublists
+/// by shape, so a match — exact *or* wildcard — resolves by comparing only
+/// the head sequence numbers of the ≤ 4 candidate lists.
+///
+/// The unexpected side mirrors the trick: each arrival is entered into four
+/// arrival-sorted index lists (by envelope, by tag, by src, all), so any
+/// receive pattern consults exactly one list head. Consuming an entry through
+/// one index leaves *tombstones* in the other three; they are skipped (and
+/// popped, on `&mut` paths) lazily when they surface at a head. Each entry is
+/// created once and tombstone-popped at most three times, so all operations
+/// stay amortized O(1) in queue depth — the property [`ScanWork`] reports and
+/// the scan-count regression tests pin down. Cancelled posted receives leave
+/// the same kind of tombstone in their class queue.
+///
+/// Sequence numbers compare by serial-number arithmetic ([`seq_lt`]), so
+/// ordering survives `u64` wraparound.
+#[derive(Debug, Default)]
+pub struct SeqMergedEngine {
+    ctxs: HashMap<u32, MergedCtx>,
+    /// Live posted receives, keyed by posting seq. A seq present in a class
+    /// queue but absent here is a tombstone.
+    posted_store: HashMap<u64, PostedRecv>,
+    /// Live unexpected packets, keyed by arrival uid. A uid present in an
+    /// index list but absent here is a tombstone.
+    unexpected_store: HashMap<u64, Packet>,
+    post_seq: u64,
+    arrival_seq: u64,
+}
+
+/// Pop dead heads off a posted class queue and return the live head's seq
+/// without consuming it. Dead pops are counted into `skipped`.
+fn posted_live_front(
+    q: &mut VecDeque<u64>,
+    store: &HashMap<u64, PostedRecv>,
+    skipped: &mut usize,
+) -> Option<u64> {
+    while let Some(&seq) = q.front() {
+        if store.contains_key(&seq) {
+            return Some(seq);
+        }
+        q.pop_front();
+        *skipped += 1;
+    }
+    None
+}
+
+/// Pop entries off an arrival index until a live one is found, consuming it.
+/// Dead pops are counted into `skipped`.
+fn take_live_front(
+    index: &mut ArrivalIndex,
+    store: &HashMap<u64, Packet>,
+    skipped: &mut usize,
+) -> Option<u64> {
+    while let Some((_, uid)) = index.pop_front() {
+        if store.contains_key(&uid) {
+            return Some(uid);
+        }
+        *skipped += 1;
+    }
+    None
+}
+
+/// Consume the earliest live entry of the index at `key`, dropping the index
+/// from its map if that empties it.
+fn take_from_index<K: Eq + std::hash::Hash>(
+    map: &mut HashMap<K, ArrivalIndex>,
+    key: K,
+    store: &HashMap<u64, Packet>,
+    skipped: &mut usize,
+) -> Option<u64> {
+    let q = map.get_mut(&key)?;
+    let uid = take_live_front(q, store, skipped);
+    if q.is_empty() {
+        map.remove(&key);
+    }
+    uid
+}
+
+/// The earliest live entry of an arrival index, found without mutating it
+/// (the `&self` probe path). Dead entries walked over are counted into
+/// `skipped` but left in place.
+fn peek_live_front(
+    index: &ArrivalIndex,
+    store: &HashMap<u64, Packet>,
+    skipped: &mut usize,
+) -> Option<u64> {
+    for &(_, uid) in index {
+        if store.contains_key(&uid) {
+            return Some(uid);
+        }
+        *skipped += 1;
+    }
+    None
+}
+
+/// Insert an entry into an arrival-sorted index. Arrivals are mostly
+/// near-sorted, so search from the back.
+fn insert_by_arrival(index: &mut ArrivalIndex, entry: ArrivalKey) {
+    let mut i = index.len();
+    while i > 0 && arrival_lt(entry, index[i - 1]) {
+        i -= 1;
+    }
+    index.insert(i, entry);
+}
+
+impl SeqMergedEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty engine whose sequence counters start at `base` (wraparound
+    /// test hook; see [`EngineKind::new_engine_with_seq_base`]).
+    pub fn with_seq_base(base: u64) -> Self {
+        SeqMergedEngine {
+            post_seq: base,
+            arrival_seq: base,
+            ..Self::default()
+        }
+    }
+
+    /// The shape-selected unexpected index for `pattern`, consumed
+    /// destructively: the pattern's full candidate set is exactly one index
+    /// list, so its live head is the earliest-arrival match.
+    fn take_unexpected(
+        bins: &mut MergedCtx,
+        store: &HashMap<u64, Packet>,
+        pattern: &MatchPattern,
+        skipped: &mut usize,
+    ) -> Option<u64> {
+        match (pattern.src == ANY_SOURCE, pattern.tag == ANY_TAG) {
+            (false, false) => {
+                let key = (pattern.src as u32, pattern.tag);
+                take_from_index(&mut bins.un_by_exact, key, store, skipped)
+            }
+            (true, false) => take_from_index(&mut bins.un_by_tag, pattern.tag, store, skipped),
+            (false, true) => {
+                take_from_index(&mut bins.un_by_src, pattern.src as u32, store, skipped)
+            }
+            (true, true) => take_live_front(&mut bins.un_all, store, skipped),
+        }
+    }
+}
+
+impl MatchEngine for SeqMergedEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::SeqMerged
+    }
+
+    fn post_recv(&mut self, recv: PostedRecv) -> (Option<Packet>, ScanWork) {
+        let ctx = recv.pattern.context_id;
+        let bins = self.ctxs.entry(ctx).or_default();
+        let mut skipped = 0;
+        if let Some(uid) =
+            Self::take_unexpected(bins, &self.unexpected_store, &recv.pattern, &mut skipped)
+        {
+            let pkt = self.unexpected_store.remove(&uid).expect("live entry");
+            return (Some(pkt), ScanWork::merged(1, skipped));
+        }
+        // No unexpected match: file the receive under its class.
+        let seq = self.post_seq;
+        self.post_seq = self.post_seq.wrapping_add(1);
+        match (recv.pattern.src == ANY_SOURCE, recv.pattern.tag == ANY_TAG) {
+            (false, false) => {
+                let key = (recv.pattern.src as u32, recv.pattern.tag);
+                bins.posted_exact.entry(key).or_default().push_back(seq);
+            }
+            (true, false) => bins
+                .posted_any_src
+                .entry(recv.pattern.tag)
+                .or_default()
+                .push_back(seq),
+            (false, true) => bins
+                .posted_any_tag
+                .entry(recv.pattern.src as u32)
+                .or_default()
+                .push_back(seq),
+            (true, true) => bins.posted_full.push_back(seq),
+        }
+        self.posted_store.insert(seq, recv);
+        (None, ScanWork::merged(0, skipped))
+    }
+
+    fn incoming(&mut self, packet: Packet) -> Incoming {
+        let h = packet.header;
+        let key = (h.src, h.tag);
+        let bins = self.ctxs.entry(h.context_id).or_default();
+        let mut skipped = 0;
+
+        // First-posted-wins over the ≤ 4 classes that can match this
+        // envelope: each class queue is FIFO in posting order, so the winner
+        // is the minimum (serial-order) head seq among live heads.
+        let store = &self.posted_store;
+        let candidates = [
+            (
+                bins.posted_exact
+                    .get_mut(&key)
+                    .and_then(|q| posted_live_front(q, store, &mut skipped)),
+                PostClass::Exact,
+            ),
+            (
+                bins.posted_any_src
+                    .get_mut(&h.tag)
+                    .and_then(|q| posted_live_front(q, store, &mut skipped)),
+                PostClass::AnySrc,
+            ),
+            (
+                bins.posted_any_tag
+                    .get_mut(&h.src)
+                    .and_then(|q| posted_live_front(q, store, &mut skipped)),
+                PostClass::AnyTag,
+            ),
+            (
+                posted_live_front(&mut bins.posted_full, store, &mut skipped),
+                PostClass::Full,
+            ),
+        ];
+        let mut scanned = 0;
+        let mut best: Option<(u64, PostClass)> = None;
+        for (head, class) in candidates {
+            if let Some(seq) = head {
+                scanned += 1;
+                if best.is_none_or(|(b, _)| seq_lt(seq, b)) {
+                    best = Some((seq, class));
+                }
+            }
+        }
+        let work = ScanWork::merged(scanned, skipped);
+
+        if let Some((seq, class)) = best {
+            match class {
+                PostClass::Exact => {
+                    let q = bins.posted_exact.get_mut(&key).expect("class queue");
+                    q.pop_front();
+                    if q.is_empty() {
+                        bins.posted_exact.remove(&key);
+                    }
+                }
+                PostClass::AnySrc => {
+                    let q = bins.posted_any_src.get_mut(&h.tag).expect("class queue");
+                    q.pop_front();
+                    if q.is_empty() {
+                        bins.posted_any_src.remove(&h.tag);
+                    }
+                }
+                PostClass::AnyTag => {
+                    let q = bins.posted_any_tag.get_mut(&h.src).expect("class queue");
+                    q.pop_front();
+                    if q.is_empty() {
+                        bins.posted_any_tag.remove(&h.src);
+                    }
+                }
+                PostClass::Full => {
+                    bins.posted_full.pop_front();
+                }
+            }
+            let recv = self.posted_store.remove(&seq).expect("live entry");
+            return Incoming::Matched { recv, packet, work };
+        }
+
+        // No match: enter the packet into all four arrival indexes and the
+        // store. Consumption through one index later tombstones the others.
+        let uid = self.arrival_seq;
+        self.arrival_seq = self.arrival_seq.wrapping_add(1);
+        let entry = (packet.arrive_at, uid);
+        insert_by_arrival(bins.un_by_exact.entry(key).or_default(), entry);
+        insert_by_arrival(bins.un_by_tag.entry(h.tag).or_default(), entry);
+        insert_by_arrival(bins.un_by_src.entry(h.src).or_default(), entry);
+        insert_by_arrival(&mut bins.un_all, entry);
+        self.unexpected_store.insert(uid, packet);
+        Incoming::Queued { work }
+    }
+
+    fn probe(&self, pattern: &MatchPattern) -> (Option<Status>, ScanWork) {
+        let Some(bins) = self.ctxs.get(&pattern.context_id) else {
+            return (None, ScanWork::merged(0, 0));
+        };
+        let mut skipped = 0;
+        let store = &self.unexpected_store;
+        let uid = match (pattern.src == ANY_SOURCE, pattern.tag == ANY_TAG) {
+            (false, false) => {
+                let key = (pattern.src as u32, pattern.tag);
+                bins.un_by_exact
+                    .get(&key)
+                    .and_then(|q| peek_live_front(q, store, &mut skipped))
+            }
+            (true, false) => bins
+                .un_by_tag
+                .get(&pattern.tag)
+                .and_then(|q| peek_live_front(q, store, &mut skipped)),
+            (false, true) => bins
+                .un_by_src
+                .get(&(pattern.src as u32))
+                .and_then(|q| peek_live_front(q, store, &mut skipped)),
+            (true, true) => peek_live_front(&bins.un_all, store, &mut skipped),
+        };
+        let st = uid.map(|uid| {
+            let p = &self.unexpected_store[&uid];
+            Status {
+                source: p.header.src as usize,
+                tag: p.header.tag,
+                len: p.payload.len(),
+            }
+        });
+        (st, ScanWork::merged(st.is_some() as usize, skipped))
+    }
+
+    fn cancel(&mut self, req: &Arc<ReqState>) -> bool {
+        let seq = self
+            .posted_store
+            .iter()
+            .find(|(_, r)| Arc::ptr_eq(&r.req, req))
+            .map(|(&seq, _)| seq);
+        match seq {
+            Some(seq) => {
+                // The class queue keeps a tombstone, lazily popped when it
+                // surfaces at the head during a later `incoming`.
+                self.posted_store.remove(&seq);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn posted_len(&self) -> usize {
+        self.posted_store.len()
+    }
+
+    fn unexpected_len(&self) -> usize {
+        self.unexpected_store.len()
+    }
+
+    fn drain(&mut self) -> (Vec<PostedRecv>, Vec<Packet>) {
+        self.ctxs.clear();
+        let mut posted: Vec<(u64, PostedRecv)> =
+            std::mem::take(&mut self.posted_store).into_iter().collect();
+        posted.sort_by(|a, b| seq_cmp(a.0, b.0));
+        let mut unexpected: Vec<(u64, Packet)> = std::mem::take(&mut self.unexpected_store)
+            .into_iter()
+            .collect();
+        unexpected.sort_by(|a, b| arrival_cmp((a.1.arrive_at, a.0), (b.1.arrive_at, b.0)));
+        (
+            posted.into_iter().map(|e| e.1).collect(),
+            unexpected.into_iter().map(|e| e.1).collect(),
         )
     }
 }
@@ -658,17 +1150,17 @@ mod tests {
         }
     }
 
-    /// Run a semantics test against both engines.
-    fn for_both(f: impl Fn(&mut dyn MatchEngine)) {
-        let mut lin = LinearEngine::new();
-        f(&mut lin);
-        let mut buck = BucketedEngine::new();
-        f(&mut buck);
+    /// Run a semantics test against every engine.
+    fn for_all(f: impl Fn(&mut dyn MatchEngine)) {
+        for kind in EngineKind::all() {
+            let mut e = kind.new_engine();
+            f(e.as_mut());
+        }
     }
 
     #[test]
     fn exact_triplet_matching() {
-        for_both(|e| {
+        for_all(|e| {
             assert!(matches!(
                 e.incoming(pkt(1, 0, 5, 10)),
                 Incoming::Queued { .. }
@@ -691,7 +1183,7 @@ mod tests {
 
     #[test]
     fn wildcards_match_anything_in_context() {
-        for_both(|e| {
+        for_all(|e| {
             e.incoming(pkt(3, 7, 42, 10));
             let (m, _) = e.post_recv(recv(3, ANY_SOURCE, ANY_TAG));
             let p = m.unwrap();
@@ -702,7 +1194,7 @@ mod tests {
 
     #[test]
     fn wildcard_does_not_cross_contexts() {
-        for_both(|e| {
+        for_all(|e| {
             e.incoming(pkt(3, 7, 42, 10));
             let (m, _) = e.post_recv(recv(4, ANY_SOURCE, ANY_TAG));
             assert!(m.is_none());
@@ -711,7 +1203,7 @@ mod tests {
 
     #[test]
     fn non_overtaking_earliest_arrival_wins() {
-        for_both(|e| {
+        for_all(|e| {
             // Same envelope, different arrival times, inserted out of real order.
             e.incoming(pkt(1, 0, 5, 300));
             e.incoming(pkt(1, 0, 5, 100));
@@ -727,7 +1219,7 @@ mod tests {
 
     #[test]
     fn earliest_arrival_wins_across_bins_for_wildcards() {
-        for_both(|e| {
+        for_all(|e| {
             // Different envelopes (thus different bins in the bucketed
             // engine), arrivals out of insertion order.
             e.incoming(pkt(1, 2, 8, 300));
@@ -744,7 +1236,7 @@ mod tests {
 
     #[test]
     fn non_overtaking_first_posted_wins() {
-        for_both(|e| {
+        for_all(|e| {
             let r1 = recv(1, 0, 5);
             let r2 = recv(1, 0, 5);
             let req1 = Arc::clone(&r1.req);
@@ -760,7 +1252,7 @@ mod tests {
 
     #[test]
     fn wildcard_posted_receives_steal_in_post_order() {
-        for_both(|e| {
+        for_all(|e| {
             let specific = recv(1, 0, 5);
             let wild = recv(1, ANY_SOURCE, ANY_TAG);
             let wild_req = Arc::clone(&wild.req);
@@ -780,7 +1272,7 @@ mod tests {
 
     #[test]
     fn exact_posted_before_wildcard_wins() {
-        for_both(|e| {
+        for_all(|e| {
             let specific = recv(1, 0, 5);
             let spec_req = Arc::clone(&specific.req);
             e.post_recv(specific); // posted first
@@ -796,7 +1288,7 @@ mod tests {
 
     #[test]
     fn probe_is_non_destructive() {
-        for_both(|e| {
+        for_all(|e| {
             e.incoming(pkt(1, 2, 9, 10));
             let pat = MatchPattern {
                 context_id: 1,
@@ -821,7 +1313,7 @@ mod tests {
         let (m, work) = e.post_recv(recv(1, 0, 9));
         assert!(m.is_some());
         assert_eq!(work.scanned, 10);
-        assert!(!work.bucketed);
+        assert_eq!(work.engine, EngineKind::Linear);
     }
 
     #[test]
@@ -835,7 +1327,7 @@ mod tests {
         assert!(m.is_some());
         assert_eq!(work.scanned, 1);
         assert_eq!(work.wildcard_scanned, 0);
-        assert!(work.bucketed);
+        assert_eq!(work.engine, EngineKind::Bucketed);
         // A wildcard pays the bin sweep instead.
         let (m, work) = e.post_recv(recv(1, ANY_SOURCE, ANY_TAG));
         assert!(m.is_some());
@@ -843,8 +1335,98 @@ mod tests {
     }
 
     #[test]
+    fn seq_merged_wildcard_work_is_depth_independent() {
+        let mut e = SeqMergedEngine::new();
+        for i in 0..64 {
+            e.incoming(pkt(1, (i % 8) as u32, i, 10 + i as u64));
+        }
+        // Exact pattern: one index consulted, one entry taken.
+        let (m, work) = e.post_recv(recv(1, 7, 63));
+        assert!(m.is_some());
+        assert_eq!(work.scanned, 1);
+        assert_eq!(work.engine, EngineKind::SeqMerged);
+        // Full wildcard: still one index (the all-list), no sweep — the
+        // entry just consumed through `un_by_exact` surfaces as at most one
+        // tombstone here.
+        let (m, work) = e.post_recv(recv(1, ANY_SOURCE, ANY_TAG));
+        assert!(m.is_some());
+        assert_eq!(work.scanned, 1);
+        assert!(work.wildcard_scanned <= 1, "no depth-proportional sweep");
+        // Shape wildcards consult their own single index.
+        let (m, work) = e.post_recv(recv(1, ANY_SOURCE, 5));
+        assert!(m.is_some());
+        assert_eq!(work.scanned, 1);
+        let (m, work) = e.post_recv(recv(1, 3, ANY_TAG));
+        assert!(m.is_some());
+        assert_eq!(work.scanned, 1);
+    }
+
+    #[test]
+    fn seq_merged_incoming_compares_only_heads() {
+        let mut e = SeqMergedEngine::new();
+        // 256 posted receives across all four classes; an arriving packet
+        // examines at most one live head per class.
+        for i in 0..64 {
+            e.post_recv(recv(1, i, 100 + i));
+            e.post_recv(recv(1, ANY_SOURCE, i));
+            e.post_recv(recv(1, i, ANY_TAG));
+            e.post_recv(recv(1, ANY_SOURCE, ANY_TAG));
+        }
+        match e.incoming(pkt(1, 63, 63, 10)) {
+            Incoming::Matched { work, .. } => {
+                assert!(work.scanned <= 4, "at most one head per class");
+                assert_eq!(work.wildcard_scanned, 0);
+            }
+            _ => panic!("expected a match"),
+        }
+    }
+
+    #[test]
+    fn seq_merged_skips_posted_tombstones_from_cancel() {
+        let mut e = SeqMergedEngine::new();
+        let r1 = recv(1, ANY_SOURCE, ANY_TAG);
+        let r2 = recv(1, ANY_SOURCE, ANY_TAG);
+        let req1 = Arc::clone(&r1.req);
+        let req2 = Arc::clone(&r2.req);
+        e.post_recv(r1);
+        e.post_recv(r2);
+        assert!(e.cancel(&req1));
+        assert_eq!(e.posted_len(), 1);
+        // The cancelled head is a tombstone: the next arrival skips it and
+        // matches r2, charging the skip as lazy-deletion work.
+        match e.incoming(pkt(1, 0, 5, 10)) {
+            Incoming::Matched { recv, work, .. } => {
+                assert!(Arc::ptr_eq(&recv.req, &req2));
+                assert_eq!(work.wildcard_scanned, 1, "one tombstone popped");
+            }
+            _ => panic!("expected a match"),
+        }
+    }
+
+    #[test]
+    fn seq_merged_wraparound_preserves_order() {
+        // Sequence counters a hair below u64::MAX: posting order must still
+        // decide first-posted-wins across the wrap.
+        let mut e = SeqMergedEngine::with_seq_base(u64::MAX - 2);
+        let reqs: Vec<_> = (0..6)
+            .map(|_| {
+                let r = recv(1, ANY_SOURCE, ANY_TAG);
+                let req = Arc::clone(&r.req);
+                e.post_recv(r);
+                req
+            })
+            .collect();
+        for req in &reqs {
+            match e.incoming(pkt(1, 0, 5, 10)) {
+                Incoming::Matched { recv, .. } => assert!(Arc::ptr_eq(&recv.req, req)),
+                _ => panic!("expected a match"),
+            }
+        }
+    }
+
+    #[test]
     fn cancel_removes_posted_by_identity() {
-        for_both(|e| {
+        for_all(|e| {
             // Interleave two "probes": cancelling the first must not disturb
             // the second — the race cancel-by-position used to lose.
             let r1 = recv(1, 0, 5);
@@ -871,7 +1453,7 @@ mod tests {
 
     #[test]
     fn cancel_removes_wildcard_posted() {
-        for_both(|e| {
+        for_all(|e| {
             let r = recv(1, ANY_SOURCE, ANY_TAG);
             let req = Arc::clone(&r.req);
             e.post_recv(r);
@@ -886,7 +1468,7 @@ mod tests {
 
     #[test]
     fn drain_preserves_posting_and_arrival_order() {
-        for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+        for kind in EngineKind::all() {
             let mut e = kind.new_engine();
             let r1 = recv(1, 0, 5);
             let r2 = recv(1, ANY_SOURCE, ANY_TAG);
@@ -917,42 +1499,54 @@ mod tests {
 
     #[test]
     fn migration_between_kinds_preserves_matching() {
-        // Drain a linear engine into a bucketed one and check the pending
+        // Drain each engine kind into each other kind and check the pending
         // receive and unexpected packet still behave identically.
-        let mut lin = EngineKind::Linear.new_engine();
-        let r = recv(1, 0, 5);
-        let req = Arc::clone(&r.req);
-        lin.post_recv(r);
-        lin.incoming(pkt(1, 7, 7, 50));
-        let (posted, unexpected) = lin.drain();
-        let mut buck = EngineKind::Bucketed.new_engine();
-        for p in posted {
-            let (m, _) = buck.post_recv(p);
-            assert!(m.is_none(), "quiescent state has no cross matches");
+        for from in EngineKind::all() {
+            for to in EngineKind::all() {
+                if from == to {
+                    continue;
+                }
+                let mut old = from.new_engine();
+                let r = recv(1, 0, 5);
+                let req = Arc::clone(&r.req);
+                old.post_recv(r);
+                old.incoming(pkt(1, 7, 7, 50));
+                let (posted, unexpected) = old.drain();
+                let mut new = to.new_engine();
+                for p in posted {
+                    let (m, _) = new.post_recv(p);
+                    assert!(m.is_none(), "quiescent state has no cross matches");
+                }
+                for u in unexpected {
+                    assert!(matches!(new.incoming(u), Incoming::Queued { .. }));
+                }
+                // The pending posted recv matches its packet on the new engine.
+                match new.incoming(pkt(1, 0, 5, 60)) {
+                    Incoming::Matched { recv, .. } => assert!(Arc::ptr_eq(&recv.req, &req)),
+                    _ => panic!("expected a match ({from:?} -> {to:?})"),
+                }
+                // The queued unexpected packet is still probe-able.
+                let (st, _) = new.probe(&MatchPattern {
+                    context_id: 1,
+                    src: 7,
+                    tag: 7,
+                });
+                assert_eq!(st.unwrap().source, 7);
+            }
         }
-        for u in unexpected {
-            assert!(matches!(buck.incoming(u), Incoming::Queued { .. }));
-        }
-        // The pending posted recv matches its packet on the new engine.
-        match buck.incoming(pkt(1, 0, 5, 60)) {
-            Incoming::Matched { recv, .. } => assert!(Arc::ptr_eq(&recv.req, &req)),
-            _ => panic!("expected a match"),
-        }
-        // The queued unexpected packet is still probe-able.
-        let (st, _) = buck.probe(&MatchPattern {
-            context_id: 1,
-            src: 7,
-            tag: 7,
-        });
-        assert_eq!(st.unwrap().source, 7);
     }
 
     #[test]
     fn engine_kind_parses_hint_values() {
         assert_eq!(EngineKind::parse("linear"), Some(EngineKind::Linear));
         assert_eq!(EngineKind::parse("bucketed"), Some(EngineKind::Bucketed));
+        assert_eq!(EngineKind::parse("seq_merged"), Some(EngineKind::SeqMerged));
         assert_eq!(EngineKind::parse("fancy"), None);
         assert_eq!(EngineKind::default(), EngineKind::Bucketed);
         assert_eq!(EngineKind::Linear.name(), "linear");
+        for kind in EngineKind::all() {
+            assert_eq!(EngineKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.new_engine().kind(), kind);
+        }
     }
 }

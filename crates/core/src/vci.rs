@@ -149,6 +149,13 @@ pub struct Vci {
     direct: Arc<DirectRegistry>,
     polls: Arc<Counter>,
     matched: Arc<Counter>,
+    /// Registry series: queue entries examined by matching operations (the
+    /// [`ScanWork::scanned`] totals). Flat for O(1) engines, grows with queue
+    /// depth on linear scans — the scan-count regression tests pin it down.
+    match_scanned: Arc<Counter>,
+    /// Registry series: wildcard-sweep entries/bins examined or lazy
+    /// tombstones skipped ([`ScanWork::wildcard_scanned`] totals).
+    match_wildcard_scanned: Arc<Counter>,
     /// Registry series: clock-charged engine-lock acquisitions.
     acquires: Arc<Counter>,
     /// Registry series: acquisitions that paid more than the uncontended base
@@ -197,6 +204,8 @@ impl Vci {
             direct,
             polls: reg.insert_counter("vci.polls", l()),
             matched: reg.insert_counter("vci.matched", l()),
+            match_scanned: reg.insert_counter("vci.match_scanned", l()),
+            match_wildcard_scanned: reg.insert_counter("vci.match_wildcard_scanned", l()),
             acquires: reg.insert_counter("vci.lock_acquires", l()),
             acquires_contended: reg.insert_counter("vci.lock_acquires_contended", l()),
             hold_ns: reg.insert_accum("vci.lock_hold_ns", l()),
@@ -515,6 +524,9 @@ impl Vci {
     /// incoming-side handling — so all of them price engine occupancy
     /// identically.
     fn charge_match(&self, to: ChargeTo<'_>, work: &ScanWork) -> Nanos {
+        self.match_scanned.add(work.scanned as u64);
+        self.match_wildcard_scanned
+            .add(work.wildcard_scanned as u64);
         let cost = self.costs.match_cost_of(work);
         match to {
             ChargeTo::Caller(clock) => {
@@ -632,6 +644,17 @@ impl Vci {
     /// Number of messages matched on this VCI.
     pub fn matched(&self) -> u64 {
         self.matched.get()
+    }
+
+    /// Total queue entries examined by this VCI's matching operations.
+    pub fn match_scanned(&self) -> u64 {
+        self.match_scanned.get()
+    }
+
+    /// Total wildcard-sweep entries examined (or tombstones skipped) by this
+    /// VCI's matching operations.
+    pub fn match_wildcard_scanned(&self) -> u64 {
+        self.match_wildcard_scanned.get()
     }
 
     /// Current depth of the engine's posted-receive queue.

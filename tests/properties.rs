@@ -84,7 +84,7 @@ proptest! {
     fn matching_conserves_and_orders(
         ops in proptest::collection::vec((any::<bool>(), 0u32..3, 0i64..3), 1..120)
     ) {
-        for kind in [EngineKind::Linear, EngineKind::Bucketed] {
+        for kind in EngineKind::all() {
             let mut e = kind.new_engine();
             let mut sent: Vec<u64> = Vec::new();     // seq of every arrival
             let mut matched: Vec<(i64, u64)> = Vec::new(); // (channel key, seq)
@@ -134,6 +134,114 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The sequence-merged engine's pop order equals the linear oracle's
+    /// under arbitrary interleavings of posts (all four wildcard shapes),
+    /// arrivals, and cancel-by-identity holes — including runs where the
+    /// engine sequence counters wrap around `u64::MAX` mid-stream.
+    #[test]
+    fn merged_order_equals_linear_oracle(
+        ops in proptest::collection::vec((0u8..8, 0u32..4, 0i64..4), 1..150),
+        wrap in any::<bool>(),
+    ) {
+        use rankmpi_core::matching::{ANY_SOURCE, ANY_TAG};
+        use std::sync::Arc;
+
+        // `wrap` starts both engines' internal post/arrival counters just
+        // below u64::MAX so they wrap while the queues are populated; the
+        // linear oracle ignores the base, which is the point — observable
+        // order must not depend on raw counter values.
+        let base = if wrap { u64::MAX - 37 } else { 0 };
+        let mut oracle = EngineKind::Linear.new_engine_with_seq_base(base);
+        let mut merged = EngineKind::SeqMerged.new_engine_with_seq_base(base);
+        let mut handles: Vec<(Arc<ReqState>, Arc<ReqState>)> = Vec::new();
+        let mut seq = 0u64;
+        let mut clock = 0u64;
+        for &(sel, src, tag) in &ops {
+            clock += 7;
+            match sel {
+                0..=3 => {
+                    // Post: `sel` picks the wildcard shape, so all four
+                    // classes (exact, ANY-src, ANY-tag, full wildcard) mix.
+                    let pattern = MatchPattern {
+                        context_id: 1,
+                        src: if sel & 1 == 1 { ANY_SOURCE } else { src as i64 },
+                        tag: if sel & 2 == 2 { ANY_TAG } else { tag },
+                    };
+                    let ro = ReqState::detached();
+                    let rm = ReqState::detached();
+                    let mk = |req: &Arc<ReqState>| PostedRecv {
+                        pattern,
+                        req: req.clone(),
+                        posted_at: Nanos(clock),
+                    };
+                    let (po, _) = oracle.post_recv(mk(&ro));
+                    let (pm, _) = merged.post_recv(mk(&rm));
+                    prop_assert_eq!(
+                        po.map(|p| p.header.seq),
+                        pm.map(|p| p.header.seq),
+                        "post pop divergence (wrap={})", wrap
+                    );
+                    handles.push((ro, rm));
+                }
+                4..=6 => {
+                    let this_seq = seq;
+                    seq += 1;
+                    let mk = || Packet {
+                        header: Header {
+                            kind: 1,
+                            context_id: 1,
+                            src,
+                            dst: 0,
+                            tag,
+                            seq: this_seq,
+                            aux: 0,
+                            aux2: 0,
+                        },
+                        payload: Bytes::new(),
+                        arrive_at: Nanos(clock),
+                    };
+                    let io = oracle.incoming(mk());
+                    let im = merged.incoming(mk());
+                    match (io, im) {
+                        (
+                            Incoming::Matched { recv: a, packet: pa, .. },
+                            Incoming::Matched { recv: b, packet: pb, .. },
+                        ) => {
+                            prop_assert_eq!(a.pattern, b.pattern, "matched different posts");
+                            prop_assert_eq!(a.posted_at, b.posted_at);
+                            prop_assert_eq!(pa.header.seq, pb.header.seq);
+                        }
+                        (Incoming::Queued { .. }, Incoming::Queued { .. }) => {}
+                        (a, b) => {
+                            panic!("incoming divergence (wrap={wrap}): oracle={a:?} merged={b:?}")
+                        }
+                    }
+                }
+                _ => {
+                    // Cancel-by-identity: punch a hole at a pseudo-random
+                    // post. The merged engine tombstones; order must hold.
+                    if !handles.is_empty() {
+                        let k = (src as usize * 4 + tag as usize) % handles.len();
+                        let co = oracle.cancel(&handles[k].0);
+                        let cm = merged.cancel(&handles[k].1);
+                        prop_assert_eq!(co, cm, "cancel divergence (wrap={})", wrap);
+                    }
+                }
+            }
+        }
+        // Residual queues and their drain order agree exactly.
+        prop_assert_eq!(oracle.posted_len(), merged.posted_len());
+        prop_assert_eq!(oracle.unexpected_len(), merged.unexpected_len());
+        let (po, uo) = oracle.drain();
+        let (pm, um) = merged.drain();
+        let pats_o: Vec<_> = po.iter().map(|r| (r.pattern, r.posted_at)).collect();
+        let pats_m: Vec<_> = pm.iter().map(|r| (r.pattern, r.posted_at)).collect();
+        prop_assert_eq!(pats_o, pats_m, "posted drain order differs (wrap={})", wrap);
+        let seqs_o: Vec<u64> = uo.iter().map(|p| p.header.seq).collect();
+        let seqs_m: Vec<u64> = um.iter().map(|p| p.header.seq).collect();
+        prop_assert_eq!(seqs_o, seqs_m, "unexpected drain order differs (wrap={})", wrap);
     }
 
     /// The closed-form boundary-thread count equals brute force everywhere.
