@@ -244,13 +244,23 @@ pub fn registry_samples(prefix: &str) -> Json {
     Json::Arr(samples.iter().map(sample_json).collect())
 }
 
-/// Write `BENCH_<name>.json` into `RANKMPI_BENCH_DIR` (default: the current
-/// directory) and return the path. Failures are reported, not fatal: benches
-/// should still print their tables on read-only filesystems.
+/// Write `BENCH_<name>.json` into `RANKMPI_BENCH_DIR` (default: the
+/// workspace root, where the committed reference snapshots live — `cargo
+/// bench` sets the working directory to the *package*, which would scatter
+/// them under `crates/bench/`) and return the path. Failures are reported,
+/// not fatal: benches should still print their tables on read-only
+/// filesystems.
 pub fn write_bench_json(name: &str, v: &Json) -> Option<PathBuf> {
     let dir = std::env::var_os("RANKMPI_BENCH_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+        .unwrap_or_else(|| {
+            // crates/bench -> the workspace root two levels up.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."))
+        });
     let path = dir.join(format!("BENCH_{name}.json"));
     match std::fs::write(&path, render(v) + "\n") {
         Ok(()) => {

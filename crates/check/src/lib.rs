@@ -24,10 +24,11 @@
 //!   [`rankmpi_fabric::fault`]).
 //!
 //! The conformance tests themselves live in this crate's `tests/`
-//! directory (`conformance_*.rs`) and honor two environment knobs used by
-//! CI's seed matrix: `RANKMPI_CHECK_SEED` (base seed, default 0) and
+//! directory (`conformance_*.rs`) and honor three environment knobs used
+//! by CI's seed matrix: `RANKMPI_CHECK_SEED` (base seed, default 0),
 //! `RANKMPI_CHECK_ENGINE` (an [`EngineKind`] hint name such as `linear`,
-//! `bucketed`, or `seq_merged`; unset runs every engine).
+//! `bucketed`, or `seq_merged`; unset runs every engine), and
+//! `RANKMPI_CHECK_LAUNCH` (`threads` or `tasks`; unset runs both).
 
 pub mod explore;
 pub mod oracle;
@@ -37,6 +38,7 @@ pub use explore::{explore, Coverage, ExploreConfig};
 pub use sched::{run_tasks, RunOutcome, Schedule, Task};
 
 use rankmpi_core::matching::EngineKind;
+use rankmpi_core::{LaunchMode, TaskLaunch};
 
 /// The base seed of this run: `RANKMPI_CHECK_SEED` if set, else 0. CI runs
 /// the conformance suite once per seed of its matrix.
@@ -56,6 +58,28 @@ pub fn engines_under_test() -> Vec<EngineKind> {
         .and_then(|s| EngineKind::parse(s.trim()))
         .map(|k| vec![k])
         .unwrap_or_else(|| EngineKind::all().to_vec())
+}
+
+/// The launch modes under test: restricted to one by
+/// `RANKMPI_CHECK_LAUNCH` (`threads` or `tasks`), both when unset or
+/// unrecognized. Used by the fault-tolerance conformance sweep, whose
+/// recovery protocol must behave identically whether ranks are OS threads
+/// or cooperative rank-tasks.
+pub fn launch_modes_under_test() -> Vec<LaunchMode> {
+    let both = || {
+        vec![
+            LaunchMode::Threads,
+            LaunchMode::Tasks(TaskLaunch::default()),
+        ]
+    };
+    match std::env::var("RANKMPI_CHECK_LAUNCH") {
+        Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
+            "threads" => vec![LaunchMode::Threads],
+            "tasks" => vec![LaunchMode::Tasks(TaskLaunch::default())],
+            _ => both(),
+        },
+        Err(_) => both(),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,240 @@
+//! Fault-tolerance conformance: under a crash plan, no survivor ever
+//! hangs — every pending operation resolves `Ok`, `ProcessFailed`, or
+//! `Revoked`; the fault-tolerant agreement returns the same verdict on
+//! every survivor; and after a shrink, the halo and the task farm both
+//! complete with verified results.
+//!
+//! The sweeps cross every matching engine with both launch modes (OS
+//! threads and cooperative rank-tasks): the recovery protocol lives above
+//! the channel layer and must be oblivious to both choices. Failures name
+//! the exact `(engine, launch, seed)` triple so CI can replay one cell of
+//! the matrix via `RANKMPI_CHECK_ENGINE` / `RANKMPI_CHECK_LAUNCH` /
+//! `RANKMPI_CHECK_SEED`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rankmpi_check::{base_seed, engines_under_test, launch_modes_under_test};
+use rankmpi_core::{Errhandler, LaunchMode, RankMpiError, Universe};
+use rankmpi_fabric::{FaultPlan, NetworkProfile};
+use rankmpi_stream::ft::{run_farm_ft, FarmFtConfig};
+use rankmpi_vtime::Nanos;
+use rankmpi_workloads::ft::{run_halo_ft, HaloFtConfig};
+
+const SWEEP: u64 = 3;
+
+fn launch_name(l: &LaunchMode) -> &'static str {
+    match l {
+        LaunchMode::Threads => "threads",
+        LaunchMode::Tasks(_) => "tasks",
+    }
+}
+
+/// The schedule-independent victim oracle: the set of ranks whose crash
+/// draw fired. Actual victims must be a subset (a drawn crash point past
+/// the rank's last operation never fires).
+fn oracle(plan: &FaultPlan, procs: usize) -> Vec<usize> {
+    (0..procs)
+        .filter(|&r| plan.crash_point(r as u64).is_some())
+        .collect()
+}
+
+/// Crash-plan sweep over the ring halo: every survivor finishes (the run
+/// returning at all is the no-hang property), survivors agree on the
+/// final communicator size and verdict, rank 0 always survives, and the
+/// victim set is a subset of the plan's oracle.
+#[test]
+fn halo_crash_sweep_no_survivor_hangs() {
+    for kind in engines_under_test() {
+        for launch in launch_modes_under_test() {
+            for s in 0..SWEEP {
+                let seed = base_seed() ^ 0xFA17 ^ (s << 8);
+                let cfg = HaloFtConfig {
+                    seed,
+                    procs: 6,
+                    iters: 10,
+                    crash_prob: 0.8,
+                    matching: kind,
+                    launch,
+                    ..HaloFtConfig::default()
+                };
+                let plan = FaultPlan::new(seed).crashes(
+                    cfg.crash_prob,
+                    cfg.crash_max_sends,
+                    cfg.crash_max_vtime,
+                );
+                let allowed = oracle(&plan, cfg.procs);
+                let rep = run_halo_ft(&cfg);
+                let cell = format!(
+                    "engine {}, launch {}, seed {seed:#x}",
+                    kind.name(),
+                    launch_name(&launch)
+                );
+                assert!(rep.consistent, "survivors disagree ({cell})");
+                assert!(
+                    rep.survivors.iter().any(|(r, _)| *r == 0),
+                    "rank 0 must survive by plan ({cell})"
+                );
+                assert!(
+                    rep.victims.iter().all(|v| allowed.contains(v)),
+                    "victims {:?} outside the plan oracle {allowed:?} ({cell})",
+                    rep.victims
+                );
+            }
+        }
+    }
+}
+
+/// Same sweep over the task farm: the emitter re-dispatches dead workers'
+/// items and exits only with every item acknowledged and verified.
+#[test]
+fn farm_crash_sweep_redistributes_and_completes() {
+    for kind in engines_under_test() {
+        for launch in launch_modes_under_test() {
+            for s in 0..SWEEP {
+                let seed = base_seed() ^ 0xFA43 ^ (s << 8);
+                let cfg = FarmFtConfig {
+                    seed,
+                    procs: 6,
+                    items: 30,
+                    crash_prob: 0.8,
+                    crash_max_sends: 5,
+                    crash_max_vtime: Nanos::us(60),
+                    matching: kind,
+                    launch,
+                    ..FarmFtConfig::default()
+                };
+                let plan = FaultPlan::new(seed).crashes(
+                    cfg.crash_prob,
+                    cfg.crash_max_sends,
+                    cfg.crash_max_vtime,
+                );
+                let allowed = oracle(&plan, cfg.procs);
+                let rep = run_farm_ft(&cfg);
+                let cell = format!(
+                    "engine {}, launch {}, seed {seed:#x}",
+                    kind.name(),
+                    launch_name(&launch)
+                );
+                assert!(rep.verified, "emitter lost items ({cell})");
+                assert!(rep.consistent, "survivors disagree ({cell})");
+                assert!(
+                    rep.victims.iter().all(|v| allowed.contains(v)),
+                    "victims {:?} outside the plan oracle {allowed:?} ({cell})",
+                    rep.victims
+                );
+            }
+        }
+    }
+}
+
+/// A pending receive aimed at a certain-to-die peer resolves with
+/// `ProcessFailed` naming that peer — never a hang (the `recv_timeout`
+/// is a real-time backstop that must not be what fires).
+#[test]
+fn pending_recv_from_the_dead_fails_with_process_failed() {
+    for kind in engines_under_test() {
+        let plan = FaultPlan::new(base_seed() ^ 0xD1E).crashes(1.0, 4, Nanos::us(40));
+        assert!(
+            plan.crash_point(1).is_some(),
+            "probability 1 must draw a crash for rank 1"
+        );
+        let u = Universe::builder()
+            .nodes(2)
+            .matching(kind)
+            .fault_plan(plan)
+            .build();
+        u.run_ft(|env| {
+            let world = env.world();
+            world.set_errhandler(Errhandler::ErrorsReturn);
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                // Tag 5 is never sent: this receive can only resolve
+                // through the failure detector.
+                match world.recv_timeout(&mut th, 1, 5, Duration::from_secs(30)) {
+                    Err(RankMpiError::ProcessFailed { rank }) => assert_eq!(rank, 1),
+                    other => panic!(
+                        "expected ProcessFailed {{ rank: 1 }}, got {other:?} \
+                         (engine {})",
+                        kind.name()
+                    ),
+                }
+            } else {
+                // Keep issuing operations until the crash point fires
+                // (sends count toward it; the clock advances toward a
+                // virtual-time trigger).
+                for i in 0..64u32 {
+                    th.clock.advance(Nanos::us(2));
+                    if world.send(&mut th, 0, 9, &i.to_le_bytes()).is_err() {
+                        break;
+                    }
+                }
+                panic!("rank 1 outlived a probability-1 crash plan");
+            }
+        });
+    }
+}
+
+/// The fault-tolerant agreement is a true AND over the contributions and
+/// decides identically everywhere, including when re-run on the same
+/// communicator.
+#[test]
+fn agree_is_a_consistent_and_over_contributions() {
+    let u = Universe::builder()
+        .nodes(4)
+        .profile(NetworkProfile::omni_path())
+        .build();
+    let verdicts: Vec<(bool, bool)> = u.run(|env| {
+        let world = env.world();
+        world.set_errhandler(Errhandler::ErrorsReturn);
+        let mut th = env.single_thread();
+        let first = world.agree(&mut th, env.rank() != 2).unwrap();
+        let second = world.agree(&mut th, true).unwrap();
+        (first, second)
+    });
+    for (r, (first, second)) in verdicts.iter().enumerate() {
+        assert!(!first, "rank {r}: one false contribution must veto");
+        assert!(second, "rank {r}: unanimous truth must carry");
+    }
+}
+
+/// Shrink releases the dead rank's hardware contexts: the victim node's
+/// NIC pool gauge returns to zero once a survivor shrinks past it.
+#[test]
+fn shrink_releases_the_dead_ranks_hw_contexts() {
+    let plan = FaultPlan::new(base_seed() ^ 0x5EAD).crashes(1.0, 3, Nanos::us(30));
+    let u = Universe::builder().nodes(2).fault_plan(plan).build();
+    let shared = Arc::clone(u.shared());
+    let baseline = shared.nic(1).contexts_in_use();
+    assert!(baseline > 0, "rank 1's VCI must hold a context at start");
+    let shared_ref = &shared;
+    u.run_ft(|env| {
+        let world = env.world();
+        world.set_errhandler(Errhandler::ErrorsReturn);
+        let mut th = env.single_thread();
+        if env.rank() == 0 {
+            let got = world.recv_timeout(&mut th, 1, 5, Duration::from_secs(30));
+            assert!(
+                matches!(got, Err(RankMpiError::ProcessFailed { rank: 1 })),
+                "detector must fire first, got {got:?}"
+            );
+            world.revoke(&mut th).unwrap();
+            assert!(!world.agree(&mut th, false).unwrap());
+            let alone = world.shrink(&mut th).unwrap();
+            assert_eq!(alone.size(), 1);
+            assert_eq!(
+                shared_ref.nic(1).contexts_in_use(),
+                0,
+                "the dead rank's contexts must be reclaimed by the shrink"
+            );
+        } else {
+            for i in 0..64u32 {
+                th.clock.advance(Nanos::us(2));
+                if world.send(&mut th, 0, 9, &i.to_le_bytes()).is_err() {
+                    break;
+                }
+            }
+            panic!("rank 1 outlived a probability-1 crash plan");
+        }
+    });
+}

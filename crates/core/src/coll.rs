@@ -98,8 +98,14 @@ impl Communicator {
             tag: Self::coll_tag(guard, phase),
         };
         let req = self.irecv_on_vci(th, self.vci_block()[0], pattern)?;
-        let (_st, data) = req.wait(&mut th.clock);
-        Ok(data)
+        // Route fabric/FT failures through the errhandler instead of letting
+        // `Request::wait` panic mid-collective: a poisoned or process-failure
+        // outcome inside a collective phase must surface as an error the
+        // caller (or the fatal default handler) can act on.
+        match req.wait_outcome(&mut th.clock) {
+            Ok((_st, data)) => Ok(data),
+            Err(e) => self.handle_error(e),
+        }
     }
 
     /// Dissemination barrier across the communicator.

@@ -59,6 +59,7 @@ impl Communicator {
     pub fn world(universe: Arc<UniverseShared>, proc: Arc<ProcShared>) -> Self {
         let n = universe.n_procs();
         let my_rank = proc.rank();
+        proc.ft().register_group(0, &Group::world(n));
         Communicator {
             universe,
             proc,
@@ -87,6 +88,7 @@ impl Communicator {
         block: Arc<Vec<usize>>,
         info: Info,
     ) -> Self {
+        proc.ft().register_group(ctx_id, &group);
         Communicator {
             universe,
             proc,
@@ -214,6 +216,7 @@ impl Communicator {
                 }
             }
         }
+        self.proc.ft().register_group(ctx_id, &self.group);
         let child = Communicator {
             universe: Arc::clone(&self.universe),
             proc: Arc::clone(&self.proc),
@@ -260,11 +263,13 @@ impl Communicator {
             .position(|&(_, r)| r == self.my_rank)
             .expect("caller must be a member of its own color");
         let (ctx_id, block) = self.universe.agree_comm((self.ctx_id, idx, color), 1);
+        let group = Group::from_ranks(ranks);
+        self.proc.ft().register_group(ctx_id, &group);
         Ok(Some(Communicator {
             universe: Arc::clone(&self.universe),
             proc: Arc::clone(&self.proc),
             ctx_id,
-            group: Group::from_ranks(ranks),
+            group,
             my_rank: my_new,
             policy: VciPolicy::Single,
             block,

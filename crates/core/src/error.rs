@@ -103,6 +103,22 @@ pub enum RankMpiError {
         /// Sending process rank.
         src: u32,
     },
+    /// The peer process died (rank-crash fault tolerance): the failure
+    /// detector observed the crash, so this operation can never complete.
+    /// ULFM's `MPI_ERR_PROC_FAILED`. Recovery: `Communicator::revoke`,
+    /// `agree`, then `shrink` to a survivors-only communicator.
+    ProcessFailed {
+        /// World rank of the dead process.
+        rank: u32,
+    },
+    /// The communicator was revoked (by this process or epidemically via a
+    /// poisoned control packet) after some member observed a failure; every
+    /// pending and future operation on it errors. ULFM's
+    /// `MPI_ERR_REVOKED`.
+    Revoked {
+        /// Context id of the revoked communicator.
+        context_id: u32,
+    },
 }
 
 impl fmt::Display for RankMpiError {
@@ -153,6 +169,12 @@ impl fmt::Display for RankMpiError {
             ),
             RankMpiError::LinkDown { src } => {
                 write!(f, "message from rank {src} lost: link down")
+            }
+            RankMpiError::ProcessFailed { rank } => {
+                write!(f, "process {rank} failed (rank crash detected)")
+            }
+            RankMpiError::Revoked { context_id } => {
+                write!(f, "communicator with context id {context_id} revoked")
             }
         }
     }
@@ -237,6 +259,16 @@ mod tests {
         assert!(RankMpiError::Timeout { waited_ms: 250 }
             .to_string()
             .contains("250"));
+    }
+
+    #[test]
+    fn ft_errors_name_their_subject() {
+        assert!(RankMpiError::ProcessFailed { rank: 5 }
+            .to_string()
+            .contains("process 5"));
+        assert!(RankMpiError::Revoked { context_id: 42 }
+            .to_string()
+            .contains("42"));
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! - **RMA windows** with put/get/accumulate, flush, and accumulate-ordering
 //!   semantics ([`rma`]);
 //! - **Collectives** (barrier, bcast, reduce, allreduce, gather, allgather,
-//!   alltoall) with MPI's serial-issuance rule per communicator ([`coll`]).
+//!   alltoall) with MPI's serial-issuance rule per communicator ([`coll`]);
+//! - **Rank-crash fault tolerance** — ULFM-style failure detection,
+//!   communicator revocation, fault-tolerant agreement and `shrink` ([`ft`]).
 //!
 //! The user-visible endpoints and partitioned-communication designs build on
 //! these primitives in the `rankmpi-endpoints` and `rankmpi-partitioned`
@@ -57,6 +59,7 @@ pub mod coll;
 pub mod comm;
 pub mod costs;
 pub mod error;
+pub mod ft;
 pub mod group;
 pub mod info;
 pub mod matching;
@@ -71,6 +74,7 @@ pub mod vci;
 pub use coll::ReduceOp;
 pub use comm::{CollMode, Communicator};
 pub use error::{Errhandler, Error, RankMpiError, Result};
+pub use ft::FtShared;
 pub use group::Group;
 pub use info::Info;
 pub use matching::{EngineKind, MatchPattern, Status, ANY_SOURCE, ANY_TAG};

@@ -10,9 +10,11 @@ use rankmpi_vtime::{engine, Clock};
 
 use crate::comm::Communicator;
 use crate::costs::CoreCosts;
+use crate::ft::FtShared;
 use crate::matching::EngineKind;
 use crate::universe::UniverseShared;
 use crate::vci::{DirectRegistry, DirectSink, Vci};
+use rankmpi_fabric::Liveness;
 
 /// The shared state of one simulated MPI process: its VCI pool, its arrival
 /// notifier, and its direct-delivery registry.
@@ -35,6 +37,10 @@ pub struct ProcShared {
     /// (endpoints allocate per-endpoint VCIs) get the same weather as the
     /// build-time pool.
     fault: Option<(FaultPlan, Option<ResilConfig>)>,
+    /// Rank-crash fault-tolerance state shared by every VCI and thread of
+    /// this process: the crash plan (if any), the universe-wide liveness
+    /// registry, and the set of revoked communicators learned so far.
+    ft: Arc<FtShared>,
     vcis: RwLock<Vec<Arc<Vci>>>,
     seq: AtomicU64,
     /// `MPI_THREAD_SERIALIZED` violation detector: set while any thread of
@@ -58,9 +64,14 @@ impl ProcShared {
         num_vcis: usize,
         matching: EngineKind,
         fault: Option<(FaultPlan, Option<ResilConfig>)>,
+        liveness: Arc<Liveness>,
     ) -> Arc<Self> {
         let notify = Arc::new(Notify::new());
         let direct = Arc::new(DirectRegistry::new());
+        let crash = fault
+            .as_ref()
+            .and_then(|(plan, _)| plan.crash_point(rank as u64));
+        let ft = Arc::new(FtShared::new(rank, liveness, crash));
         let p = ProcShared {
             rank,
             node,
@@ -71,6 +82,7 @@ impl ProcShared {
             matching,
             direct,
             fault,
+            ft,
             vcis: RwLock::new(Vec::new()),
             seq: AtomicU64::new(0),
             in_mpi: std::sync::atomic::AtomicBool::new(false),
@@ -131,6 +143,7 @@ impl ProcShared {
             self.costs.clone(),
             Arc::clone(&self.direct),
             self.matching,
+            Arc::clone(&self.ft),
         ));
         if let Some((plan, resil)) = &self.fault {
             let mailbox = Arc::clone(v[id].mailbox());
@@ -180,6 +193,17 @@ impl ProcShared {
     /// The node's NIC (resource statistics).
     pub fn nic(&self) -> &Arc<Nic> {
         &self.nic
+    }
+
+    /// Rank-crash fault-tolerance state of this process.
+    pub fn ft(&self) -> &Arc<FtShared> {
+        &self.ft
+    }
+
+    /// Check the crash plan and die here if this is the planned crash point
+    /// (called at MPI-operation entry; `is_send` ticks the send counter).
+    pub fn maybe_crash(&self, clock: &Clock, is_send: bool) {
+        self.ft.maybe_crash(clock, is_send);
     }
 }
 
@@ -392,7 +416,10 @@ impl ProcEnv {
                                 .expect("spawn simulated-thread carrier")
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    handles
+                        .into_iter()
+                        .map(|h| self.join_member(h.join()))
+                        .collect()
                 })
             });
         }
@@ -407,8 +434,27 @@ impl ProcEnv {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| self.join_member(h.join()))
+                .collect()
         })
+    }
+
+    /// Unwrap one simulated thread's join result. A planned rank-crash
+    /// unwind re-crashes the joining (parent) thread — the whole rank dies
+    /// quietly, as one process would — while a genuine bug's panic resumes
+    /// unchanged so the run still fails loudly.
+    fn join_member<R>(&self, joined: std::thread::Result<R>) -> R {
+        match joined {
+            Ok(r) => r,
+            Err(payload) => {
+                if self.proc.ft().liveness().is_crashed(self.proc.rank()) {
+                    rankmpi_fabric::ft::crash_now();
+                }
+                std::panic::resume_unwind(payload)
+            }
+        }
     }
 
     /// A single-thread context (tid 0) for serial sections.

@@ -66,13 +66,31 @@ impl Communicator {
     ) -> Result<Request> {
         self.check_rank(dst)?;
         let _mpi = th.enter_mpi();
+        th.proc().maybe_crash(&th.clock, true);
+        let dst_global = self.global_rank(dst);
+        // FT fast paths: sends complete locally under the eager protocol, so
+        // a revoked communicator or an already-detected dead destination must
+        // be refused *here* — a completed send to a corpse is a silent lie.
+        let base_ctx = ctx_id & !crate::comm::COLL_CTX_BIT;
+        if th.proc().ft().is_revoked(base_ctx) {
+            return self.handle_error(Error::Revoked {
+                context_id: base_ctx,
+            });
+        }
+        if let Some(at) = th.proc().ft().liveness().detect_at(dst_global) {
+            if th.clock.now() >= at {
+                th.proc().ft().liveness().note_detection();
+                return self.handle_error(Error::ProcessFailed {
+                    rank: dst_global as u32,
+                });
+            }
+        }
         let entered_at = th.clock.now();
         let costs = th.proc().costs().clone();
         // Eager-protocol copy out of the user buffer.
         th.clock.advance(costs.copy_cost(data.len()));
 
         let svci = th.proc().vci(src_vci);
-        let dst_global = self.global_rank(dst);
         let dst_proc = Arc::clone(th.universe().proc(dst_global));
         let dvci = dst_proc.vci(dst_vci);
         let intra = dst_proc.node() == th.proc().node();
@@ -170,6 +188,15 @@ impl Communicator {
         pattern: MatchPattern,
     ) -> Result<Request> {
         let _mpi = th.enter_mpi();
+        th.proc().maybe_crash(&th.clock, false);
+        // A receive posted on a revoked communicator can never be satisfied;
+        // fail it up front rather than letting the VCI sweep find it later.
+        let base_ctx = pattern.context_id & !crate::comm::COLL_CTX_BIT;
+        if th.proc().ft().is_revoked(base_ctx) {
+            return self.handle_error(Error::Revoked {
+                context_id: base_ctx,
+            });
+        }
         let entered_at = th.clock.now();
         let costs = th.proc().costs().clone();
         th.clock.advance(costs.request_setup);

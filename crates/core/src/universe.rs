@@ -1,15 +1,16 @@
 //! The simulated MPI job: nodes, processes, and collective agreement state.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rankmpi_fabric::{FaultPlan, NetworkProfile, Nic, ResilConfig};
+use rankmpi_fabric::{FaultPlan, Liveness, NetworkProfile, Nic, ResilConfig};
 use rankmpi_obs::{labels, registry};
 use rankmpi_vtime::{engine, Nanos};
 
 use crate::costs::CoreCosts;
+use crate::ft::FtGather;
 use crate::matching::EngineKind;
 use crate::proc::{ProcEnv, ProcShared};
 use crate::rma::WindowTarget;
@@ -112,6 +113,14 @@ pub struct UniverseShared {
     win_targets: Mutex<HashMap<(usize, usize), Arc<WindowTarget>>>,
     /// In-flight `split` gathers: (parent ctx, op index) → contributions.
     split_boards: Mutex<HashMap<(u32, u64), Arc<SplitBoard>>>,
+    /// The universe-wide failure detector (rank-crash fault tolerance).
+    liveness: Arc<Liveness>,
+    /// In-flight fault-tolerant agreements (`agree`/`shrink` membership):
+    /// (parent ctx, op index, kind) → board.
+    ft_boards: Mutex<HashMap<(u32, u64, u8), Arc<FtGather>>>,
+    /// Dead ranks whose channel resources have already been retired —
+    /// `reclaim_rank` is requested by every survivor but performed once.
+    reclaimed: Mutex<HashSet<usize>>,
     launch: LaunchMode,
 }
 
@@ -296,6 +305,50 @@ impl UniverseShared {
         )
     }
 
+    /// The universe-wide failure detector.
+    pub fn liveness(&self) -> &Arc<Liveness> {
+        &self.liveness
+    }
+
+    /// Contribute to (and wait for) one fault-tolerant agreement. Unlike
+    /// [`gather_split`](UniverseShared::gather_split), resolution waits only
+    /// for members `alive` still believes in, and the first resolver freezes
+    /// the contribution set — every survivor returns the same decision.
+    pub fn gather_ft(
+        &self,
+        key: (u32, u64, u8),
+        local_rank: usize,
+        size: usize,
+        value: i64,
+        alive: &(dyn Fn(usize) -> bool + Sync),
+    ) -> Arc<Vec<(usize, i64)>> {
+        let board = {
+            let mut m = self.ft_boards.lock();
+            Arc::clone(
+                m.entry(key)
+                    .or_insert_with(|| Arc::new(FtGather::new(size))),
+            )
+        };
+        board.contribute(local_rank, value, alive)
+    }
+
+    /// Retire a dead rank's channel resources: every VCI of its process
+    /// releases its NIC hardware context back to the node pool (shrink calls
+    /// this for each crashed member). Idempotent — the first caller wins.
+    pub fn reclaim_rank(&self, rank: usize) {
+        {
+            let mut done = self.reclaimed.lock();
+            if !done.insert(rank) {
+                return;
+            }
+        }
+        let proc = &self.procs[rank];
+        let nic = &self.nics[proc.node()];
+        for v in 0..proc.num_vcis() {
+            nic.release_context(&proc.vci(v).hw_context());
+        }
+    }
+
     /// Mark hardware context `ctx_id` on `node`'s NIC as failed mid-run.
     ///
     /// Every VCI mapped onto that context fails over to a replacement on its
@@ -393,7 +446,7 @@ impl UniverseBuilder {
     }
 
     /// Default matching-engine kind for every VCI (default
-    /// [`EngineKind::Bucketed`]; the `rankmpi_matching` Info hint overrides
+    /// [`EngineKind::SeqMerged`]; the `rankmpi_matching` Info hint overrides
     /// per communicator).
     pub fn matching(mut self, kind: EngineKind) -> Self {
         self.matching = kind;
@@ -470,6 +523,10 @@ impl UniverseBuilder {
         // build-time pool — `ProcShared::add_vci` derives per-`(rank, vci)`
         // plans and applies the resil config on arm.
         let fault = self.fault_plan.clone().map(|p| (p, self.resil));
+        // Per-universe, never process-global: test binaries run many
+        // universes concurrently and a crash in one must stay invisible to
+        // the others.
+        let liveness = Arc::new(Liveness::new());
         let procs: Vec<_> = (0..n_procs)
             .map(|r| {
                 let node = r / self.procs_per_node;
@@ -482,9 +539,16 @@ impl UniverseBuilder {
                     self.num_vcis,
                     self.matching,
                     fault.clone(),
+                    Arc::clone(&liveness),
                 )
             })
             .collect();
+        // A crash emits no packet, so the liveness registry rings every
+        // process notifier itself: survivors parked on them (task launch
+        // mode) re-poll and observe the death instead of deadlocking.
+        for p in &procs {
+            liveness.register_waker(Arc::clone(p.notify()));
+        }
         let shared = UniverseShared {
             profile: self.profile,
             costs: self.costs,
@@ -508,6 +572,9 @@ impl UniverseBuilder {
             next_win: AtomicUsize::new(0),
             win_targets: Mutex::new(HashMap::new()),
             split_boards: Mutex::new(HashMap::new()),
+            liveness,
+            ft_boards: Mutex::new(HashMap::new()),
+            reclaimed: Mutex::new(HashSet::new()),
             launch: self.launch,
         };
         Universe {
@@ -595,6 +662,85 @@ impl Universe {
             .into_iter()
             .map(|r| r.expect("rank-task finished without result or panic"))
             .collect()
+    }
+
+    /// Like [`run`](Universe::run), but tolerant of planned rank crashes:
+    /// a rank the fault plan killed yields `None` in its slot instead of
+    /// tearing the whole run down. Any unwind the [`Liveness`] registry
+    /// cannot attribute to the crash plan is re-raised — real bugs still
+    /// fail loudly.
+    pub fn run_ft<R: Send>(&self, f: impl Fn(ProcEnv) -> R + Sync) -> Vec<Option<R>> {
+        let f = &f;
+        let shared = &self.shared;
+        let liveness = Arc::clone(&shared.liveness);
+        // Classify one rank closure's outcome: planned crash → None.
+        let settle = move |rank: usize, out: std::thread::Result<R>| -> Option<R> {
+            rankmpi_fabric::ft::clear_crash_flag();
+            match out {
+                Ok(r) => Some(r),
+                Err(p) => {
+                    if liveness.is_crashed(rank) {
+                        None
+                    } else {
+                        std::panic::resume_unwind(p)
+                    }
+                }
+            }
+        };
+        let run_one = move |r: usize, env: ProcEnv| -> Option<R> {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(env)));
+            settle(r, out)
+        };
+        let run_one = &run_one;
+        match shared.launch() {
+            LaunchMode::Threads => std::thread::scope(|s| {
+                let handles: Vec<_> = (0..shared.n_procs())
+                    .map(|r| {
+                        let proc = Arc::clone(shared.proc(r));
+                        let universe = Arc::clone(shared);
+                        s.spawn(move || {
+                            let tpp = universe.threads_per_proc();
+                            run_one(r, ProcEnv::new(proc, universe, tpp))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect()
+            }),
+            LaunchMode::Tasks(cfg) => {
+                let tasks: Vec<engine::TaskFn<'_, Option<R>>> = (0..shared.n_procs())
+                    .map(|r| {
+                        let proc = Arc::clone(shared.proc(r));
+                        let universe = Arc::clone(shared);
+                        Box::new(move || {
+                            let tpp = universe.threads_per_proc();
+                            run_one(r, ProcEnv::new(proc, universe, tpp))
+                        }) as engine::TaskFn<'_, Option<R>>
+                    })
+                    .collect();
+                let out = engine::run(
+                    engine::EngineConfig {
+                        dispatch: engine::Dispatch::VirtualTime {
+                            workers: cfg.workers,
+                            slack: cfg.vtime_slack,
+                        },
+                        stack_size: cfg.stack_size,
+                        ..engine::EngineConfig::default()
+                    },
+                    tasks,
+                );
+                publish_engine_metrics(&out.metrics);
+                if let Some(p) = out.panic {
+                    panic!("{p}");
+                }
+                out.results
+                    .into_iter()
+                    .map(|r| r.expect("rank-task finished without result or panic"))
+                    .collect()
+            }
+        }
     }
 }
 

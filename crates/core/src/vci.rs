@@ -8,6 +8,7 @@
 //! hardware. The "MPI+threads (Original)" regime is a pool of exactly one VCI:
 //! every thread contends on one engine lock and one hardware context.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -21,6 +22,7 @@ use rankmpi_vtime::{Accumulator, Clock, ContentionLock, Counter, Nanos};
 
 use crate::costs::CoreCosts;
 use crate::error::RankMpiError;
+use crate::ft::FtShared;
 use crate::matching::{
     EngineKind, Incoming, MatchEngine, MatchPattern, PostedRecv, ScanWork, Status,
 };
@@ -32,6 +34,11 @@ pub const KIND_PT2PT: u16 = 1;
 /// Packet kind for direct-delivery packets (bypass matching; routed by
 /// `header.aux` through the destination process's direct-sink registry).
 pub const KIND_DIRECT: u16 = 3;
+/// Packet kind for fault-tolerance control packets (communicator
+/// revocation). Never matched: the progress loop feeds them straight into
+/// the process's [`FtShared`](crate::ft::FtShared) revocation state. Always
+/// sent poisoned so the fault layer delivers them even when "lost".
+pub const KIND_FT: u16 = 4;
 
 /// How a communicator's operations choose VCIs.
 #[derive(Debug, Clone)]
@@ -169,6 +176,12 @@ pub struct Vci {
     /// has no per-message request to fail; partitioned windows observe loss
     /// through `resil.*` counters instead).
     poisoned_direct_drops: Arc<Counter>,
+    /// Fault-tolerance state of the owning process (crash plan, liveness,
+    /// revocations).
+    ft: Arc<FtShared>,
+    /// Last [`FtShared::stamp`] this VCI swept its engine against. While it
+    /// matches the current stamp the progress path pays one atomic load.
+    ft_seen: AtomicU64,
 }
 
 impl Vci {
@@ -187,6 +200,7 @@ impl Vci {
         costs: CoreCosts,
         direct: Arc<DirectRegistry>,
         engine_kind: EngineKind,
+        ft: Arc<FtShared>,
     ) -> Arc<Self> {
         let reg = registry::global();
         let l = || labels! {"rank" => rank, "vci" => id};
@@ -211,6 +225,8 @@ impl Vci {
             hold_ns: reg.insert_accum("vci.lock_hold_ns", l()),
             failovers: reg.insert_counter("resil.failovers", l()),
             poisoned_direct_drops: reg.insert_counter("vci.poisoned_direct_drops", l()),
+            ft,
+            ft_seen: AtomicU64::new(0),
         })
     }
 
@@ -406,6 +422,40 @@ impl Vci {
             req,
             posted_at: clock.now(),
         };
+        // The FT sweep re-examines pending state only when the failure stamp
+        // moves, so a receive posted *after* the sweep for the current epoch
+        // already ran would wait forever. Apply the same doom rules at post
+        // time, under the same engine lock (which orders this check against
+        // any concurrent sweep: either the sweep sees our insertion, or we
+        // see the failure knowledge it acted on).
+        let base_ctx = posted.pattern.context_id & !crate::comm::COLL_CTX_BIT;
+        if let Some(at) = self.ft.revoked_at(base_ctx) {
+            posted.req.fail(
+                at.max(posted.posted_at),
+                RankMpiError::Revoked {
+                    context_id: base_ctx,
+                },
+            );
+            self.release_engine(eng, clock, locked_at);
+            return;
+        }
+        if posted.pattern.src >= 0 {
+            let global = self
+                .ft
+                .global_of(base_ctx, posted.pattern.src as usize)
+                .unwrap_or(posted.pattern.src as usize);
+            if let Some(at) = self.ft.liveness().detect_at(global) {
+                self.ft.liveness().note_detection();
+                posted.req.fail(
+                    at.max(posted.posted_at),
+                    RankMpiError::ProcessFailed {
+                        rank: global as u32,
+                    },
+                );
+                self.release_engine(eng, clock, locked_at);
+                return;
+            }
+        }
         let (matched, work) = eng.post_recv(posted.clone());
         let done = self.charge_match(ChargeTo::Caller(clock), &work);
         obs::busy("match", "match_post", locked_at, done, self.engine_res_id());
@@ -424,7 +474,15 @@ impl Vci {
     pub fn progress(&self, clock: &mut Clock) -> usize {
         let entered_at = clock.now();
         self.polls.incr();
-        if self.mailbox.is_empty() {
+        // A rank whose sibling thread hit the crash plan is dead as a whole
+        // process: any thread still polling progress (e.g. blocked in a
+        // wait loop) unwinds here. One atomic load while nothing has ever
+        // crashed.
+        if self.ft.self_crashed() {
+            rankmpi_fabric::ft::crash_now();
+        }
+        let ft_dirty = self.ft.stamp() != self.ft_seen.load(Ordering::Acquire);
+        if self.mailbox.is_empty() && !ft_dirty {
             clock.advance(self.costs.match_base / 4); // cheap empty poll
             return 0;
         }
@@ -444,6 +502,12 @@ impl Vci {
         self.mailbox.drain_into(&mut batch);
         let n = batch.len();
         for pkt in batch {
+            if pkt.header.base_kind() == KIND_FT {
+                // Revocation control packet — epidemically poisons the
+                // context; never enters matching.
+                self.ft.learn_revoked(pkt.header.context_id, pkt.arrive_at);
+                continue;
+            }
             if pkt.header.base_kind() == KIND_DIRECT {
                 if pkt.header.is_poisoned() {
                     // The direct protocol has no per-message request to fail;
@@ -456,6 +520,14 @@ impl Vci {
                 continue;
             }
             self.handle_incoming(&mut **eng, pkt);
+        }
+        // Sweep *after* the drain (arrivals above may themselves have taught
+        // us a revocation) and still under the engine lock, so pending state
+        // can be failed or reposted without racing other matchers. The swap
+        // lets exactly one thread per stamp change pay for the sweep.
+        let stamp = self.ft.stamp();
+        if stamp != 0 && self.ft_seen.swap(stamp, Ordering::AcqRel) != stamp {
+            self.ft_sweep(&mut **eng);
         }
         drop(eng);
         clock.advance(self.costs.match_base / 4); // the poll's own CPU cost
@@ -500,6 +572,67 @@ impl Vci {
         obs::busy("fabric", "raw_tx", entered_at, clock.now(), ctx.res_id());
         obs::busy("fabric", "wire", injected, arrive, obs::ResId::NONE);
         arrive
+    }
+
+    /// Re-examine the engine's pending state against the current failure and
+    /// revocation knowledge (called with the engine lock held whenever
+    /// [`FtShared::stamp`] moved): posted receives on a revoked context fail
+    /// with [`RankMpiError::Revoked`]; concrete-source receives from a dead
+    /// rank fail with [`RankMpiError::ProcessFailed`] at the modeled
+    /// detection time; unexpected packets on a revoked context are dropped.
+    /// Everything else is reposted unchanged — a drained engine holds no
+    /// cross-matching pairs (each insertion path searched the other queue
+    /// first), so the replay is a pure structural rebuild.
+    ///
+    /// Wildcard (`ANY_SOURCE`) receives are deliberately *not* failed:
+    /// nothing attributes them to a specific dead peer (the documented ULFM
+    /// limitation) — they resolve only through revocation.
+    fn ft_sweep(&self, eng: &mut dyn MatchEngine) {
+        let (posted, unexpected) = eng.drain();
+        for p in posted {
+            let base_ctx = p.pattern.context_id & !crate::comm::COLL_CTX_BIT;
+            if !p.req.is_complete() {
+                if let Some(at) = self.ft.revoked_at(base_ctx) {
+                    p.req.fail(
+                        at.max(p.posted_at),
+                        RankMpiError::Revoked {
+                            context_id: base_ctx,
+                        },
+                    );
+                    continue;
+                }
+                if p.pattern.src >= 0 {
+                    let global = self
+                        .ft
+                        .global_of(base_ctx, p.pattern.src as usize)
+                        .unwrap_or(p.pattern.src as usize);
+                    if let Some(at) = self.ft.liveness().detect_at(global) {
+                        self.ft.liveness().note_detection();
+                        p.req.fail(
+                            at.max(p.posted_at),
+                            RankMpiError::ProcessFailed {
+                                rank: global as u32,
+                            },
+                        );
+                        continue;
+                    }
+                }
+            }
+            let (m, _) = eng.post_recv(p);
+            debug_assert!(m.is_none(), "drained engine state cannot cross-match");
+        }
+        for u in unexpected {
+            let base_ctx = u.header.context_id & !crate::comm::COLL_CTX_BIT;
+            if self.ft.is_revoked(base_ctx) {
+                // Traffic on a revoked context can never be received again.
+                self.ft.note_revoked_drop();
+                continue;
+            }
+            // Packets from a dead rank stay: they were sent before the
+            // crash and remain deliverable (completed sends complete).
+            let outcome = eng.incoming(u);
+            debug_assert!(matches!(outcome, Incoming::Queued { .. }));
+        }
     }
 
     fn handle_incoming(&self, eng: &mut dyn MatchEngine, pkt: Packet) {
@@ -564,8 +697,18 @@ impl Vci {
         if pkt.header.is_poisoned() {
             let finish = done.max(pkt.arrive_at);
             let src = pkt.header.src;
+            let base_ctx = pkt.header.context_id & !crate::comm::COLL_CTX_BIT;
             let err = match pkt.header.poison_code() {
                 errcode::LINK_DOWN => RankMpiError::LinkDown { src },
+                errcode::REVOKED => RankMpiError::Revoked {
+                    context_id: base_ctx,
+                },
+                errcode::PROCESS_FAILED => RankMpiError::ProcessFailed {
+                    rank: self
+                        .ft
+                        .global_of(base_ctx, src as usize)
+                        .unwrap_or(src as usize) as u32,
+                },
                 _ => RankMpiError::RetriesExhausted {
                     src,
                     attempts: pkt.header.poison_attempts(),
@@ -777,6 +920,7 @@ mod tests {
             CoreCosts::default(),
             Arc::new(DirectRegistry::new()),
             EngineKind::default(),
+            FtShared::solo(),
         );
         (v, nic, shm)
     }
@@ -884,7 +1028,7 @@ mod tests {
     fn engine_switch_migrates_pending_state() {
         let (a, _n1, _s1) = test_vci(0);
         let (b, _n2, _s2) = test_vci(0);
-        assert_eq!(b.engine_kind(), EngineKind::Bucketed);
+        assert_eq!(b.engine_kind(), EngineKind::SeqMerged);
         // Queue an unexpected message and a pending receive, then switch.
         let mut sc = Clock::new();
         a.send_packet(
@@ -988,6 +1132,7 @@ mod tests {
                 CoreCosts::default(),
                 Arc::new(DirectRegistry::new()),
                 EngineKind::default(),
+                FtShared::solo(),
             )
         };
         let a = mk(0);

@@ -78,6 +78,29 @@ pub struct FaultPlan {
     pub straggle_base: Nanos,
     /// Hard cap on one straggler delay, keeping the tail finite.
     pub straggle_cap: Nanos,
+    /// Probability a given rank crashes outright during the run (see
+    /// [`FaultPlan::crashes`]). Unlike the packet classes this is decided
+    /// once per *rank* from the plan seed; rank 0 is always exempt because
+    /// it anchors the recovery protocols.
+    pub crash_prob: f64,
+    /// Upper bound of the hash-drawn send-count crash trigger: a sends-mode
+    /// victim dies on its `n`-th MPI send, `n` uniform in `[1, max]`.
+    pub crash_max_sends: u64,
+    /// Upper bound of the hash-drawn virtual-time crash trigger: a
+    /// vtime-mode victim dies at its first MPI operation at or past `t`,
+    /// `t` uniform in `[1, max]` ns.
+    pub crash_max_vtime: Nanos,
+}
+
+/// Where a crash-plan victim dies, derived by [`FaultPlan::crash_point`].
+/// Both triggers fire *inside* an MPI operation — mid-send, mid-collective,
+/// mid-stream — whichever the rank happens to be issuing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die when about to issue the `n`-th MPI send (packet-count trigger).
+    Sends(u64),
+    /// Die at the first MPI operation at or past this virtual time.
+    VTime(Nanos),
 }
 
 /// Why a transmission attempt was lost on the wire (lossy fault classes).
@@ -105,6 +128,9 @@ impl Default for FaultPlan {
             straggle_prob: 0.0,
             straggle_base: Nanos(20_000),
             straggle_cap: Nanos(2_000_000),
+            crash_prob: 0.0,
+            crash_max_sends: 64,
+            crash_max_vtime: Nanos(200_000),
         }
     }
 }
@@ -186,6 +212,48 @@ impl FaultPlan {
         self.straggle_base = base.max(Nanos(1));
         self.straggle_cap = cap.max(base);
         self
+    }
+
+    /// Enable rank crashes: each rank except rank 0 independently dies with
+    /// probability `prob`, at a point drawn from the plan seed — half the
+    /// victims on a send count in `[1, max_sends]`, half at a virtual time
+    /// in `[1, max_vtime]`. The whole plan is *oracle-visible*: a test (or
+    /// the conformance suite) calls [`FaultPlan::crash_point`] per rank to
+    /// learn exactly who dies and when, under every thread schedule.
+    ///
+    /// Rank 0 is exempt by construction so at least one survivor exists to
+    /// anchor recovery (shrink numbering, stream emitters, test oracles).
+    pub fn crashes(mut self, prob: f64, max_sends: u64, max_vtime: Nanos) -> Self {
+        self.crash_prob = prob;
+        self.crash_max_sends = max_sends.max(1);
+        self.crash_max_vtime = max_vtime.max(Nanos(1));
+        self
+    }
+
+    /// Whether rank crashes are enabled.
+    pub fn any_crashes(&self) -> bool {
+        self.crash_prob > 0.0
+    }
+
+    /// The crash point of `rank` under this plan, or `None` if it survives.
+    /// Salt 10 is reserved for crash decisions; the draw uses only the plan
+    /// seed and the rank, so the victim set is schedule-independent and
+    /// visible to oracles before the run starts.
+    pub fn crash_point(&self, rank: u64) -> Option<CrashPoint> {
+        if self.crash_prob <= 0.0 || rank == 0 {
+            return None;
+        }
+        let r = rank as u32;
+        if self.unit(r, 0xC0A5, 10) >= self.crash_prob {
+            return None;
+        }
+        if self.unit(r, 0xC0A6, 10) < 0.5 {
+            let n = 1 + (self.unit(r, 0xC0A7, 10) * self.crash_max_sends as f64) as u64;
+            Some(CrashPoint::Sends(n.min(self.crash_max_sends)))
+        } else {
+            let t = 1 + (self.unit(r, 0xC0A8, 10) * self.crash_max_vtime.0 as f64) as u64;
+            Some(CrashPoint::VTime(Nanos(t.min(self.crash_max_vtime.0))))
+        }
     }
 
     /// A lossy preset: 5% independent wire drops plus flap episodes that

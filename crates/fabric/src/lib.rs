@@ -27,9 +27,13 @@
 //! drops, link flaps — [`fault`]) and the [`resil`] sliding-window
 //! ack/retransmit protocol that preserves MPI delivery semantics over them,
 //! surfacing unrecoverable losses as poisoned packets instead of hangs.
+//! A third tier survives lost *ranks*: crash plans ([`FaultPlan::crashes`])
+//! plus the [`ft`] failure detector that lets survivors observe a death at
+//! a deterministic virtual time instead of hanging.
 
 pub mod context;
 pub mod fault;
+pub mod ft;
 pub mod mailbox;
 pub mod nic;
 pub mod packet;
@@ -38,7 +42,8 @@ pub mod resil;
 pub mod transmit;
 
 pub use context::HwContext;
-pub use fault::{FaultPlan, FaultReport, LossCause};
+pub use fault::{CrashPoint, FaultPlan, FaultReport, LossCause};
+pub use ft::Liveness;
 pub use mailbox::{Mailbox, Notify};
 pub use nic::Nic;
 pub use packet::{errcode, Header, Packet, KIND_ERR_FLAG};

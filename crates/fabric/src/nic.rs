@@ -96,6 +96,26 @@ impl Nic {
         ctx
     }
 
+    /// Release one logical channel's claim on `ctx` (rank-crash recovery:
+    /// `shrink` retires the dead rank's channels). The channel is removed as
+    /// an owner; a context left with no owners leaves the pool entirely, so
+    /// [`contexts_in_use`](Nic::contexts_in_use) returns to its pre-crash
+    /// baseline and later allocations get dedicated contexts again. Shared
+    /// contexts with surviving owners stay.
+    pub fn release_context(&self, ctx: &HwContext) {
+        let mut st = self.state.lock();
+        ctx.remove_owner();
+        if st.allocations > 0 {
+            st.allocations -= 1;
+        }
+        if ctx.owners() == 0 {
+            // Match by identity, not id: ids are pool positions at alloc
+            // time and can repeat once the pool has shrunk.
+            st.contexts
+                .retain(|c| !std::ptr::eq(Arc::as_ptr(c), ctx as *const HwContext));
+        }
+    }
+
     /// Allocate a replacement for a channel whose context failed mid-run.
     ///
     /// Prefers a fresh dedicated context while the pool has capacity;

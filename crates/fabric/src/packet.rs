@@ -43,6 +43,10 @@ pub mod errcode {
     pub const RETRIES_EXHAUSTED: u64 = 1;
     /// The final attempts were lost to a link down/flap episode.
     pub const LINK_DOWN: u64 = 2;
+    /// The peer process is dead (rank-crash fault tolerance).
+    pub const PROCESS_FAILED: u64 = 3;
+    /// The communicator this packet belongs to was revoked.
+    pub const REVOKED: u64 = 4;
 }
 
 impl Header {

@@ -20,7 +20,13 @@
 //!   the stages the topology prescribes.
 //!
 //! Entry point: [`run_stream`] with a [`StreamConfig`].
+//!
+//! The [`ft`] module adds a crash-surviving variant of the farm: an
+//! emitter that detects dead workers through the fault-tolerance stack,
+//! shrinks the communicator, and re-dispatches their unacknowledged items
+//! to the survivors ([`ft::run_farm_ft`]).
 
+pub mod ft;
 pub mod item;
 pub mod mech;
 pub mod reorder;

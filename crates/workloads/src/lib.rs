@@ -15,8 +15,10 @@
 //! | [`wombat`] | Section II-A windows / WOMBAT: put-based RMA halo, single window vs window-per-thread vs endpoints | `lesson16_rma` |
 //! | [`smilei`] | Lessons 6 and 9 / Smilei: particle exchange with app tags — the least-change tags upgrade and its tag-budget cliff | `lesson9_tag_overflow` |
 //! | [`stream`] | Staged stream topologies (pipeline / farm / farm-with-feedback) with ordered reassembly and credit backpressure over every mechanism | `stream` bench |
+//! | [`ft`] | Rank-crash fault tolerance: ring halo that detects a dead neighbor, revokes, shrinks, and finishes on the survivors | `ft_recovery` bench |
 
 pub mod commcount;
+pub mod ft;
 pub mod graph;
 pub mod legion;
 pub mod measure;
