@@ -1,0 +1,330 @@
+//! Datapath conformance: the lock-free mailbox rings, the batched-doorbell
+//! injection path, and their locked fallbacks must be *invisible* to MPI
+//! semantics — same delivery, same order, same exactly-once guarantee as the
+//! mutex mailbox they replaced, under concurrent senders, bursts past ring
+//! capacity, fault plans, every matching engine, and both launch modes.
+
+use std::sync::Arc;
+
+use rankmpi_check::Task;
+use rankmpi_check::{
+    base_seed, engines_under_test, explore, launch_modes_under_test, ExploreConfig,
+};
+use rankmpi_core::Universe;
+use rankmpi_fabric::{FaultPlan, Header, Mailbox, Notify, Packet};
+use rankmpi_vtime::sched::{yield_point, SchedPoint};
+use rankmpi_vtime::Nanos;
+
+/// Messages per sender thread for the burst tests below — resolved at run
+/// time to several times the per-channel ring capacity, so rings wrap
+/// repeatedly and, when the receiver lags, spill to the locked fallback
+/// mid-run.
+fn per_sender() -> usize {
+    3 * Mailbox::ring_capacity()
+}
+
+/// Four concurrent sender threads burst-write one receiver rank: every
+/// payload arrives exactly once and per-channel FIFO holds, for every
+/// engine and both launch modes; the ring path (not the locked fallback)
+/// must actually carry traffic.
+#[test]
+fn concurrent_bursts_past_ring_capacity_deliver_exactly_once_in_order() {
+    for kind in engines_under_test() {
+        for launch in launch_modes_under_test() {
+            let u = Universe::builder()
+                .nodes(2)
+                .threads_per_proc(4)
+                .matching(kind)
+                .launch(launch)
+                .build();
+            u.run(|env| {
+                let world = env.world();
+                if env.rank() == 0 {
+                    env.parallel(|th| {
+                        let tid = th.tid();
+                        for i in 0..per_sender() {
+                            let body = [tid as u8, i as u8, 0x5A];
+                            world.send(th, 1, tid as i64, &body).unwrap();
+                        }
+                    });
+                } else {
+                    env.parallel(|th| {
+                        let tid = th.tid();
+                        for i in 0..per_sender() {
+                            let (_st, data) = world.recv(th, 0, tid as i64).unwrap();
+                            assert_eq!(
+                                data.as_ref(),
+                                [tid as u8, i as u8, 0x5A],
+                                "message {i} on channel {tid} lost, duplicated, or \
+                                 reordered (engine {}, launch {launch:?})",
+                                kind.name()
+                            );
+                        }
+                    });
+                }
+            });
+            let mut ring_pushes = 0;
+            for r in 0..2 {
+                for v in 0..u.shared().proc(r).num_vcis() {
+                    ring_pushes += u.shared().proc(r).vci(v).mailbox().ring_pushes();
+                }
+            }
+            assert!(
+                ring_pushes > 0,
+                "no push ever took the lock-free ring path (engine {}, \
+                 launch {launch:?})",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// A batched multi-send must deliver exactly what the equivalent singles
+/// deliver, while coalescing its NIC doorbells: `n` messages in one batch
+/// ring one doorbell, and `doorbells + doorbells_coalesced` stays equal to
+/// the NIC message count (so nothing is double-counted or missed).
+#[test]
+fn batched_sends_match_singles_and_coalesce_doorbells() {
+    const N: usize = 16;
+    let run = |batched: bool| -> (Vec<Vec<u8>>, u64, u64) {
+        let u = Universe::builder().nodes(2).build();
+        let got = u.run(|env| {
+            let world = env.world();
+            let mut th = env.single_thread();
+            if env.rank() == 0 {
+                let bodies: Vec<[u8; 24]> = (0..N).map(|i| [i as u8 ^ 0x21; 24]).collect();
+                if batched {
+                    let msgs: Vec<(usize, i64, &[u8])> =
+                        bodies.iter().map(|b| (1usize, 9i64, &b[..])).collect();
+                    for r in world.isend_multi(&mut th, &msgs).unwrap() {
+                        r.wait(&mut th.clock);
+                    }
+                } else {
+                    for b in &bodies {
+                        world.send(&mut th, 1, 9, b).unwrap();
+                    }
+                }
+                Vec::new()
+            } else {
+                (0..N)
+                    .map(|_| world.recv(&mut th, 0, 9).unwrap().1.to_vec())
+                    .collect()
+            }
+        });
+        let vci = u.shared().proc(0).vci(0);
+        (
+            got.into_iter().find(|v| !v.is_empty()).unwrap_or_default(),
+            vci.doorbells(),
+            vci.doorbells_coalesced(),
+        )
+    };
+
+    let (singles, singles_bells, singles_coal) = run(false);
+    let (batched, batch_bells, batch_coal) = run(true);
+    assert_eq!(
+        batched, singles,
+        "batched multi-send delivered different payloads than singles"
+    );
+    assert_eq!(singles_coal, 0, "singles must never share a doorbell");
+    assert_eq!(
+        singles_bells - batch_bells,
+        (N - 1) as u64,
+        "a batch of {N} must replace {N} doorbell rings with one"
+    );
+    assert_eq!(
+        batch_coal,
+        (N - 1) as u64,
+        "coalesced counter must record the {} sends that shared the ring",
+        N - 1
+    );
+    assert_eq!(
+        batch_bells + batch_coal,
+        singles_bells,
+        "doorbells + coalesced must equal the NIC message count"
+    );
+}
+
+/// The `force_locked` ablation (the in-tree mutex-mailbox baseline the
+/// datapath benchmarks compare against) is semantically identical: same
+/// deliveries, zero ring traffic.
+#[test]
+fn force_locked_ablation_is_observationally_identical() {
+    let run = |force_locked: bool| -> (Vec<Vec<u8>>, u64) {
+        let u = Universe::builder().nodes(2).threads_per_proc(2).build();
+        if force_locked {
+            for r in 0..2 {
+                for v in 0..u.shared().proc(r).num_vcis() {
+                    u.shared().proc(r).vci(v).mailbox().set_force_locked(true);
+                }
+            }
+        }
+        let got = u.run(|env| {
+            let world = env.world();
+            env.parallel(|th| {
+                let tid = th.tid();
+                if env.rank() == 0 {
+                    for i in 0..per_sender() {
+                        world
+                            .send(th, 1, tid as i64, &[tid as u8, i as u8])
+                            .unwrap();
+                    }
+                    Vec::new()
+                } else {
+                    (0..per_sender())
+                        .map(|_| world.recv(th, 0, tid as i64).unwrap().1.to_vec())
+                        .collect()
+                }
+            })
+        });
+        let mut ring_pushes = 0;
+        for r in 0..2 {
+            for v in 0..u.shared().proc(r).num_vcis() {
+                ring_pushes += u.shared().proc(r).vci(v).mailbox().ring_pushes();
+            }
+        }
+        (got.into_iter().flatten().flatten().collect(), ring_pushes)
+    };
+
+    let (ring, ring_pushes) = run(false);
+    let (locked, locked_pushes) = run(true);
+    assert_eq!(ring, locked, "ablation changed observable deliveries");
+    assert!(ring_pushes > 0, "default path never used the rings");
+    assert_eq!(locked_pushes, 0, "forced-locked run still took a ring");
+}
+
+/// Burst injection (batched multi-sends) over a lossy fabric: the batch
+/// path flows through the same resil admission as singles, so drops and
+/// flaps still end in exactly-once, in-order delivery — and the sweep must
+/// actually retransmit, or the lossy path wasn't exercised.
+#[test]
+fn batched_bursts_over_lossy_fabric_stay_exactly_once() {
+    const CHUNK: usize = 16;
+    const CHUNKS: usize = 4;
+    for kind in engines_under_test() {
+        let mut retransmits = 0u64;
+        for s in 0..4u64 {
+            let plan = FaultPlan::lossy(base_seed() ^ 0xBA7C ^ (s << 7));
+            let u = Universe::builder()
+                .nodes(2)
+                .matching(kind)
+                .fault_plan(plan)
+                .build();
+            u.run(|env| {
+                let world = env.world();
+                let mut th = env.single_thread();
+                if env.rank() == 0 {
+                    for c in 0..CHUNKS {
+                        let bodies: Vec<[u8; 24]> =
+                            (0..CHUNK).map(|i| [(c * CHUNK + i) as u8; 24]).collect();
+                        let msgs: Vec<(usize, i64, &[u8])> =
+                            bodies.iter().map(|b| (1usize, 5i64, &b[..])).collect();
+                        for r in world.isend_multi(&mut th, &msgs).unwrap() {
+                            r.wait(&mut th.clock);
+                        }
+                    }
+                } else {
+                    for i in 0..CHUNK * CHUNKS {
+                        let (_st, data) = world.recv(&mut th, 0, 5).unwrap();
+                        assert_eq!(
+                            data.as_ref(),
+                            [i as u8; 24],
+                            "batched message {i} lost, duplicated, or reordered \
+                             under loss (engine {}, sweep {s})",
+                            kind.name()
+                        );
+                    }
+                }
+            });
+            for r in 0..2 {
+                let mb = u.shared().proc(r).vci(0).mailbox().clone();
+                let rep = mb.resil().expect("lossy plan must arm resil").report();
+                assert_eq!(rep.exhausted, 0, "retry budget must hold here");
+                retransmits += rep.retransmits;
+            }
+        }
+        assert!(
+            retransmits > 0,
+            "a 4-seed lossy sweep of batched sends never retransmitted \
+             (engine {}): the batch path is bypassing resil",
+            kind.name()
+        );
+    }
+}
+
+/// Schedule-explored ring/drain interleavings straight on the mailbox: two
+/// producers on distinct channels and one racing drainer, with every
+/// interleaving of the `MailboxPush`/`MailboxDrain` yield points explored.
+/// Per-channel FIFO and exactly-once delivery must hold on all of them,
+/// with and without a (duplicating, non-lossy) fault plan armed.
+#[test]
+fn explored_push_drain_interleavings_preserve_channel_fifo() {
+    const PER_TASK: u64 = 6;
+    for faulted in [false, true] {
+        let cfg = ExploreConfig {
+            depth: 4,
+            max_exhaustive: 64,
+            random_samples: 8,
+            ..ExploreConfig::with_seed(base_seed() ^ 0xDA7A ^ faulted as u64)
+        };
+        explore(
+            &format!("datapath_push_drain_faulted_{faulted}"),
+            &cfg,
+            move || {
+                let mb = Arc::new(Mailbox::new(Arc::new(Notify::new())));
+                if faulted {
+                    // Duplicates + reorder, no loss: delivery may legally be
+                    // perturbed *across* channels, but each channel stays
+                    // FIFO and exactly-once (watermark dedup).
+                    mb.arm_faults(
+                        FaultPlan::new(base_seed() ^ 0x11CE)
+                            .duplicates(0.3)
+                            .reorders(0.3),
+                    );
+                }
+                let mut tasks: Vec<Task> = Vec::new();
+                for src in 0..2u32 {
+                    let mb = Arc::clone(&mb);
+                    tasks.push(Box::new(move || {
+                        for seq in 0..PER_TASK {
+                            mb.push(Packet {
+                                header: Header {
+                                    kind: 1,
+                                    context_id: 3,
+                                    src,
+                                    dst: 0,
+                                    tag: 0,
+                                    seq,
+                                    aux: 0,
+                                    aux2: 0,
+                                },
+                                payload: bytes::Bytes::new(),
+                                arrive_at: Nanos(seq),
+                            });
+                        }
+                    }));
+                }
+                let drainer: Task = Box::new(move || {
+                    let mut next = [0u64; 2];
+                    let mut got = 0u64;
+                    let mut buf = Vec::new();
+                    while got < 2 * PER_TASK {
+                        yield_point(SchedPoint::Custom("await-packets"));
+                        buf.clear();
+                        mb.drain_into(&mut buf);
+                        for p in &buf {
+                            let ch = p.header.src as usize;
+                            assert_eq!(
+                                p.header.seq, next[ch],
+                                "channel {ch} broke FIFO or delivered twice"
+                            );
+                            next[ch] += 1;
+                            got += 1;
+                        }
+                    }
+                });
+                tasks.push(drainer);
+                tasks
+            },
+        );
+    }
+}

@@ -85,6 +85,34 @@ impl Communicator {
         )
     }
 
+    /// Fan out several same-phase sends as one batched injection (single
+    /// gate acquisition + amortized doorbell on the collective VCI) — the
+    /// root side of scatter-shaped collectives.
+    fn coll_send_multi(
+        &self,
+        th: &mut ThreadCtx,
+        guard: &CollGuard<'_>,
+        phase: u32,
+        msgs: &[(usize, &[u8])],
+    ) -> Result<()> {
+        let vci = self.vci_block()[0];
+        let tag = Self::coll_tag(guard, phase);
+        let specs: Vec<crate::pt2pt::SendSpec<'_>> = msgs
+            .iter()
+            .map(|&(dst, data)| crate::pt2pt::SendSpec {
+                src_vci: vci,
+                dst_vci: vci,
+                ctx_id: self.context_id() | COLL_CTX_BIT,
+                dst,
+                tag,
+                data,
+            })
+            .collect();
+        // Eager sends: the returned requests are already locally complete.
+        self.isend_multi_on_vcis(th, &specs)?;
+        Ok(())
+    }
+
     fn coll_recv(
         &self,
         th: &mut ThreadCtx,
@@ -372,11 +400,13 @@ impl Communicator {
                     got: chunks.len(),
                 });
             }
-            for (dst, chunk) in chunks.iter().enumerate() {
-                if dst != root {
-                    self.coll_send(th, &guard, 0, dst, chunk)?;
-                }
-            }
+            let msgs: Vec<(usize, &[u8])> = chunks
+                .iter()
+                .enumerate()
+                .filter(|&(dst, _)| dst != root)
+                .map(|(dst, chunk)| (dst, *chunk))
+                .collect();
+            self.coll_send_multi(th, &guard, 0, &msgs)?;
             Ok(Bytes::copy_from_slice(chunks[root]))
         } else {
             self.coll_recv(th, &guard, 0, root)
@@ -406,15 +436,15 @@ impl Communicator {
         // difference).
         let reduced = self.reduce_guarded(th, &guard, 0, 0, contribution, op)?;
         if let Some(full) = reduced {
-            for dst in 1..p {
-                self.coll_send(
-                    th,
-                    &guard,
-                    8,
-                    dst,
-                    &f64s_to_bytes(&full[dst * block..(dst + 1) * block]),
-                )?;
-            }
+            let blocks: Vec<Vec<u8>> = (1..p)
+                .map(|dst| f64s_to_bytes(&full[dst * block..(dst + 1) * block]))
+                .collect();
+            let msgs: Vec<(usize, &[u8])> = blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (i + 1, b.as_slice()))
+                .collect();
+            self.coll_send_multi(th, &guard, 8, &msgs)?;
             Ok(full[..block].to_vec())
         } else {
             let data = self.coll_recv(th, &guard, 8, 0)?;

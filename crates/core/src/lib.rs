@@ -79,8 +79,9 @@ pub use group::Group;
 pub use info::Info;
 pub use matching::{EngineKind, MatchPattern, Status, ANY_SOURCE, ANY_TAG};
 pub use proc::{ProcEnv, ProcShared, ThreadCtx};
+pub use pt2pt::SendSpec;
 pub use request::Request;
 pub use rma::{AccumulateOrdering, Window};
 pub use tag::{TagHash, TagLayout, TagPlacement, TAG_UB};
 pub use universe::{LaunchMode, TaskLaunch, ThreadLevel, Universe, UniverseBuilder};
-pub use vci::{Vci, VciPolicy};
+pub use vci::{BatchSend, Vci, VciPolicy};

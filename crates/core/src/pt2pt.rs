@@ -15,6 +15,26 @@ use crate::request::{ReqState, Request};
 use crate::tag::TAG_UB;
 use crate::vci::{select_recv_vci, select_vcis, KIND_PT2PT};
 
+/// One message of an [`isend_multi_on_vcis`] batch: explicit VCI indices and
+/// matching context, as in [`isend_on_vcis`].
+///
+/// [`isend_multi_on_vcis`]: Communicator::isend_multi_on_vcis
+/// [`isend_on_vcis`]: Communicator::isend_on_vcis
+pub struct SendSpec<'a> {
+    /// Sender-side VCI index.
+    pub src_vci: usize,
+    /// Receiver-side VCI index.
+    pub dst_vci: usize,
+    /// Matching context id (collectives use a separate context).
+    pub ctx_id: u32,
+    /// Destination rank within the communicator.
+    pub dst: usize,
+    /// Message tag.
+    pub tag: i64,
+    /// Message payload.
+    pub data: &'a [u8],
+}
+
 impl Communicator {
     fn check_rank(&self, rank: usize) -> Result<()> {
         if rank >= self.size() {
@@ -105,13 +125,8 @@ impl Communicator {
             aux: 0,
             aux2: 0,
         };
-        svci.send_packet(
-            &mut th.clock,
-            &dvci,
-            intra,
-            header,
-            Bytes::copy_from_slice(data),
-        );
+        let payload = svci.payload_pool().alloc(data);
+        svci.send_packet(&mut th.clock, &dvci, intra, header, payload);
 
         obs::busy("pt2pt", "send", entered_at, th.clock.now(), svci.res_id());
 
@@ -126,6 +141,170 @@ impl Communicator {
             Bytes::new(),
         );
         Ok(Request::ready(req))
+    }
+
+    /// Nonblocking multi-send: inject every message of `msgs` (`(dst, tag,
+    /// data)` triples) as one batched operation.
+    ///
+    /// Messages sharing a sender-side VCI are written under a single
+    /// context-gate acquisition with one amortized doorbell ring (see
+    /// [`Vci::send_batch`](crate::vci::Vci)) — the fan-out pattern of a halo
+    /// exchange, a stream lane flush, or a collective root. Per-channel
+    /// ordering is identical to issuing the same [`isend`]s back to back,
+    /// and every returned request is locally complete (eager protocol).
+    ///
+    /// [`isend`]: Communicator::isend
+    pub fn isend_multi(
+        &self,
+        th: &mut ThreadCtx,
+        msgs: &[(usize, i64, &[u8])],
+    ) -> Result<Vec<Request>> {
+        for &(dst, tag, _) in msgs {
+            self.check_rank(dst)?;
+            self.check_tag(tag)?;
+        }
+        let specs = msgs
+            .iter()
+            .map(|&(dst, tag, data)| {
+                let (src_vci, dst_vci) =
+                    select_vcis(self.policy(), self.vci_block(), self.context_id(), tag)?;
+                Ok(SendSpec {
+                    src_vci,
+                    dst_vci,
+                    ctx_id: self.context_id(),
+                    dst,
+                    tag,
+                    data,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        self.isend_multi_on_vcis(th, &specs)
+    }
+
+    /// [`isend_multi`](Communicator::isend_multi) with explicit per-message
+    /// VCI indices and matching contexts — the entry collectives and stream
+    /// transports drive directly.
+    pub fn isend_multi_on_vcis(
+        &self,
+        th: &mut ThreadCtx,
+        specs: &[SendSpec<'_>],
+    ) -> Result<Vec<Request>> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        for s in specs {
+            self.check_rank(s.dst)?;
+        }
+        let _mpi = th.enter_mpi();
+        th.proc().maybe_crash(&th.clock, true);
+        // FT fast paths, as in the single-send: eager completion forbids
+        // silently "sending" to a revoked context or a known-dead peer.
+        for s in specs {
+            let base_ctx = s.ctx_id & !crate::comm::COLL_CTX_BIT;
+            if th.proc().ft().is_revoked(base_ctx) {
+                return self.handle_error(Error::Revoked {
+                    context_id: base_ctx,
+                });
+            }
+            let dst_global = self.global_rank(s.dst);
+            if let Some(at) = th.proc().ft().liveness().detect_at(dst_global) {
+                if th.clock.now() >= at {
+                    th.proc().ft().liveness().note_detection();
+                    return self.handle_error(Error::ProcessFailed {
+                        rank: dst_global as u32,
+                    });
+                }
+            }
+        }
+        let entered_at = th.clock.now();
+        let costs = th.proc().costs().clone();
+
+        // Stamp headers and pooled payloads in message order — sequence
+        // numbers must be issued in per-channel push order, and grouping
+        // below never reorders same-channel messages (one channel implies
+        // one source VCI and one intra/inter path).
+        struct Prepared<'v> {
+            src_vci: usize,
+            send: crate::vci::BatchSend<'v>,
+        }
+        let dvcis: Vec<Arc<crate::vci::Vci>> = specs
+            .iter()
+            .map(|s| th.universe().proc(self.global_rank(s.dst)).vci(s.dst_vci))
+            .collect();
+        let mut prepared: Vec<Prepared<'_>> = Vec::with_capacity(specs.len());
+        for (s, dvci) in specs.iter().zip(&dvcis) {
+            th.clock.advance(costs.copy_cost(s.data.len()));
+            let svci = th.proc().vci(s.src_vci);
+            let payload = svci.payload_pool().alloc(s.data);
+            let intra = th.universe().proc(self.global_rank(s.dst)).node() == th.proc().node();
+            let header = Header {
+                kind: KIND_PT2PT,
+                context_id: s.ctx_id,
+                src: self.rank() as u32,
+                dst: s.dst as u32,
+                tag: s.tag,
+                seq: th.proc().next_seq(),
+                aux: 0,
+                aux2: 0,
+            };
+            prepared.push(Prepared {
+                src_vci: s.src_vci,
+                send: crate::vci::BatchSend {
+                    dst: dvci,
+                    intra_node: intra,
+                    header,
+                    payload,
+                },
+            });
+        }
+        // One injection batch per distinct source VCI, in first-appearance
+        // order; message order within each batch is message order (the
+        // stable sort below only moves messages *across* VCIs).
+        let mut groups: Vec<usize> = Vec::new();
+        for p in &prepared {
+            if !groups.contains(&p.src_vci) {
+                groups.push(p.src_vci);
+            }
+        }
+        let mut tagged: Vec<(usize, Prepared<'_>)> = prepared
+            .into_iter()
+            .map(|p| {
+                let ord = groups.iter().position(|&g| g == p.src_vci).unwrap();
+                (ord, p)
+            })
+            .collect();
+        tagged.sort_by_key(|(ord, _)| *ord);
+        let mut last_res = None;
+        let mut iter = tagged.into_iter().peekable();
+        while let Some((ord, first)) = iter.next() {
+            let svci_idx = first.src_vci;
+            let mut batch = vec![first.send];
+            while iter.peek().is_some_and(|(o, _)| *o == ord) {
+                batch.push(iter.next().unwrap().1.send);
+            }
+            let svci = th.proc().vci(svci_idx);
+            svci.send_batch(&mut th.clock, batch);
+            last_res = Some(svci.res_id());
+        }
+        if let Some(res) = last_res {
+            obs::busy("pt2pt", "send_multi", entered_at, th.clock.now(), res);
+        }
+        Ok(specs
+            .iter()
+            .map(|s| {
+                let req = ReqState::new(Arc::clone(th.proc().notify()));
+                req.complete(
+                    th.clock.now(),
+                    Status {
+                        source: self.rank(),
+                        tag: s.tag,
+                        len: s.data.len(),
+                    },
+                    Bytes::new(),
+                );
+                Request::ready(req)
+            })
+            .collect())
     }
 
     /// Nonblocking receive. `src` may be [`ANY_SOURCE`], `tag` may be

@@ -14,7 +14,8 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::RwLock;
 use rankmpi_fabric::{
-    errcode, transmit, Header, HwContext, Mailbox, NetworkProfile, Nic, Notify, Packet, TxInfo,
+    errcode, send_batch, transmit, Header, HwContext, Mailbox, NetworkProfile, Nic, Notify, Packet,
+    SendDesc, TxInfo,
 };
 use rankmpi_obs::trace as obs;
 use rankmpi_obs::{labels, registry};
@@ -113,6 +114,18 @@ impl std::fmt::Debug for DirectRegistry {
     }
 }
 
+/// One message of a [`Vci::send_batch`] injection.
+pub struct BatchSend<'a> {
+    /// Destination VCI.
+    pub dst: &'a Vci,
+    /// Whether the message takes the intra-node shared-memory path.
+    pub intra_node: bool,
+    /// Packet header (channel ids and sequence number already stamped).
+    pub header: Header,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
 /// Where one matching operation's work is charged — the two time-accounting
 /// regimes of the library unified behind [`Vci::charge_match`].
 enum ChargeTo<'a> {
@@ -176,6 +189,21 @@ pub struct Vci {
     /// has no per-message request to fail; partitioned windows observe loss
     /// through `resil.*` counters instead).
     poisoned_direct_drops: Arc<Counter>,
+    /// Registry series: NIC doorbell rings on this VCI's injection path (one
+    /// per single send, one per batch — shared-memory sends ring none).
+    doorbells: Arc<Counter>,
+    /// Registry series: sends whose doorbell was coalesced into a batch ring
+    /// (`n-1` per NIC batch of `n`). `doorbells + doorbells_coalesced` equals
+    /// the NIC-path message count.
+    doorbells_coalesced: Arc<Counter>,
+    /// Reusable drain buffer for [`progress`](Vci::progress): taken inside
+    /// the engine critical section, so the steady-state poll allocates
+    /// nothing once the buffer is warm.
+    drain_batch: parking_lot::Mutex<Vec<Packet>>,
+    /// Pooled payload slabs for this VCI's eager sends — per-VCI (not
+    /// per-process) so threads driving independent VCIs never serialize on
+    /// the pool, mirroring the datapath's whole design argument.
+    payloads: rankmpi_fabric::PayloadPool,
     /// Fault-tolerance state of the owning process (crash plan, liveness,
     /// revocations).
     ft: Arc<FtShared>,
@@ -225,6 +253,10 @@ impl Vci {
             hold_ns: reg.insert_accum("vci.lock_hold_ns", l()),
             failovers: reg.insert_counter("resil.failovers", l()),
             poisoned_direct_drops: reg.insert_counter("vci.poisoned_direct_drops", l()),
+            doorbells: reg.insert_counter("vci.doorbells", l()),
+            doorbells_coalesced: reg.insert_counter("vci.doorbells_coalesced", l()),
+            drain_batch: parking_lot::Mutex::new(Vec::new()),
+            payloads: rankmpi_fabric::PayloadPool::new(),
             ft,
             ft_seen: AtomicU64::new(0),
         })
@@ -324,6 +356,19 @@ impl Vci {
         self.failovers.get()
     }
 
+    /// NIC doorbell rings this VCI paid for (one per single send or batch;
+    /// shared-memory sends ring none).
+    pub fn doorbells(&self) -> u64 {
+        self.doorbells.get()
+    }
+
+    /// NIC sends that shared a batched doorbell instead of ringing their own
+    /// (`n - 1` per batch of `n`). `doorbells + doorbells_coalesced` equals
+    /// the NIC message count.
+    pub fn doorbells_coalesced(&self) -> u64 {
+        self.doorbells_coalesced.get()
+    }
+
     /// If the backing hardware context has been marked failed, remap this
     /// VCI onto a replacement from the NIC — live, between sends. Mirrors
     /// [`set_engine_kind`]'s drain-and-swap discipline: the write lock
@@ -356,6 +401,11 @@ impl Vci {
         &self.mailbox
     }
 
+    /// This VCI's payload slab pool (eager-send copies allocate from here).
+    pub fn payload_pool(&self) -> &rankmpi_fabric::PayloadPool {
+        &self.payloads
+    }
+
     /// Send a packet from this VCI to a destination VCI.
     ///
     /// `intra_node` selects the shared-memory channel instead of the NIC.
@@ -377,6 +427,7 @@ impl Vci {
                 send_overhead: self.costs.shm_gap,
                 recv_overhead: Nanos(0),
                 doorbell: Nanos(0),
+                doorbell_batch_step: Nanos(0),
                 context_gap: self.costs.shm_occupancy(payload.len()),
                 rx_gap: Nanos(0),
                 latency: self.costs.shm_latency,
@@ -395,6 +446,7 @@ impl Vci {
             )
         } else {
             self.maybe_failover(clock);
+            self.doorbells.incr();
             let src_ctx = Arc::clone(&self.ctx.read());
             let dst_ctx = Arc::clone(&dst.ctx.read());
             transmit(
@@ -407,6 +459,56 @@ impl Vci {
                 payload,
             )
         }
+    }
+
+    /// Send several packets from this VCI as one injection batch.
+    ///
+    /// NIC-path messages are written under a single context-gate acquisition
+    /// and ring one amortized doorbell (`vci.doorbells` counts the ring,
+    /// `vci.doorbells_coalesced` the `n-1` sends that shared it). Intra-node
+    /// messages take the shared-memory path individually — shm has no
+    /// doorbell to amortize (its per-message occupancy is payload-sized), so
+    /// batching buys nothing there. Descriptor order is preserved within
+    /// each path, which preserves per-channel FIFO (a channel's messages
+    /// never straddle the two paths). Returned timings are in descriptor
+    /// order.
+    pub fn send_batch(&self, clock: &mut Clock, descs: Vec<BatchSend<'_>>) -> Vec<TxInfo> {
+        let mut out: Vec<Option<TxInfo>> = (0..descs.len()).map(|_| None).collect();
+        let mut nic: Vec<(usize, BatchSend<'_>)> = Vec::with_capacity(descs.len());
+        for (i, d) in descs.into_iter().enumerate() {
+            if d.intra_node {
+                out[i] = Some(self.send_packet(clock, d.dst, true, d.header, d.payload));
+            } else {
+                nic.push((i, d));
+            }
+        }
+        if !nic.is_empty() {
+            self.maybe_failover(clock);
+            self.doorbells.incr();
+            self.doorbells_coalesced.add(nic.len() as u64 - 1);
+            let src_ctx = Arc::clone(&self.ctx.read());
+            let dst_ctxs: Vec<Arc<HwContext>> = nic
+                .iter()
+                .map(|(_, d)| Arc::clone(&d.dst.ctx.read()))
+                .collect();
+            let fab_descs = nic
+                .iter()
+                .zip(&dst_ctxs)
+                .map(|((_, d), ctx)| SendDesc {
+                    dst: ctx,
+                    dst_mail: &d.dst.mailbox,
+                    header: d.header,
+                    payload: d.payload.clone(),
+                })
+                .collect();
+            let infos = send_batch(&self.profile, clock, &src_ctx, fab_descs);
+            for ((i, _), info) in nic.iter().zip(infos) {
+                out[*i] = Some(info);
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every slot filled"))
+            .collect()
     }
 
     /// Post a receive on this VCI's engine.
@@ -498,10 +600,13 @@ impl Vci {
         // (real-scheduling-dependent) number and timing of progress polls
         // cannot perturb virtual completion times.
         let mut eng = self.engine.lock_unmodeled();
-        let mut batch = Vec::new();
+        // The scratch buffer lives under the engine critical section (its
+        // lock is uncontended by construction), so the steady-state poll
+        // reuses one warm allocation instead of a fresh Vec per drain.
+        let mut batch = self.drain_batch.lock();
         self.mailbox.drain_into(&mut batch);
         let n = batch.len();
-        for pkt in batch {
+        for pkt in batch.drain(..) {
             if pkt.header.base_kind() == KIND_FT {
                 // Revocation control packet — epidemically poisons the
                 // context; never enters matching.
@@ -557,6 +662,7 @@ impl Vci {
             return out + self.costs.shm_latency;
         }
         self.maybe_failover(clock);
+        self.doorbells.incr();
         let ctx = Arc::clone(&self.ctx.read());
         clock.advance(self.profile.send_overhead);
         let gate = ctx.lock_gate(clock);

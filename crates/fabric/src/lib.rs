@@ -31,6 +31,7 @@
 //! plus the [`ft`] failure detector that lets survivors observe a death at
 //! a deterministic virtual time instead of hanging.
 
+pub mod arena;
 pub mod context;
 pub mod fault;
 pub mod ft;
@@ -39,8 +40,10 @@ pub mod nic;
 pub mod packet;
 pub mod profile;
 pub mod resil;
+pub mod spsc;
 pub mod transmit;
 
+pub use arena::PayloadPool;
 pub use context::HwContext;
 pub use fault::{CrashPoint, FaultPlan, FaultReport, LossCause};
 pub use ft::Liveness;
@@ -49,4 +52,5 @@ pub use nic::Nic;
 pub use packet::{errcode, Header, Packet, KIND_ERR_FLAG};
 pub use profile::NetworkProfile;
 pub use resil::{Resil, ResilConfig, ResilReport};
-pub use transmit::{transmit, TxInfo};
+pub use spsc::SpscRing;
+pub use transmit::{send_batch, transmit, SendDesc, TxInfo};

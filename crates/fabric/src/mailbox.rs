@@ -1,10 +1,26 @@
 //! Destination-side packet queues and arrival notification.
+//!
+//! The unfaulted datapath is lock-free: each `(context_id, src)` channel owns
+//! a bounded [`SpscRing`] (the sender holds its context gate across
+//! stamp+push, making the channel single-producer; the owning VCI's progress
+//! engine — serialized by the engine lock — is the single consumer), and a
+//! global ticket counter linearizes pushes so the drain-side merge preserves
+//! the mutex mailbox's cross-channel push order exactly. Channels are found
+//! through a fixed open-addressed [`ChannelDir`] whose lookups are pure
+//! atomic loads — the push hot path performs exactly one shared
+//! read-modify-write (the ticket) and otherwise touches only channel-local
+//! state. Drains pop the rings without any lock and visit the fallback mutex
+//! only when the fallback actually holds entries (see [`Mailbox::drain_into`]
+//! for the two-pass ordering argument). A [`FaultPlan`] switches the mailbox
+//! to the locked fallback queue, where the fault pipeline
+//! (delay/reorder/duplicate/dedup watermarks) runs unchanged.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use rankmpi_obs::trace as obs;
 use rankmpi_vtime::engine;
 use rankmpi_vtime::sched::{self, SchedPoint};
@@ -12,7 +28,34 @@ use rankmpi_vtime::Nanos;
 
 use crate::fault::{FaultCounters, FaultPlan, FaultReport};
 use crate::resil::{Resil, ResilConfig};
+use crate::spsc::SpscRing;
 use crate::Packet;
+
+/// Per-channel ring capacity (entries). Bursts beyond it spill to the locked
+/// fallback queue — ordering survives via tickets, only the lock-freedom of
+/// the overflowing pushes is lost. Sized so a burst-y producer can run a full
+/// batch window ahead of a briefly descheduled consumer without spilling.
+const RING_CAPACITY: usize = 128;
+
+/// Slots in the open-addressed channel directory. Never resized: lookups are
+/// pure atomic loads and probe chains end at a null slot, which requires the
+/// table to never fill — hence the lower [`DIR_MAX_CHANNELS`] insert cap.
+const DIR_SLOTS: usize = 128;
+
+/// Most channels that may register rings (load factor 3/4 keeps probes
+/// short, and bounds per-mailbox ring memory). Later channels simply use the
+/// ticketed locked fallback — correct, just not lock-free.
+const DIR_MAX_CHANNELS: usize = 96;
+
+/// Bounded backpressure on a full ring, before spilling: spin-retries (the
+/// consumer may free a slot within nanoseconds on another core), then
+/// OS-yield retries (on an oversubscribed machine the consumer needs our
+/// timeslice to drain at all). Bounded so a push can never block on a
+/// consumer that isn't coming — after the budget it spills exactly as
+/// before, and the lane's `saturated` latch makes every following push on a
+/// still-undrained channel skip straight to the spill.
+const FULL_RING_SPINS: usize = 64;
+const FULL_RING_YIELDS: usize = 32;
 
 /// A progress-event channel: a versioned condition variable.
 ///
@@ -28,6 +71,10 @@ pub struct Notify {
     /// version lock (so [`notify`](Self::notify) cannot miss them) and
     /// drained by every notification.
     task_waiters: Mutex<Vec<engine::Unparker>>,
+    /// Registered-task count, maintained alongside `task_waiters` (incremented
+    /// under the version lock, decremented by the drainer). Lets the
+    /// common no-waiter notify skip the second lock entirely.
+    waiters: AtomicUsize,
 }
 
 impl Notify {
@@ -47,8 +94,14 @@ impl Notify {
         *v += 1;
         drop(v);
         self.cv.notify_all();
-        if engine::ever_active() {
+        // Waiter-count fast path: a parked task registered under the version
+        // lock *before* our bump (later registrants see the moved version and
+        // never park), so a zero count here proves there is nobody to wake —
+        // the common no-waiter notify pays one atomic load, not a second
+        // lock acquisition.
+        if self.waiters.load(Ordering::Acquire) != 0 {
             let waiters = std::mem::take(&mut *self.task_waiters.lock());
+            self.waiters.fetch_sub(waiters.len(), Ordering::AcqRel);
             for w in waiters {
                 w.unpark();
             }
@@ -73,6 +126,7 @@ impl Notify {
                     if *v > seen {
                         return *v;
                     }
+                    self.waiters.fetch_add(1, Ordering::AcqRel);
                     self.task_waiters.lock().push(up.clone());
                 }
                 engine::park(SchedPoint::NotifyWait);
@@ -128,9 +182,13 @@ struct FaultState {
     counters: FaultCounters,
 }
 
-/// One queued packet plus the dedup bookkeeping it was pushed with.
+/// One queued packet plus the bookkeeping it was pushed with.
 #[derive(Debug, Clone)]
 struct Entry {
+    /// Mailbox-global push ticket: the linearization point of the push. The
+    /// unfaulted drain merges ring and fallback entries by ticket, which
+    /// reconstructs the single-queue push order of the old mutex mailbox.
+    ticket: u64,
     /// Push-order receive sequence on the packet's channel (0 when no fault
     /// plan is armed — the watermark filter is bypassed entirely then).
     rseq: u64,
@@ -146,6 +204,176 @@ struct Inner {
     faults: Option<FaultState>,
 }
 
+/// One channel's lock-free lane: the SPSC ring plus its producer claim and
+/// producer-local counters.
+///
+/// The claim makes the single-producer assumption *unconditional*: the
+/// context gate already serializes the common case, but a VCI policy may map
+/// two source threads (distinct gates) onto one `(context_id, src)` channel —
+/// the loser of the CAS simply takes the ticketed locked fallback.
+#[derive(Debug)]
+struct ChannelLane {
+    key: (u32, u32),
+    claim: AtomicBool,
+    /// Set when a push exhausted the full-ring backpressure budget and
+    /// spilled; cleared by the next successful ring push. While set, pushes
+    /// skip the budget and spill immediately — a channel whose consumer
+    /// isn't draining pays the wait once per saturation episode, not once
+    /// per push.
+    saturated: AtomicBool,
+    /// Pushes that landed in this lane's ring. Kept per-lane (summed by
+    /// [`Mailbox::ring_pushes`]) so the hot path never writes a cacheline
+    /// shared with other channels' producers.
+    pushes: AtomicU64,
+    /// Ring-path pushes on this lane that fell back to the locked queue
+    /// (full ring or lost producer claim).
+    spills: AtomicU64,
+    ring: SpscRing<Entry>,
+}
+
+/// Lock-free channel directory: a fixed open-addressed table of lanes.
+///
+/// Lookups — the per-push hot path — are pure atomic loads: probe linearly
+/// from the key's hash until the key or a null slot. Inserts (once per
+/// channel, ever) serialize on a mutex and publish the fully-initialized
+/// lane with release stores, so a racing lookup either finds it or misses
+/// and retries under the insert lock. Lanes are never removed before the
+/// directory drops, which is what makes handing out `&ChannelLane` borrows
+/// sound. A dense side array (`active`) gives drains and emptiness scans
+/// exactly the registered lanes, in registration order, without walking the
+/// sparse table.
+struct ChannelDir {
+    slots: Box<[AtomicPtr<ChannelLane>]>,
+    active: Box<[AtomicPtr<ChannelLane>]>,
+    active_len: AtomicUsize,
+    insert: Mutex<()>,
+}
+
+impl ChannelDir {
+    fn new() -> Self {
+        let nulls = |n: usize| {
+            (0..n)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        };
+        ChannelDir {
+            slots: nulls(DIR_SLOTS),
+            active: nulls(DIR_MAX_CHANNELS),
+            active_len: AtomicUsize::new(0),
+            insert: Mutex::new(()),
+        }
+    }
+
+    fn slot_of(key: (u32, u32)) -> usize {
+        let h = key.0.wrapping_mul(0x9E37_79B1) ^ key.1.wrapping_mul(0x85EB_CA77);
+        h as usize & (DIR_SLOTS - 1)
+    }
+
+    /// Find `key`'s lane with loads only; `None` means "not registered".
+    /// Probes terminate because the insert cap keeps the table under-full
+    /// and lanes are never removed.
+    fn lookup(&self, key: (u32, u32)) -> Option<&ChannelLane> {
+        let mut i = Self::slot_of(key);
+        loop {
+            let p = self.slots[i].load(Ordering::Acquire);
+            if p.is_null() {
+                return None;
+            }
+            // Safety: a published lane lives until the directory drops.
+            let lane = unsafe { &*p };
+            if lane.key == key {
+                return Some(lane);
+            }
+            i = (i + 1) & (DIR_SLOTS - 1);
+        }
+    }
+
+    /// [`lookup`](Self::lookup), inserting on miss. `None` only when the
+    /// directory is at capacity — that channel then lives on the locked
+    /// fallback for the mailbox's lifetime.
+    fn get_or_insert(&self, key: (u32, u32)) -> Option<&ChannelLane> {
+        if let Some(lane) = self.lookup(key) {
+            return Some(lane);
+        }
+        let _g = self.insert.lock();
+        if let Some(lane) = self.lookup(key) {
+            return Some(lane);
+        }
+        let len = self.active_len.load(Ordering::Relaxed);
+        if len == self.active.len() {
+            return None;
+        }
+        let lane = Box::into_raw(Box::new(ChannelLane {
+            key,
+            claim: AtomicBool::new(false),
+            saturated: AtomicBool::new(false),
+            pushes: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            ring: SpscRing::with_capacity(RING_CAPACITY),
+        }));
+        let mut i = Self::slot_of(key);
+        while !self.slots[i].load(Ordering::Relaxed).is_null() {
+            i = (i + 1) & (DIR_SLOTS - 1);
+        }
+        self.slots[i].store(lane, Ordering::Release);
+        self.active[len].store(lane, Ordering::Release);
+        self.active_len.store(len + 1, Ordering::Release);
+        // Safety: as in `lookup` — the lane lives until the directory drops.
+        Some(unsafe { &*lane })
+    }
+
+    /// Registered lanes, in registration order.
+    fn lanes(&self) -> impl Iterator<Item = &ChannelLane> {
+        let n = self.active_len.load(Ordering::Acquire);
+        self.active[..n].iter().map(|p| {
+            // Safety: `active_len`'s release store ordered the lane pointer
+            // store before it, and lanes live until the directory drops.
+            unsafe { &*p.load(Ordering::Acquire) }
+        })
+    }
+
+    /// Pop every published ring entry into `out` (consumer side: the caller
+    /// must hold the mailbox's drain serialization).
+    fn pop_all(&self, out: &mut Vec<Entry>) {
+        for lane in self.lanes() {
+            lane.ring.pop_all_into(out);
+        }
+    }
+
+    /// Whether every registered ring is empty (loads only, any thread).
+    fn rings_empty(&self) -> bool {
+        self.lanes().all(|l| l.ring.is_empty())
+    }
+
+    /// Total entries across registered rings (racy; exact when quiescent).
+    fn rings_len(&self) -> usize {
+        self.lanes().map(|l| l.ring.len()).sum()
+    }
+}
+
+impl Drop for ChannelDir {
+    fn drop(&mut self) {
+        for s in self.slots.iter() {
+            let p = s.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // Safety: `slots` owns its lanes; each appears exactly once.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ChannelDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ChannelDir({} lanes)",
+            self.active_len.load(Ordering::Relaxed)
+        )
+    }
+}
+
 /// The receive queue of one logical channel (VCI): packets deposited by
 /// [`transmit`](crate::transmit), drained by the owner's progress engine.
 ///
@@ -155,12 +383,42 @@ struct Inner {
 /// deliveries (see [`fault`](crate::fault) for the invariants that survive).
 #[derive(Debug)]
 pub struct Mailbox {
+    /// Locked fallback: the faulted pipeline, ring spills, and producer-claim
+    /// losers. Empty on the steady-state unfaulted path.
     inner: Mutex<Inner>,
+    /// Lazily-registered per-channel ring lanes (a channel appears the first
+    /// time a packet is pushed on it).
+    dir: ChannelDir,
+    /// Global push-order tickets (see [`Entry::ticket`]) — the one shared
+    /// read-modify-write on the push hot path.
+    ticket: AtomicU64,
+    /// Undrained entries in the locked fallback queue only (ring occupancy
+    /// is read straight off the ring indices). Lets `is_empty` and
+    /// `drain_into` skip the fallback mutex whenever it is empty — the
+    /// steady state.
+    fallback_pending: AtomicUsize,
+    /// Whether a fault plan is armed: all pushes take the locked pipeline.
+    faulted: AtomicBool,
+    /// Ablation knob: route pushes through the locked queue *without* fault
+    /// perturbation — the in-tree mutex-mailbox baseline for benchmarks.
+    force_locked: AtomicBool,
+    /// Drain serialization + reusable merge scratch. VCIs already serialize
+    /// drains on the engine lock; this keeps `drain_into` safe for arbitrary
+    /// callers and recycles the batch buffer (no per-drain allocation). It is
+    /// also the ring-consumer claim: anything popping rings (drains, the
+    /// `arm_faults` straggler migration) holds it.
+    drain_scratch: Mutex<Vec<Entry>>,
+    /// Pushes that wanted a ring but found the directory at capacity
+    /// (per-lane spill counters cover the full-ring and lost-claim cases).
+    dir_overflow: AtomicU64,
     notify: Arc<Notify>,
     /// Reliability layer, armed alongside a lossy fault plan (see
-    /// [`resil`](crate::resil)). Kept outside `inner` so `transmit` can grab
-    /// a handle without contending with push/drain.
-    resil: Mutex<Option<Arc<Resil>>>,
+    /// [`resil`](crate::resil)). Read-mostly: armed at most once per plan, and
+    /// read on every transmit — the flag lets the common unarmed send skip
+    /// the lock entirely, and armed readers share a read lock instead of
+    /// serializing on a mutex.
+    resil_armed: AtomicBool,
+    resil: RwLock<Option<Arc<Resil>>>,
 }
 
 impl Mailbox {
@@ -171,8 +429,16 @@ impl Mailbox {
                 q: Vec::new(),
                 faults: None,
             }),
+            dir: ChannelDir::new(),
+            ticket: AtomicU64::new(0),
+            fallback_pending: AtomicUsize::new(0),
+            faulted: AtomicBool::new(false),
+            force_locked: AtomicBool::new(false),
+            drain_scratch: Mutex::new(Vec::new()),
+            dir_overflow: AtomicU64::new(0),
             notify,
-            resil: Mutex::new(None),
+            resil_armed: AtomicBool::new(false),
+            resil: RwLock::new(None),
         }
     }
 
@@ -181,11 +447,21 @@ impl Mailbox {
     /// or flaps) also arms the [`Resil`] retransmit layer — without it a
     /// lossy plan would violate MPI's no-loss contract.
     pub fn arm_faults(&self, plan: FaultPlan) {
-        *self.resil.lock() = plan
-            .any_lossy()
-            .then(|| Resil::new(plan.clone(), ResilConfig::default()));
+        let armed_resil = plan.any_lossy();
+        *self.resil.write() = armed_resil.then(|| Resil::new(plan.clone(), ResilConfig::default()));
+        self.resil_armed.store(armed_resil, Ordering::Release);
+        let enabled = plan.any_enabled();
+        // The scratch lock is the ring-consumer claim: holding it keeps the
+        // straggler migration below from racing a concurrent drain's pops.
+        let mut scratch = self.drain_scratch.lock();
         let mut inner = self.inner.lock();
-        inner.faults = if plan.any_enabled() {
+        // Entries already sitting in rings predate the plan; route them
+        // through the (new) pipeline in push order so arming mid-run cannot
+        // lose or reorder them.
+        scratch.clear();
+        self.dir.pop_all(&mut scratch);
+        scratch.sort_by_key(|e| e.ticket);
+        inner.faults = if enabled {
             Some(FaultState {
                 plan,
                 channels: HashMap::new(),
@@ -194,11 +470,27 @@ impl Mailbox {
         } else {
             None
         };
+        for e in scratch.drain(..) {
+            let (_, added) = inner.push_packet(e.p, e.ticket);
+            self.fallback_pending.fetch_add(added, Ordering::Release);
+        }
+        self.faulted.store(enabled, Ordering::Release);
     }
 
-    /// The reliability layer, if a lossy plan is armed.
+    /// Force every push through the locked queue without any fault
+    /// perturbation — the pre-ring mutex mailbox, kept as an in-tree
+    /// baseline for the datapath ablation benchmarks.
+    pub fn set_force_locked(&self, on: bool) {
+        self.force_locked.store(on, Ordering::Release);
+    }
+
+    /// The reliability layer, if a lossy plan is armed. One atomic load when
+    /// unarmed (the common case); armed readers share a read lock.
     pub fn resil(&self) -> Option<Arc<Resil>> {
-        self.resil.lock().clone()
+        if !self.resil_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.resil.read().clone()
     }
 
     /// Number of live per-channel dedup records. O(channels) by
@@ -221,6 +513,33 @@ impl Mailbox {
             .map(|f| f.counters.report())
     }
 
+    /// Per-channel ring capacity, for tests that want to construct bursts
+    /// that provably wrap or spill.
+    pub fn ring_capacity() -> usize {
+        RING_CAPACITY
+    }
+
+    /// Pushes that took a channel ring (the lock-free path). Summed from
+    /// per-lane counters, so reading it is O(channels) — the hot path never
+    /// pays for it.
+    pub fn ring_pushes(&self) -> u64 {
+        self.dir
+            .lanes()
+            .map(|l| l.pushes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Ring-path pushes that fell back to the locked queue: full ring, lost
+    /// producer claim, or channel directory at capacity.
+    pub fn ring_spills(&self) -> u64 {
+        self.dir_overflow.load(Ordering::Relaxed)
+            + self
+                .dir
+                .lanes()
+                .map(|l| l.spills.load(Ordering::Relaxed))
+                .sum::<u64>()
+    }
+
     /// Deposit a packet (called by the sending thread) and wake the receiver.
     pub fn push(&self, p: Packet) {
         self.push_with_spurious(p, None);
@@ -232,26 +551,153 @@ impl Mailbox {
     /// race onto the same channel — the copy is then guaranteed to land
     /// below the watermark and be dropped at drain.
     pub fn push_with_spurious(&self, p: Packet, spurious: Option<Packet>) {
-        sched::yield_point(SchedPoint::MailboxPush);
-        {
-            let mut inner = self.inner.lock();
-            let rseq = inner.push_packet(p);
-            if let Some(sp) = spurious {
-                inner.push_spurious(rseq, sp);
-            }
-        }
+        self.push_quiet(p, spurious);
         self.notify.notify();
     }
 
-    /// Drain all queued packets, in queue order, into `out`. Returns how
+    /// [`push_with_spurious`](Self::push_with_spurious) without the wakeup —
+    /// the batched injection path pushes N packets and notifies once.
+    pub fn push_quiet(&self, p: Packet, spurious: Option<Packet>) {
+        sched::yield_point(SchedPoint::MailboxPush);
+        let ticket = self.ticket.fetch_add(1, Ordering::Relaxed);
+        if self.faulted.load(Ordering::Acquire) || self.force_locked.load(Ordering::Acquire) {
+            let mut inner = self.inner.lock();
+            let (rseq, mut added) = inner.push_packet(p, ticket);
+            if let Some(sp) = spurious {
+                added += inner.push_spurious(rseq, sp);
+            }
+            self.fallback_pending.fetch_add(added, Ordering::Release);
+            return;
+        }
+        // A spurious copy only exists when resil is armed, which implies a
+        // lossy (armed) plan — i.e. the locked path above.
+        debug_assert!(spurious.is_none(), "spurious copy without an armed plan");
+        let chan = (p.header.context_id, p.header.src);
+        let entry = Entry {
+            ticket,
+            rseq: 0,
+            spurious: false,
+            p,
+        };
+        let Some(lane) = self.dir.get_or_insert(chan) else {
+            // Directory at capacity: this channel lives on the fallback.
+            self.dir_overflow.fetch_add(1, Ordering::Relaxed);
+            self.spill(entry);
+            return;
+        };
+        if lane
+            .claim
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            match lane.ring.try_push(entry) {
+                Ok(()) => {
+                    lane.pushes.fetch_add(1, Ordering::Relaxed);
+                    if lane.saturated.load(Ordering::Relaxed) {
+                        lane.saturated.store(false, Ordering::Relaxed);
+                    }
+                }
+                Err(e) => match self.wait_for_ring_room(lane, e) {
+                    None => {
+                        lane.pushes.fetch_add(1, Ordering::Relaxed);
+                        lane.saturated.store(false, Ordering::Relaxed);
+                    }
+                    Some(e) => {
+                        // Full ring: spill to the fallback queue. The ticket
+                        // keeps the entry ordered; only lock-freedom is lost.
+                        lane.saturated.store(true, Ordering::Relaxed);
+                        lane.spills.fetch_add(1, Ordering::Relaxed);
+                        self.spill(e);
+                    }
+                },
+            }
+            lane.claim.store(false, Ordering::Release);
+        } else {
+            // Rare second producer on one channel (e.g. two source VCIs whose
+            // tags map onto the same destination channel): SPSC soundness is
+            // preserved by sending the claim loser through the locked queue.
+            lane.spills.fetch_add(1, Ordering::Relaxed);
+            self.spill(entry);
+        }
+    }
+
+    /// Bounded wait for the consumer to free a slot in `lane`'s full ring
+    /// (the caller holds the producer claim). Returns `None` once the entry
+    /// went in, or hands the entry back when the budget runs out — the
+    /// caller then spills it. Waiting beats spilling because a spill is not
+    /// one slow push: while the ring stays full, *every* subsequent push
+    /// takes the fallback mutex, so yielding a timeslice to the consumer
+    /// buys the next `RING_CAPACITY` pushes their lock-free path back.
+    fn wait_for_ring_room(&self, lane: &ChannelLane, mut entry: Entry) -> Option<Entry> {
+        if lane.saturated.load(Ordering::Relaxed) {
+            return Some(entry);
+        }
+        // The full ring is itself a doorbell: a consumer parked in
+        // `wait_past` cannot learn the ring filled without this (quiet
+        // pushes defer their batch notify until after the burst).
+        self.notify.notify();
+        for i in 0..FULL_RING_SPINS + FULL_RING_YIELDS {
+            if i < FULL_RING_SPINS {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            match lane.ring.try_push(entry) {
+                Ok(()) => return None,
+                Err(back) => entry = back,
+            }
+        }
+        Some(entry)
+    }
+
+    /// Queue a ticketed entry on the locked fallback. The count is bumped
+    /// under the lock, so `fallback_pending` equals the queue length at
+    /// every lock release — a drain that observes it nonzero will find the
+    /// entry (or a successor drain will).
+    fn spill(&self, entry: Entry) {
+        let mut inner = self.inner.lock();
+        inner.q.push(entry);
+        self.fallback_pending.fetch_add(1, Ordering::Release);
+    }
+
+    /// Drain all queued packets, in push order, into `out`. Returns how
     /// many were delivered (injected duplicate and spurious-retransmit
     /// copies are dropped here, not delivered).
     pub fn drain_into(&self, out: &mut Vec<Packet>) -> usize {
         sched::yield_point(SchedPoint::MailboxDrain);
-        let mut inner = self.inner.lock();
-        let Inner { q, faults } = &mut *inner;
-        match faults {
-            Some(fs) => {
+        // The scratch lock serializes concurrent drainers (VCIs already do,
+        // on the engine lock) and recycles the merge buffer across drains.
+        let mut batch = self.drain_scratch.lock();
+        batch.clear();
+        // Pass 1, no locks: pop whatever each ring has published. On the
+        // steady-state path (no faults, empty fallback) this is the whole
+        // drain — producers and the consumer never share a lock.
+        self.dir.pop_all(&mut batch);
+        if self.faulted.load(Ordering::Acquire)
+            || self.fallback_pending.load(Ordering::Acquire) != 0
+        {
+            let mut inner = self.inner.lock();
+            // Pass 2, under the fallback lock: any fallback entry we are
+            // about to take was spilled *before* we acquired the lock, so
+            // its same-channel ring predecessors were published earlier
+            // still — this re-pop cannot miss them, and the ticket merge
+            // below restores exact push order. (A spill that lands after
+            // our acquisition is simply left for the next drain, together
+            // with however much of its channel's ring we did not pop.)
+            self.dir.pop_all(&mut batch);
+            if inner.faults.is_some() {
+                // Ring stragglers from before the plan was armed enter the
+                // fault pipeline in push order; then the locked queue drains
+                // with the watermark dedup, exactly as the pre-ring mailbox
+                // did.
+                batch.sort_by_key(|e| e.ticket);
+                for e in batch.drain(..) {
+                    let (_, added) = inner.push_packet(e.p, e.ticket);
+                    self.fallback_pending.fetch_add(added, Ordering::Release);
+                }
+                let Inner { q, faults } = &mut *inner;
+                let fs = faults.as_mut().expect("checked above");
+                let drained = q.len();
                 let mut n = 0;
                 for e in q.drain(..) {
                     let chan = (e.p.header.context_id, e.p.header.src);
@@ -272,24 +718,30 @@ impl Mailbox {
                         }
                     }
                 }
-                n
+                self.fallback_pending.fetch_sub(drained, Ordering::Release);
+                return n;
             }
-            None => {
-                let n = q.len();
-                out.extend(q.drain(..).map(|e| e.p));
-                n
-            }
+            let drained = inner.q.len();
+            batch.extend(inner.q.drain(..));
+            self.fallback_pending.fetch_sub(drained, Ordering::Release);
         }
+        batch.sort_by_key(|e| e.ticket);
+        let n = batch.len();
+        out.extend(batch.drain(..).map(|e| e.p));
+        n
     }
 
-    /// Whether the queue is currently empty.
+    /// Whether the queue is currently empty — the progress engine's fast
+    /// path: one load for the fallback plus one ring-index read per
+    /// registered channel, no locks, no stores.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().q.is_empty()
+        self.fallback_pending.load(Ordering::Acquire) == 0 && self.dir.rings_empty()
     }
 
     /// Number of queued packets (including any not-yet-dropped duplicates).
+    /// Racy under concurrent pushes; exact when quiescent.
     pub fn len(&self) -> usize {
-        self.inner.lock().q.len()
+        self.fallback_pending.load(Ordering::Acquire) + self.dir.rings_len()
     }
 
     /// The notifier this mailbox signals.
@@ -300,15 +752,17 @@ impl Mailbox {
 
 impl Inner {
     /// Queue a packet, applying armed faults. Returns the push-order dedup
-    /// sequence assigned on the packet's channel (0 when unfaulted).
-    fn push_packet(&mut self, mut p: Packet) -> u64 {
+    /// sequence assigned on the packet's channel (0 when unfaulted) and the
+    /// number of entries queued (2 when a duplicate copy was injected).
+    fn push_packet(&mut self, mut p: Packet, ticket: u64) -> (u64, usize) {
         let Some(fs) = self.faults.as_mut() else {
             self.q.push(Entry {
+                ticket,
                 rseq: 0,
                 spurious: false,
                 p,
             });
-            return 0;
+            return (0, 1);
         };
         let (src, seq) = (p.header.src, p.header.seq);
         let chan = (p.header.context_id, src);
@@ -324,11 +778,12 @@ impl Inner {
             p.arrive_at = p.arrive_at.max(st.floor);
             st.floor = p.arrive_at;
             self.q.push(Entry {
+                ticket,
                 rseq,
                 spurious: false,
                 p,
             });
-            return rseq;
+            return (rseq, 1);
         }
 
         // Transient NACK: one retransmit round's worth of extra latency.
@@ -371,6 +826,7 @@ impl Inner {
 
         let copy = duplicate.then(|| p.clone());
         self.q.push(Entry {
+            ticket,
             rseq,
             spurious: false,
             p,
@@ -387,6 +843,7 @@ impl Inner {
                 obs::busy("fault", "reorder", orig, orig, obs::ResId::NONE);
             }
         }
+        let mut added = 1;
         if let Some(c) = copy {
             fs.counters.bump_dup_injected();
             obs::busy(
@@ -399,25 +856,31 @@ impl Inner {
             // The copy shares the original's dedup sequence: it lands below
             // the watermark at drain and is dropped.
             self.q.push(Entry {
+                ticket,
                 rseq,
                 spurious: false,
                 p: c,
             });
+            added = 2;
         }
-        rseq
+        (rseq, added)
     }
 
     /// Queue a spurious retransmit copy sharing `rseq` with its original
     /// (dropped at drain, counted separately from duplicate faults). Without
     /// an armed plan there is no dedup filter, so the copy is discarded
-    /// outright rather than delivered twice.
-    fn push_spurious(&mut self, rseq: u64, p: Packet) {
+    /// outright rather than delivered twice. Returns entries queued.
+    fn push_spurious(&mut self, rseq: u64, p: Packet) -> usize {
         if self.faults.is_some() {
             self.q.push(Entry {
+                ticket: 0,
                 rseq,
                 spurious: true,
                 p,
             });
+            1
+        } else {
+            0
         }
     }
 }
@@ -468,12 +931,154 @@ mod tests {
     }
 
     #[test]
+    fn drain_merges_channels_in_push_order() {
+        // Interleave three channels; the ring merge must reproduce global
+        // push order, not just per-channel order.
+        let mb = Mailbox::new(Arc::new(Notify::new()));
+        let mut expect = Vec::new();
+        for i in 0..30u64 {
+            let src = (i % 3) as u32;
+            mb.push(pkt_on(1, src, i, i));
+            expect.push((src, i));
+        }
+        let mut out = Vec::new();
+        assert_eq!(mb.drain_into(&mut out), 30);
+        let got: Vec<(u32, u64)> = out.iter().map(|p| (p.header.src, p.header.seq)).collect();
+        assert_eq!(got, expect);
+        assert_eq!(mb.ring_pushes(), 30);
+        assert_eq!(mb.ring_spills(), 0);
+    }
+
+    #[test]
+    fn ring_wraparound_and_overflow_spill_keep_order() {
+        // Push far beyond the ring capacity without draining: overflow spills
+        // to the locked queue; a later drain must still see exact push order.
+        let mb = Mailbox::new(Arc::new(Notify::new()));
+        let n = 4 * RING_CAPACITY as u64;
+        for seq in 0..n {
+            mb.push(pkt_on(1, 0, seq, seq));
+        }
+        assert!(mb.ring_spills() > 0, "burst beyond capacity must spill");
+        let mut out = Vec::new();
+        assert_eq!(mb.drain_into(&mut out), n as usize);
+        let seqs: Vec<u64> = out.iter().map(|p| p.header.seq).collect();
+        assert_eq!(seqs, (0..n).collect::<Vec<_>>());
+        // Wraparound: repeated small bursts reuse the ring slots.
+        for round in 0..10 {
+            for seq in 0..8 {
+                mb.push(pkt_on(1, 0, round * 8 + seq, seq));
+            }
+            out.clear();
+            assert_eq!(mb.drain_into(&mut out), 8);
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn force_locked_matches_ring_path_exactly() {
+        let ring = Mailbox::new(Arc::new(Notify::new()));
+        let locked = Mailbox::new(Arc::new(Notify::new()));
+        locked.set_force_locked(true);
+        for i in 0..50u64 {
+            let src = (i % 4) as u32;
+            ring.push(pkt_on(2, src, i, i));
+            locked.push(pkt_on(2, src, i, i));
+        }
+        assert_eq!(ring.ring_pushes(), 50);
+        assert_eq!(locked.ring_pushes(), 0, "forced-locked never takes a ring");
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        ring.drain_into(&mut a);
+        locked.drain_into(&mut b);
+        let key = |v: &[Packet]| {
+            v.iter()
+                .map(|p| (p.header.src, p.header.seq))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn concurrent_producers_preserve_per_channel_fifo() {
+        // Four producer threads on four distinct channels against one
+        // drainer: nothing lost, per-channel order exact.
+        let mb = Arc::new(Mailbox::new(Arc::new(Notify::new())));
+        let n_per = 5_000u64;
+        let producers: Vec<_> = (0..4u32)
+            .map(|src| {
+                let mb = Arc::clone(&mb);
+                std::thread::spawn(move || {
+                    for seq in 0..n_per {
+                        mb.push(pkt_on(7, src, seq, seq));
+                    }
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        let mut got = 0usize;
+        while got < 4 * n_per as usize {
+            got += mb.drain_into(&mut out);
+        }
+        for t in producers {
+            t.join().unwrap();
+        }
+        assert!(mb.is_empty());
+        let mut next = [0u64; 4];
+        for p in &out {
+            let s = p.header.src as usize;
+            assert_eq!(p.header.seq, next[s], "channel {s} FIFO violated");
+            next[s] += 1;
+        }
+        assert_eq!(next, [n_per; 4]);
+    }
+
+    #[test]
+    fn racing_producers_on_one_channel_lose_nothing() {
+        // Two threads violating the one-producer-per-channel assumption: the
+        // claim CAS must shunt the loser to the locked queue, not corrupt
+        // the ring. Every packet is delivered exactly once.
+        let mb = Arc::new(Mailbox::new(Arc::new(Notify::new())));
+        let n_per = 5_000u64;
+        let producers: Vec<_> = (0..2)
+            .map(|half| {
+                let mb = Arc::clone(&mb);
+                std::thread::spawn(move || {
+                    for seq in 0..n_per {
+                        mb.push(pkt_on(7, 0, half * n_per + seq, seq));
+                    }
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(mb.drain_into(&mut out), 2 * n_per as usize);
+        let mut seqs: Vec<u64> = out.iter().map(|p| p.header.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..2 * n_per).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn push_bumps_notify_version() {
         let n = Arc::new(Notify::new());
         let mb = Mailbox::new(Arc::clone(&n));
         let v0 = n.version();
         mb.push(pkt(0));
         assert_eq!(n.version(), v0 + 1);
+    }
+
+    #[test]
+    fn quiet_push_defers_notification() {
+        let n = Arc::new(Notify::new());
+        let mb = Mailbox::new(Arc::clone(&n));
+        let v0 = n.version();
+        mb.push_quiet(pkt(0), None);
+        mb.push_quiet(pkt(1), None);
+        assert_eq!(n.version(), v0, "quiet pushes do not notify");
+        mb.notify_handle().notify();
+        assert_eq!(n.version(), v0 + 1, "one batch, one notification");
+        let mut out = Vec::new();
+        assert_eq!(mb.drain_into(&mut out), 2);
     }
 
     #[test]
@@ -529,6 +1134,26 @@ mod tests {
         let mut seqs: Vec<u64> = out.iter().map(|p| p.header.seq).collect();
         seqs.sort_unstable();
         assert_eq!(seqs, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn arming_mid_run_migrates_ring_stragglers() {
+        // Packets pushed before arming sit in rings; arming must route them
+        // through the fault pipeline without loss or reordering.
+        let mb = Mailbox::new(Arc::new(Notify::new()));
+        for seq in 0..10 {
+            mb.push(pkt_on(1, 0, seq, 10 * seq));
+        }
+        mb.arm_faults(FaultPlan::new(11).duplicates(0.5));
+        for seq in 10..20 {
+            mb.push(pkt_on(1, 0, seq, 10 * seq));
+        }
+        let mut out = Vec::new();
+        let delivered = mb.drain_into(&mut out);
+        assert_eq!(delivered, 20, "all originals exactly once");
+        let seqs: Vec<u64> = out.iter().map(|p| p.header.seq).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<_>>());
+        assert!(mb.is_empty());
     }
 
     #[test]

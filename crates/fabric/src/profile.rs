@@ -20,6 +20,11 @@ pub struct NetworkProfile {
     pub recv_overhead: Nanos,
     /// MMIO doorbell write cost, paid under the context lock.
     pub doorbell: Nanos,
+    /// Marginal doorbell cost of each *additional* descriptor in a batched
+    /// injection: a batch of `n` sends rings once for
+    /// `doorbell + (n-1) * doorbell_batch_step` (the hardware reads the extra
+    /// descriptors from the queue; only the tail-pointer MMIO is per-batch).
+    pub doorbell_batch_step: Nanos,
     /// Per-message occupancy of a TX hardware context (LogGP `g`).
     /// `1/context_gap` is the per-context message rate ceiling.
     pub context_gap: Nanos,
@@ -51,6 +56,7 @@ impl NetworkProfile {
             send_overhead: Nanos(60),
             recv_overhead: Nanos(60),
             doorbell: Nanos(40),
+            doorbell_batch_step: Nanos(5),
             context_gap: Nanos(120),
             rx_gap: Nanos(50),
             latency: Nanos(1_000),
@@ -73,6 +79,7 @@ impl NetworkProfile {
             send_overhead: Nanos(50),
             recv_overhead: Nanos(50),
             doorbell: Nanos(30),
+            doorbell_batch_step: Nanos(4),
             context_gap: Nanos(100),
             rx_gap: Nanos(40),
             latency: Nanos(800),
@@ -95,6 +102,7 @@ impl NetworkProfile {
             send_overhead: Nanos(45),
             recv_overhead: Nanos(45),
             doorbell: Nanos(25),
+            doorbell_batch_step: Nanos(3),
             context_gap: Nanos(80),
             rx_gap: Nanos(30),
             latency: Nanos(700),
@@ -118,6 +126,7 @@ impl NetworkProfile {
             send_overhead: Nanos(1),
             recv_overhead: Nanos(1),
             doorbell: Nanos(1),
+            doorbell_batch_step: Nanos(0),
             context_gap: Nanos(1),
             rx_gap: Nanos(1),
             latency: Nanos(10),
@@ -160,6 +169,16 @@ impl NetworkProfile {
     /// One-way wire latency (size-independent part).
     pub fn wire_latency(&self) -> Nanos {
         self.latency
+    }
+
+    /// Doorbell cost of injecting `n` descriptors as one batch: one MMIO ring
+    /// plus a marginal per-descriptor step. `doorbell_batched(1) == doorbell`,
+    /// so a batch of one is indistinguishable from a plain send.
+    pub fn doorbell_batched(&self, n: usize) -> Nanos {
+        if n == 0 {
+            return Nanos(0);
+        }
+        self.doorbell + Nanos(self.doorbell_batch_step.as_ns() * (n as u64 - 1))
     }
 
     /// Peak per-context message rate in messages/second for small messages.
@@ -219,6 +238,19 @@ mod tests {
             p.tx_occupancy(8) + p.shared_context_penalty
         );
         assert_eq!(p.tx_occupancy_on(8, false), p.tx_occupancy(8));
+    }
+
+    #[test]
+    fn batched_doorbell_amortizes() {
+        let p = NetworkProfile::omni_path();
+        assert_eq!(p.doorbell_batched(0), Nanos(0));
+        assert_eq!(p.doorbell_batched(1), p.doorbell, "batch of one is free");
+        assert_eq!(
+            p.doorbell_batched(16),
+            p.doorbell + Nanos(15 * p.doorbell_batch_step.as_ns())
+        );
+        // The whole point: 16 batched rings cost far less than 16 single ones.
+        assert!(p.doorbell_batched(16) < Nanos(16 * p.doorbell.as_ns()));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property tests pinning the ring mailbox to the mutex mailbox as oracle.
+//!
+//! `set_force_locked(true)` routes every push through the pre-ring locked
+//! queue — the exact code the rings replaced. For any script of pushes
+//! (arbitrary channels, bursts far past ring capacity, so wraparound and
+//! spill-to-fallback both trigger) interleaved with drains at arbitrary
+//! points, the merged ring drain must deliver the identical packet sequence.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rankmpi_fabric::{Header, Mailbox, Notify, Packet};
+use rankmpi_vtime::Nanos;
+
+/// One scripted step: push on a small channel id, or drain everything.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `(context_id selector, src selector)` — 2×4 = 8 possible channels.
+    Push(u8, u8),
+    Drain,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Pushes dominate so per-channel bursts between drains regularly
+        // grow deep enough to wrap the ring several times.
+        8 => (0u8..2, 0u8..4).prop_map(|(c, s)| Op::Push(c, s)),
+        1 => Just(Op::Drain),
+    ]
+}
+
+/// Run the script, returning the delivered `(context_id, src, seq)` stream.
+fn run(mb: &Mailbox, ops: &[Op]) -> Vec<(u32, u32, u64)> {
+    let mut out: Vec<Packet> = Vec::new();
+    let mut delivered = Vec::new();
+    let mut seq = 0u64;
+    for op in ops {
+        match op {
+            Op::Push(c, s) => {
+                mb.push(Packet {
+                    header: Header {
+                        kind: 1,
+                        context_id: *c as u32,
+                        src: *s as u32,
+                        dst: 0,
+                        tag: 0,
+                        seq,
+                        aux: 0,
+                        aux2: 0,
+                    },
+                    payload: bytes::Bytes::new(),
+                    arrive_at: Nanos(seq),
+                });
+                seq += 1;
+            }
+            Op::Drain => {
+                out.clear();
+                mb.drain_into(&mut out);
+                delivered.extend(
+                    out.iter()
+                        .map(|p| (p.header.context_id, p.header.src, p.header.seq)),
+                );
+            }
+        }
+    }
+    out.clear();
+    mb.drain_into(&mut out);
+    delivered.extend(
+        out.iter()
+            .map(|p| (p.header.context_id, p.header.src, p.header.seq)),
+    );
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Ring mailbox ≡ mutex mailbox on every script.
+    #[test]
+    fn ring_drain_matches_mutex_oracle(ops in vec(op_strategy(), 1..400)) {
+        let ring = Mailbox::new(Arc::new(Notify::new()));
+        let oracle = Mailbox::new(Arc::new(Notify::new()));
+        oracle.set_force_locked(true);
+
+        let got = run(&ring, &ops);
+        let want = run(&oracle, &ops);
+
+        prop_assert_eq!(got, want, "ring drain diverged from the mutex oracle");
+        prop_assert_eq!(oracle.ring_pushes(), 0, "oracle must stay locked");
+    }
+
+    /// Same oracle equivalence when the script's pushes all hammer one
+    /// channel — the maximal-spill case (everything past ring capacity in
+    /// a burst overflows to the fallback and must merge back in order).
+    #[test]
+    fn single_channel_bursts_match_oracle(
+        bursts in vec(1usize..(3 * Mailbox::ring_capacity()), 1..12),
+    ) {
+        let ring = Mailbox::new(Arc::new(Notify::new()));
+        let oracle = Mailbox::new(Arc::new(Notify::new()));
+        oracle.set_force_locked(true);
+
+        let mut ops = Vec::new();
+        for b in &bursts {
+            ops.extend(std::iter::repeat_n(Op::Push(0, 0), *b));
+            ops.push(Op::Drain);
+        }
+        let got = run(&ring, &ops);
+        let want = run(&oracle, &ops);
+        prop_assert_eq!(got, want);
+        if bursts.iter().any(|b| *b > Mailbox::ring_capacity()) {
+            prop_assert!(ring.ring_spills() > 0, "oversized burst never spilled");
+        }
+    }
+}

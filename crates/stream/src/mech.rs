@@ -60,6 +60,17 @@ pub struct TransportOpts {
 pub trait LaneTransport: Send + Sync {
     /// Send item `lane_seq` of `lane` (called by the lane's source thread).
     fn send(&self, th: &mut ThreadCtx, lane: &Lane, lane_seq: u64, data: &[u8]);
+    /// Send a burst of items in one call: `(lane, lane_seq, data)` per item.
+    ///
+    /// Transports that can amortize injection (one context-gate acquisition,
+    /// one batched doorbell for the whole burst) override this; the default
+    /// just loops [`LaneTransport::send`]. Per-lane ordering within the
+    /// batch must match the slice order.
+    fn send_many(&self, th: &mut ThreadCtx, batch: &[(&Lane, u64, &[u8])]) {
+        for (lane, lane_seq, data) in batch {
+            self.send(th, lane, *lane_seq, data);
+        }
+    }
     /// Blocking receive of item `lane_seq` of `lane`.
     fn recv(&self, th: &mut ThreadCtx, lane: &Lane, lane_seq: u64) -> Vec<u8>;
     /// Nonblocking receive of item `lane_seq` of `lane`.
@@ -231,6 +242,18 @@ impl LaneTransport for CommTransport {
         self.comm
             .send(th, lane.dst, self.tag(lane), data)
             .expect("lane send");
+    }
+
+    fn send_many(&self, th: &mut ThreadCtx, batch: &[(&Lane, u64, &[u8])]) {
+        // One isend_multi = one gate acquisition + one batched doorbell per
+        // destination VCI group for the whole burst.
+        let msgs: Vec<(usize, i64, &[u8])> = batch
+            .iter()
+            .map(|(lane, _seq, data)| (lane.dst, self.tag(lane), *data))
+            .collect();
+        for r in self.comm.isend_multi(th, &msgs).expect("lane send_many") {
+            r.wait(&mut th.clock);
+        }
     }
 
     fn recv(&self, th: &mut ThreadCtx, lane: &Lane, _lane_seq: u64) -> Vec<u8> {

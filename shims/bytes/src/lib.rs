@@ -18,6 +18,11 @@ pub struct Bytes {
 enum Repr {
     Static(&'static [u8]),
     Shared(Arc<[u8]>),
+    /// A pooled buffer: the `Arc<Vec<u8>>` is shared with an allocation pool
+    /// that reclaims it once the last `Bytes` view drops (see
+    /// `Bytes::from_owner`). Unlike `Shared`, constructing this from an
+    /// existing `Arc` performs no copy and no allocation.
+    Owned(Arc<Vec<u8>>),
 }
 
 impl Repr {
@@ -25,6 +30,7 @@ impl Repr {
         match self {
             Repr::Static(s) => s,
             Repr::Shared(a) => a,
+            Repr::Owned(v) => v,
         }
     }
 }
@@ -51,6 +57,28 @@ impl Bytes {
     /// Copy `s` into a new shared buffer.
     pub fn copy_from_slice(s: &[u8]) -> Self {
         Bytes::from(s.to_vec())
+    }
+
+    /// Wrap an existing shared buffer without copying: the full `Vec` is the
+    /// view. The caller may retain its own clone of the `Arc` (an allocation
+    /// pool does) and reclaim the buffer once `owner_count` drops back to its
+    /// own references.
+    pub fn from_owner(v: Arc<Vec<u8>>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Repr::Owned(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// For pool-owned buffers (`from_owner`): the current strong count of the
+    /// backing `Arc`. Returns `None` for static or copied buffers.
+    pub fn owner_count(&self) -> Option<usize> {
+        match &self.data {
+            Repr::Owned(v) => Some(Arc::strong_count(v)),
+            _ => None,
+        }
     }
 
     /// Length in bytes.
@@ -173,5 +201,17 @@ mod tests {
     #[should_panic(expected = "slice out of range")]
     fn oversized_slice_panics() {
         Bytes::from_static(b"ab").slice(0..3);
+    }
+
+    #[test]
+    fn from_owner_shares_without_copy() {
+        let a = Arc::new(vec![9u8, 8, 7]);
+        let b = Bytes::from_owner(Arc::clone(&a));
+        assert_eq!(&b[..], &[9, 8, 7]);
+        assert_eq!(b.owner_count(), Some(2));
+        assert_eq!(b.slice(1..).owner_count(), Some(3));
+        drop(b);
+        assert_eq!(Arc::strong_count(&a), 1, "views release the owner");
+        assert_eq!(Bytes::copy_from_slice(b"x").owner_count(), None);
     }
 }

@@ -1,7 +1,8 @@
 //! Offline shim for the subset of `proptest` this workspace uses.
 //!
-//! Provides the `proptest!` macro, range/`any`/tuple/`collection::vec`
-//! strategies, `prop_filter`, and the `prop_assert*` macros over a
+//! Provides the `proptest!` macro, range/`any`/tuple/`collection::vec`/
+//! `Just`/`prop_oneof!` strategies, `prop_filter`/`prop_map`, and the
+//! `prop_assert*` macros over a
 //! deterministic seeded RNG. No shrinking: a failing case prints its inputs
 //! and the case index, which (with the deterministic seed derived from the
 //! test's module path and name) is enough to replay it under a debugger.
@@ -65,6 +66,89 @@ pub trait Strategy {
             pred,
         }
     }
+
+    /// Transform sampled values with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy yielding a constant (proptest's `Just`).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union over boxed arms — what `prop_oneof!` builds.
+pub struct WeightedUnion<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u32,
+}
+
+impl<V> WeightedUnion<V> {
+    /// Union of `arms`; each sample picks one arm with probability
+    /// proportional to its weight.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        WeightedUnion { arms, total }
+    }
+}
+
+impl<V> Strategy for WeightedUnion<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// `prop_oneof!` subset: plain arms (equal weight) or `weight => strategy`
+/// arms. All arms must produce the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::WeightedUnion::new(vec![$(
+            ($w as u32,
+             ::std::boxed::Box::new($s) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>)
+        ),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::WeightedUnion::new(vec![$(
+            (1u32,
+             ::std::boxed::Box::new($s) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>)
+        ),+])
+    };
 }
 
 /// Strategy produced by [`Strategy::prop_filter`].
@@ -266,8 +350,8 @@ macro_rules! proptest {
 /// Everything a test file needs: `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
 }
 
 #[cfg(test)]
@@ -288,6 +372,14 @@ mod tests {
         fn filters_apply(v in collection::vec(any::<f64>().prop_filter("no NaN", |f| !f.is_nan()), 0..8)) {
             prop_assert!(v.iter().all(|f| !f.is_nan()));
             prop_assert!(v.len() < 8);
+        }
+
+        #[test]
+        fn oneof_maps_and_justs(v in collection::vec(prop_oneof![
+            3 => (0u8..4).prop_map(|x| x as u64),
+            1 => crate::Just(99u64),
+        ], 1..64)) {
+            prop_assert!(v.iter().all(|x| *x < 4u64 || *x == 99u64));
         }
     }
 
